@@ -1,0 +1,78 @@
+//! Block-tridiagonal solver throughput (the BT substrate): 5×5 block
+//! inverses dominate, so this quantifies the per-element cost ratio against
+//! the scalar Thomas solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_sweep::block::{block_thomas_solve, mat_inv, Mat, VecN};
+use mp_sweep::thomas::thomas_solve;
+use std::hint::black_box;
+
+fn dominant_block<const N: usize>(seed: usize) -> Mat<N> {
+    let mut m = [[0.0; N]; N];
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (((seed + 3 * i + 7 * j) % 11) as f64 - 5.0) * 0.05;
+        }
+        row[i] += 3.0;
+    }
+    m
+}
+
+fn bench_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_ops");
+    let m5 = dominant_block::<5>(1);
+    group.bench_function("mat_inv_5x5", |b| b.iter(|| mat_inv(black_box(&m5))));
+    group.finish();
+
+    let mut group = c.benchmark_group("line_solves");
+    for &n in &[102usize, 1024] {
+        group.throughput(Throughput::Elements(n as u64));
+        // Block-tridiagonal, N = 5.
+        let a: Vec<Mat<5>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    [[0.0; 5]; 5]
+                } else {
+                    dominant_block(i)
+                }
+            })
+            .collect();
+        let bdiag: Vec<Mat<5>> = (0..n).map(|i| dominant_block(i + 17)).collect();
+        let cdiag: Vec<Mat<5>> = (0..n)
+            .map(|i| {
+                if i + 1 == n {
+                    [[0.0; 5]; 5]
+                } else {
+                    dominant_block(i + 31)
+                }
+            })
+            .collect();
+        let d: Vec<VecN<5>> = (0..n)
+            .map(|i| {
+                let mut v = [0.0; 5];
+                for (k, x) in v.iter_mut().enumerate() {
+                    *x = ((i * (k + 1)) % 13) as f64 - 6.0;
+                }
+                v
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("block5_tridiag", n), &n, |bench, _| {
+            bench.iter(|| block_thomas_solve(black_box(&a), &bdiag, &cdiag, &d))
+        });
+
+        // Scalar Thomas at the same line length, for the cost ratio.
+        let sa: Vec<f64> = (0..n).map(|k| if k == 0 { 0.0 } else { -0.3 }).collect();
+        let sb = vec![2.0; n];
+        let sc: Vec<f64> = (0..n)
+            .map(|k| if k + 1 == n { 0.0 } else { -0.4 })
+            .collect();
+        let sd: Vec<f64> = (0..n).map(|k| (k % 7) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("scalar_thomas", n), &n, |bench, _| {
+            bench.iter(|| thomas_solve(black_box(&sa), &sb, &sc, &sd))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_block);
+criterion_main!(benches);

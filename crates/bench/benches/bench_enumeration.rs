@@ -1,0 +1,30 @@
+//! Throughput of the Figure 2 generator: all distributions of `r` copies of
+//! one prime into `d` bins under Lemma 1, and full elementary-partitioning
+//! enumeration (the §3.3 complexity object).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_core::partition::{elementary_partitionings, factor_distributions};
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_generator");
+    for &(r, d) in &[(4u32, 3usize), (8, 3), (10, 4), (12, 5)] {
+        group.bench_with_input(
+            BenchmarkId::new("factor_distributions", format!("r{r}_d{d}")),
+            &(r, d),
+            |b, &(r, d)| b.iter(|| factor_distributions(black_box(r), black_box(d))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("elementary_partitionings");
+    for &p in &[64u64, 210, 720, 840] {
+        group.bench_with_input(BenchmarkId::new("d3", p), &p, |b, &p| {
+            b.iter(|| elementary_partitionings(black_box(p), 3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Halo pack/unpack throughput — the per-message overhead the neighbor
+//! property amortizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_grid::{HaloArray, Side};
+use std::hint::black_box;
+
+fn bench_halo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("halo");
+    for &n in &[16usize, 32, 64] {
+        let mut arr = HaloArray::zeros(&[n, n, n], 1);
+        for i in 0..n {
+            arr.set_i(&[i, i % n, (i * 7) % n], i as f64);
+        }
+        let face = (n * n) as u64;
+        group.throughput(Throughput::Elements(face));
+        group.bench_with_input(BenchmarkId::new("pack_face", n), &n, |b, _| {
+            b.iter(|| arr.pack_face(black_box(0), Side::High, 1))
+        });
+        let buf = arr.pack_face(0, Side::High, 1);
+        group.bench_with_input(BenchmarkId::new("unpack_ghost", n), &n, |b, _| {
+            let mut dst = HaloArray::zeros(&[n, n, n], 1);
+            b.iter(|| dst.unpack_ghost(black_box(0), Side::Low, 1, &buf))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_halo);
+criterion_main!(benches);

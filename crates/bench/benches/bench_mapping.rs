@@ -1,0 +1,58 @@
+//! Cost of the Figure 3 modular-mapping construction and of the tile
+//! enumeration queries a runtime library performs (`tiles_of`,
+//! `neighbor_proc`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_core::modmap::ModularMapping;
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let cases: &[(u64, &[u64])] = &[
+        (16, &[4, 4, 4]),
+        (30, &[10, 15, 6]),
+        (50, &[5, 10, 10]),
+        (81, &[9, 9, 9]),
+        (720, &[60, 60, 12]),
+        (16, &[4, 4, 2, 2]),
+    ];
+    let mut group = c.benchmark_group("modular_mapping");
+    for &(p, b) in cases {
+        group.bench_with_input(
+            BenchmarkId::new("construct", format!("p{p}_{b:?}")),
+            &(p, b),
+            |bench, &(p, b)| bench.iter(|| ModularMapping::construct(black_box(p), black_box(b))),
+        );
+    }
+    // Query-side costs on a mid-size instance.
+    let map = ModularMapping::construct(50, &[5, 10, 10]);
+    group.bench_function("proc_id_50", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..5u64 {
+                for j in 0..10u64 {
+                    for k in 0..10u64 {
+                        acc = acc.wrapping_add(map.proc_id(black_box(&[i, j, k])));
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("tiles_of_50", |b| b.iter(|| map.tiles_of(black_box(17))));
+    // The run-time-library claim: direct back-substitution enumeration vs a
+    // full tile-grid scan, on a larger instance (720 procs, 43 200 tiles).
+    let big = ModularMapping::construct(720, &[60, 60, 12]);
+    group.bench_function("tiles_of_direct_720", |b| {
+        b.iter(|| big.tiles_of_direct(black_box(123)))
+    });
+    group.bench_function("tiles_of_scan_720", |b| {
+        b.iter(|| big.tiles_of_scan(black_box(123)))
+    });
+    group.bench_function("neighbor_proc_50", |b| {
+        b.iter(|| map.neighbor_proc(black_box(17), black_box(1), black_box(1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Functional sweep-engine throughput: the threaded multipartitioned sweep
+//! vs the serial reference on the same data, and the simulated-schedule
+//! replay cost (how expensive one simulated SP point is to produce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_core::cost::CostModel;
+use mp_core::multipart::{Direction, Multipartitioning};
+use mp_grid::{ArrayD, FieldDef, TileGrid};
+use mp_runtime::comm::Communicator;
+use mp_runtime::machine::MachineModel;
+use mp_runtime::sim::SimNet;
+use mp_runtime::threaded::run_threaded;
+use mp_sweep::executor::{allocate_rank_store, multipart_sweep};
+use mp_sweep::recurrence::PrefixSumKernel;
+use mp_sweep::simulate::{simulate_multipart_sweep, MultipartGeometry, SweepWork};
+use mp_sweep::verify::serial_sweep;
+use std::hint::black_box;
+
+fn bench_sweep(c: &mut Criterion) {
+    let n = 48usize;
+    let eta = [n, n, n];
+    let elems = (n * n * n) as u64;
+    let kernel = PrefixSumKernel::new(0);
+
+    let mut group = c.benchmark_group("functional_sweep");
+    group.throughput(Throughput::Elements(elems));
+    group.sample_size(20);
+
+    group.bench_function("serial_48", |b| {
+        b.iter(|| {
+            let mut a = ArrayD::from_fn(&eta, |g| (g[0] + g[1] + g[2]) as f64);
+            serial_sweep(&mut [&mut a], 0, Direction::Forward, &kernel);
+            black_box(a.get(&[n - 1, n - 1, n - 1]))
+        })
+    });
+
+    for &p in &[2u64, 4] {
+        let mp = Multipartitioning::optimal(
+            p,
+            &[n as u64, n as u64, n as u64],
+            &CostModel::origin2000_like(),
+        );
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&eta, &gam);
+        group.bench_with_input(BenchmarkId::new("threaded_48", p), &p, |b, &p| {
+            b.iter(|| {
+                run_threaded(p, |comm| {
+                    let mut store =
+                        allocate_rank_store(comm.rank(), &mp, &grid, &[FieldDef::new("u", 0)]);
+                    store.init_field(0, |g| (g[0] + g[1] + g[2]) as f64);
+                    multipart_sweep(comm, &mut store, &mp, 0, Direction::Forward, &kernel, 100);
+                })
+            })
+        });
+    }
+    group.finish();
+
+    // Cost of producing one simulated data point (Table 1 machinery).
+    let mut group = c.benchmark_group("simulated_sweep_replay");
+    for &p in &[16u64, 50, 81] {
+        let mp = Multipartitioning::optimal(p, &[102, 102, 102], &CostModel::origin2000_like());
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&[102, 102, 102], &gam);
+        let geo = MultipartGeometry::new(&mp, &grid);
+        group.bench_with_input(BenchmarkId::new("class_b_sweep", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut net = SimNet::new(p, MachineModel::sp_origin2000());
+                simulate_multipart_sweep(&mut net, &geo, 0, &SweepWork::default(), 0);
+                black_box(net.makespan())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! **§3.1 Remark reproduction** — on domains with one short dimension, a
+//! 2-D partitioning of the two long dimensions beats the "classical" 3-D
+//! partitioning, because the extra phases are cheaper than the huge
+//! hyper-surfaces a cut through a long dimension would communicate.
+//!
+//! The paper's instance: p = 4, η₁ = η₂ ≥ 4·η₃ ⇒ γ = (4,4,1) has lower
+//! communication volume than (2,2,2). This binary sweeps the aspect ratio
+//! and reports both the analytic objective and the simulated ADI time of
+//! each shape, showing the crossover at ratio 4.
+
+use mp_bench::render_table;
+use mp_core::cost::{BandwidthScaling, CostModel};
+use mp_core::multipart::Multipartitioning;
+use mp_core::partition::Partitioning;
+use mp_grid::TileGrid;
+use mp_runtime::machine::MachineModel;
+use mp_runtime::sim::SimNet;
+use mp_sweep::simulate::{simulate_multipart_sweep, MultipartGeometry, SweepWork};
+
+fn simulated_adi_time(p: u64, eta: &[usize; 3], gammas: &[u64; 3]) -> f64 {
+    let mp = Multipartitioning::from_partitioning(p, Partitioning::new(gammas.to_vec()));
+    let g: Vec<usize> = gammas.iter().map(|&x| x as usize).collect();
+    let grid = TileGrid::new(eta, &g);
+    let geo = MultipartGeometry::new(&mp, &grid);
+    // Bandwidth-sensitive machine (fixed aggregate bandwidth) to match the
+    // remark's "volume of communications is the critical term" premise.
+    let machine = MachineModel {
+        scaling: BandwidthScaling::Fixed,
+        ..MachineModel::origin2000_like()
+    };
+    let mut net = SimNet::new(p, machine);
+    for dim in 0..3 {
+        simulate_multipart_sweep(
+            &mut net,
+            &geo,
+            dim,
+            &SweepWork::default(),
+            dim as u64 * 1000,
+        );
+    }
+    net.makespan()
+}
+
+fn main() {
+    println!("§3.1 Remark: 2-D vs 3-D partitioning on skewed domains, p = 4\n");
+    let model = CostModel {
+        scaling: BandwidthScaling::Fixed,
+        ..CostModel::origin2000_like()
+    };
+    let base = 128usize;
+    let mut rows = Vec::new();
+    for ratio in [1usize, 2, 3, 4, 6, 8] {
+        let eta = [base, base, base / ratio];
+        let eta_u = [base as u64, base as u64, (base / ratio) as u64];
+        let two_d = Partitioning::new(vec![4, 4, 1]);
+        let three_d = Partitioning::new(vec![2, 2, 2]);
+        let o2 = model.objective(4, &eta_u, &two_d);
+        let o3 = model.objective(4, &eta_u, &three_d);
+        let t2 = simulated_adi_time(4, &eta, &[4, 4, 1]);
+        let t3 = simulated_adi_time(4, &eta, &[2, 2, 2]);
+        let chosen = Multipartitioning::optimal(4, &eta_u, &model);
+        rows.push(vec![
+            format!("{}×{}×{}", eta[0], eta[1], eta[2]),
+            format!("{ratio}"),
+            format!("{o2:.3e}"),
+            format!("{o3:.3e}"),
+            format!("{t2:.4e}"),
+            format!("{t3:.4e}"),
+            if t2 < t3 { "2-D" } else { "3-D" }.to_string(),
+            format!("{:?}", chosen.gammas()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "domain",
+                "η1/η3",
+                "obj (4,4,1)",
+                "obj (2,2,2)",
+                "sim T (4,4,1)",
+                "sim T (2,2,2)",
+                "winner",
+                "search picks"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "expected: 3-D wins on the cube; crossover near η1/η3 = 4 (equality in the cost model);\n\
+         2-D wins beyond — matching the Remark's back-of-envelope bound."
+    );
+}

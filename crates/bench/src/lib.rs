@@ -1,0 +1,84 @@
+//! # mp-bench — experiment harness
+//!
+//! Binaries regenerating every table and figure of the paper (see
+//! `DESIGN.md` for the experiment index) plus Criterion micro-benchmarks.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — NAS SP class B speedups, hand-coded vs dHPF |
+//! | `fig1` | Figure 1 — 3-D diagonal multipartitioning for p = 16 |
+//! | `elementary` | Figure 2 / §3.2 — elementary partitioning enumeration |
+//! | `mapping_check` | Figure 3 / §4 — modular mapping construction + checks |
+//! | `skewed_domain` | §3.1 Remark — 2-D beats 3-D partitioning on skewed domains |
+//! | `enum_complexity` | §3.3 — elementary partitioning counts vs the bound |
+//! | `drop_back` | §6 — processor drop-back (49 vs 50 CPUs) |
+//! | `strategy_compare` | §1/\[18\] — multipartitioning vs wavefront vs transpose |
+
+/// Format a floating point speedup like the paper's Table 1 (2 decimals).
+pub fn fmt_speedup(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:.2}"),
+        None => String::new(),
+    }
+}
+
+/// Render a simple ASCII table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (k, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {h:>width$} ", width = widths[k]));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (k, &width) in widths.iter().enumerate().take(ncol) {
+            let cell = row.get(k).map(String::as_str).unwrap_or("");
+            out.push_str(&format!("| {cell:>width$} "));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_speedup_formats() {
+        assert_eq!(fmt_speedup(Some(16.254)), "16.25");
+        assert_eq!(fmt_speedup(None), "");
+    }
+
+    #[test]
+    fn render_table_alignment() {
+        let t = render_table(
+            &["p", "speedup"],
+            &[
+                vec!["1".into(), "0.95".into()],
+                vec!["81".into(), "70.63".into()],
+            ],
+        );
+        assert!(t.contains("| 81 |"));
+        assert!(t.contains("speedup"));
+        // all lines same length
+        let lens: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]));
+    }
+}

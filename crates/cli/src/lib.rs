@@ -1,0 +1,468 @@
+//! # mpart — the multipartitioning command line
+//!
+//! A downstream user's entry point to the library: compute optimal
+//! partitionings, build and verify mappings, get §6 drop-back advice,
+//! compile HPF-style directives, and pick topology-aware mappings — all
+//! without writing Rust.
+//!
+//! The command logic lives in [`run`] (pure: args in, report out) so the
+//! test-suite drives it directly; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+
+use mp_core::analysis::analyze;
+use mp_core::cost::{BandwidthScaling, CostModel};
+use mp_core::modmap::ModularMapping;
+use mp_core::multipart::{Direction, Multipartitioning};
+use mp_core::partition::{elementary_partitionings, Partitioning};
+use mp_core::plan::SweepPlan;
+use mp_core::search::{drop_back_search, optimal_for};
+use mp_core::topology::{best_mapping_for_topology, shift_hop_stats, Topology};
+
+/// A user-facing CLI error (message already formatted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mpart — generalized multipartitioning toolkit (Darte et al., IPPS 2002)
+
+USAGE:
+  mpart analyze  <p> <eta...> [--latency|--bandwidth|--fixed]
+  mpart search   <p> <eta...> [--latency|--bandwidth|--fixed]
+  mpart map      <p> <gamma...> [--verify]
+  mpart dropback <p> <eta...>
+  mpart list     <p> <d>
+  mpart hpf      <file.hpf>
+  mpart topo     <p> <gamma...> (--ring | --hypercube | --torus <R>x<C>)
+
+COMMANDS:
+  analyze   full report: partitioning, per-sweep costs, drop-back advice
+  search    cost-optimal partitioning for a domain (γ per dimension)
+  map       build the §4 modular mapping for an explicit γ
+  dropback  §6 advice: fastest processor count p' ≤ p for the domain
+  list      all elementary partitionings of p in d dimensions
+  hpf       compile PROCESSORS/TEMPLATE/ALIGN/DISTRIBUTE directives
+  topo      pick the legal mapping with the fewest shift hops
+";
+
+fn parse_u64(s: &str, what: &str) -> Result<u64, CliError> {
+    s.parse::<u64>()
+        .ok()
+        .filter(|&v| v > 0)
+        .ok_or_else(|| CliError(format!("'{s}' is not a positive integer {what}")))
+}
+
+fn parse_u64s(args: &[String], what: &str) -> Result<Vec<u64>, CliError> {
+    if args.is_empty() {
+        return err(format!("missing {what}"));
+    }
+    args.iter().map(|s| parse_u64(s, what)).collect()
+}
+
+fn model_from_flag(flag: Option<&str>) -> Result<CostModel, CliError> {
+    match flag {
+        None => Ok(CostModel::origin2000_like()),
+        Some("--latency") => Ok(CostModel::latency_dominated()),
+        Some("--bandwidth") => Ok(CostModel::bandwidth_dominated()),
+        Some("--fixed") => Ok(CostModel {
+            scaling: BandwidthScaling::Fixed,
+            ..CostModel::origin2000_like()
+        }),
+        Some(other) => err(format!("unknown flag '{other}'")),
+    }
+}
+
+/// Execute one CLI invocation; returns the report to print.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(&args[1..]),
+        "search" => cmd_search(&args[1..]),
+        "map" => cmd_map(&args[1..]),
+        "dropback" => cmd_dropback(&args[1..]),
+        "list" => cmd_list(&args[1..]),
+        "hpf" => cmd_hpf(&args[1..]),
+        "topo" => cmd_topo(&args[1..]),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let (flags, pos): (Vec<&String>, Vec<&String>) = args.iter().partition(|a| a.starts_with("--"));
+    if pos.len() < 3 {
+        return err("usage: mpart analyze <p> <eta...>");
+    }
+    let p = parse_u64(pos[0], "processor count")?;
+    let eta: Vec<u64> = pos[1..]
+        .iter()
+        .map(|s| parse_u64(s, "extent"))
+        .collect::<Result<_, _>>()?;
+    let model = model_from_flag(flags.first().map(|s| s.as_str()))?;
+    Ok(analyze(p, &eta, &model).to_string())
+}
+
+fn cmd_search(args: &[String]) -> Result<String, CliError> {
+    let (flags, pos): (Vec<&String>, Vec<&String>) = args.iter().partition(|a| a.starts_with("--"));
+    if pos.len() < 3 {
+        return err("usage: mpart search <p> <eta...> (need a 2-D+ domain)");
+    }
+    let p = parse_u64(pos[0], "processor count")?;
+    let eta: Vec<u64> = pos[1..]
+        .iter()
+        .map(|s| parse_u64(s, "extent"))
+        .collect::<Result<_, _>>()?;
+    let model = model_from_flag(flags.first().map(|s| s.as_str()))?;
+    let res = optimal_for(p, &eta, &model);
+    let part = &res.partitioning;
+    let mut out = format!(
+        "domain {eta:?} on p = {p}\noptimal γ = {:?}  (objective {:.4e}, {} candidates)\n",
+        part.gammas, res.objective, res.candidates
+    );
+    out.push_str(&format!(
+        "tiles/processor: {}   compactness: {:.2}   surface/volume: {:.4e}\n",
+        part.tiles_per_proc(p),
+        part.compactness(p),
+        part.surface_to_volume(&eta)
+    ));
+    let mp = Multipartitioning::from_partitioning(p, part.clone());
+    out.push_str(&format!("modulus vector m̄ = {:?}\n", mp.mapping.m));
+    for dim in 0..eta.len() {
+        let plan = SweepPlan::build(&mp, dim, Direction::Forward);
+        out.push_str(&format!(
+            "sweep dim {dim}: {} phases, {} messages\n",
+            plan.num_phases(),
+            plan.message_count()
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_map(args: &[String]) -> Result<String, CliError> {
+    let verify = args.iter().any(|a| a == "--verify");
+    let pos: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if pos.len() < 3 {
+        return err("usage: mpart map <p> <gamma...>");
+    }
+    let p = parse_u64(&pos[0], "processor count")?;
+    let gammas = parse_u64s(&pos[1..], "tile count")?;
+    let part = Partitioning::new(gammas.clone());
+    if !part.is_valid(p) {
+        return err(format!(
+            "γ = {gammas:?} is not a valid partitioning for p = {p} \
+             (every slab must hold a multiple of p tiles)"
+        ));
+    }
+    let map = ModularMapping::construct(p, &gammas);
+    let mut out = format!(
+        "p = {p}, γ = {gammas:?}\nmodulus vector m̄ = {:?}\nmatrix M:\n",
+        map.m
+    );
+    for row in &map.mat {
+        out.push_str(&format!("  {row:?}\n"));
+    }
+    out.push_str("tiles of processor 0: ");
+    out.push_str(&format!("{:?}\n", map.tiles_of(0)));
+    if verify {
+        map.check_load_balance()
+            .map_err(|e| CliError(format!("load-balance FAILED: {e}")))?;
+        map.check_neighbor_property()
+            .map_err(|e| CliError(format!("neighbor FAILED: {e}")))?;
+        out.push_str("balance + neighbor properties verified ✓\n");
+    }
+    Ok(out)
+}
+
+fn cmd_dropback(args: &[String]) -> Result<String, CliError> {
+    if args.len() < 3 {
+        return err("usage: mpart dropback <p> <eta...>");
+    }
+    let p = parse_u64(&args[0], "processor count")?;
+    let eta = parse_u64s(&args[1..], "extent")?;
+    let cands = drop_back_search(p, &eta, &CostModel::origin2000_like());
+    let mut out = format!("domain {eta:?}, up to {p} processors — fastest first:\n");
+    for c in cands.iter().take(5) {
+        out.push_str(&format!(
+            "  p' = {:<4} γ = {:<15} T = {:.4e}s\n",
+            c.procs,
+            format!("{:?}", c.partitioning.gammas),
+            c.total_time
+        ));
+    }
+    let best = &cands[0];
+    if best.procs < p {
+        out.push_str(&format!(
+            "recommendation: drop back to {} processors ({} idle)\n",
+            best.procs,
+            p - best.procs
+        ));
+    } else {
+        out.push_str("recommendation: use all processors\n");
+    }
+    Ok(out)
+}
+
+fn cmd_list(args: &[String]) -> Result<String, CliError> {
+    if args.len() != 2 {
+        return err("usage: mpart list <p> <d>");
+    }
+    let p = parse_u64(&args[0], "processor count")?;
+    let d = parse_u64(&args[1], "dimension count")? as usize;
+    if d < 2 {
+        return err("d must be at least 2");
+    }
+    let mut shapes: Vec<Vec<u64>> = elementary_partitionings(p, d)
+        .into_iter()
+        .map(|pt| {
+            let mut g = pt.gammas;
+            g.sort_unstable_by(|a, b| b.cmp(a));
+            g
+        })
+        .collect();
+    shapes.sort();
+    shapes.dedup();
+    let mut out = format!(
+        "elementary partitionings of p = {p} in {d}-D ({} shapes):\n",
+        shapes.len()
+    );
+    for g in shapes {
+        out.push_str(&format!("  {g:?}\n"));
+    }
+    Ok(out)
+}
+
+fn cmd_hpf(args: &[String]) -> Result<String, CliError> {
+    if args.len() != 1 {
+        return err("usage: mpart hpf <file.hpf>");
+    }
+    let source = std::fs::read_to_string(&args[0])
+        .map_err(|e| CliError(format!("cannot read '{}': {e}", args[0])))?;
+    let program = mp_hpf::parse(&source).map_err(|e| CliError(format!("parse error: {e}")))?;
+    let compiled =
+        mp_hpf::compile(&program).map_err(|e| CliError(format!("compile error: {e}")))?;
+    Ok(compiled.summary())
+}
+
+fn cmd_topo(args: &[String]) -> Result<String, CliError> {
+    // Strip flags (and the --torus value) from the positional arguments.
+    let torus_value_idx = args.iter().position(|a| a == "--torus").map(|i| i + 1);
+    let pos: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != torus_value_idx)
+        .map(|(_, a)| a.clone())
+        .collect();
+    if pos.len() < 3 {
+        return err("usage: mpart topo <p> <gamma...> (--ring | --hypercube | --torus RxC)");
+    }
+    let p = parse_u64(&pos[0], "processor count")?;
+    let gammas = parse_u64s(&pos[1..], "tile count")?;
+    if !Partitioning::new(gammas.clone()).is_valid(p) {
+        return err(format!("γ = {gammas:?} is not valid for p = {p}"));
+    }
+    let topo = if args.iter().any(|a| a == "--ring") {
+        Topology::Ring(p)
+    } else if args.iter().any(|a| a == "--hypercube") {
+        if !p.is_power_of_two() {
+            return err(format!("a hypercube needs p to be a power of two, got {p}"));
+        }
+        Topology::Hypercube {
+            dims: p.trailing_zeros(),
+        }
+    } else if let Some(spec) = args
+        .iter()
+        .position(|a| a == "--torus")
+        .and_then(|i| args.get(i + 1))
+    {
+        let (r, c) = spec
+            .split_once('x')
+            .ok_or_else(|| CliError("torus spec must be RxC, e.g. 4x8".into()))?;
+        let rows = parse_u64(r, "torus rows")?;
+        let cols = parse_u64(c, "torus cols")?;
+        if rows * cols != p {
+            return err(format!(
+                "torus {rows}×{cols} has {} nodes, need {p}",
+                rows * cols
+            ));
+        }
+        Topology::Mesh2D {
+            rows,
+            cols,
+            torus: true,
+        }
+    } else {
+        return err("pick a topology: --ring, --hypercube, or --torus RxC");
+    };
+
+    let identity = Multipartitioning::from_partitioning(p, Partitioning::new(gammas.clone()));
+    let id_stats = shift_hop_stats(&identity, &topo);
+    let (best, best_stats) = best_mapping_for_topology(p, &gammas, &topo);
+    let id_total: u64 = id_stats.total_hops.iter().sum();
+    let best_total: u64 = best_stats.total_hops.iter().sum();
+    let mut out = format!(
+        "p = {p}, γ = {gammas:?}, topology {topo:?} (diameter {})\n",
+        topo.diameter()
+    );
+    out.push_str(&format!(
+        "identity construction: total shift hops {id_total} (worst {})\n",
+        id_stats.worst()
+    ));
+    out.push_str(&format!(
+        "best axis permutation: total shift hops {best_total} (worst {})\n",
+        best_stats.worst()
+    ));
+    if best_total < id_total {
+        out.push_str(&format!(
+            "improvement: {:.0}% less traffic-distance; matrix M = {:?}\n",
+            100.0 * (id_total - best_total) as f64 / id_total as f64,
+            best.mapping.mat
+        ));
+    } else {
+        out.push_str("identity is already optimal among axis permutations\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runv(args: &[&str]) -> Result<String, CliError> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = runv(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(runv(&["--help"]).unwrap().contains("mpart"));
+        assert!(runv(&["help"]).unwrap().contains("dropback"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let e = runv(&["frobnicate"]).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn analyze_class_b_50() {
+        let out = runv(&["analyze", "50", "102", "102", "102"]).unwrap();
+        assert!(out.contains("drop back to 49"), "{out}");
+        assert!(out.contains("sweep dim 2"));
+        let out = runv(&["analyze", "49", "102", "102", "102"]).unwrap();
+        assert!(out.contains("use all 49"));
+    }
+
+    #[test]
+    fn search_class_b_50() {
+        let out = runv(&["search", "50", "102", "102", "102"]).unwrap();
+        assert!(
+            out.contains("[5, 10, 10]")
+                || out.contains("[10, 5, 10]")
+                || out.contains("[10, 10, 5]"),
+            "{out}"
+        );
+        assert!(out.contains("tiles/processor: 10"));
+    }
+
+    #[test]
+    fn search_flags() {
+        // latency-dominated prefers fewer phases: (2,2,2) for p=4 cube.
+        let out = runv(&["search", "4", "64", "64", "64", "--latency"]).unwrap();
+        assert!(out.contains("[2, 2, 2]"));
+        let e = runv(&["search", "4", "64", "64", "64", "--bogus"]).unwrap_err();
+        assert!(e.0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn search_rejects_1d() {
+        assert!(runv(&["search", "4", "64"]).is_err());
+    }
+
+    #[test]
+    fn map_verify_good_and_bad() {
+        let out = runv(&["map", "8", "4", "4", "2", "--verify"]).unwrap();
+        assert!(out.contains("verified ✓"));
+        assert!(out.contains("m̄ = [1, 4, 2]"));
+        let e = runv(&["map", "8", "2", "2", "2"]).unwrap_err();
+        assert!(e.0.contains("not a valid partitioning"));
+    }
+
+    #[test]
+    fn dropback_50_recommends_49() {
+        let out = runv(&["dropback", "50", "102", "102", "102"]).unwrap();
+        assert!(out.contains("drop back to 49"), "{out}");
+    }
+
+    #[test]
+    fn dropback_square_keeps_all() {
+        let out = runv(&["dropback", "49", "102", "102", "102"]).unwrap();
+        assert!(out.contains("use all processors"));
+    }
+
+    #[test]
+    fn list_p8() {
+        let out = runv(&["list", "8", "3"]).unwrap();
+        assert!(out.contains("[4, 4, 2]"));
+        assert!(out.contains("[8, 8, 1]"));
+        assert!(out.contains("2 shapes"));
+    }
+
+    #[test]
+    fn topo_torus_finds_improvement() {
+        let out = runv(&["topo", "8", "4", "4", "2", "--torus", "2x4"]).unwrap();
+        assert!(out.contains("improvement"), "{out}");
+    }
+
+    #[test]
+    fn topo_validates_inputs() {
+        let e = runv(&["topo", "6", "6", "6", "1", "--hypercube"]).unwrap_err();
+        assert!(e.0.contains("power of two"));
+        let e = runv(&["topo", "8", "4", "4", "2", "--torus", "3x3"]).unwrap_err();
+        assert!(e.0.contains("need 8"));
+        let e = runv(&["topo", "8", "4", "4", "2"]).unwrap_err();
+        assert!(e.0.contains("pick a topology"));
+    }
+
+    #[test]
+    fn hpf_compiles_file() {
+        let dir = std::env::temp_dir().join("mpart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sp.hpf");
+        std::fs::write(
+            &path,
+            "PROCESSORS P(50)\nTEMPLATE T(102,102,102)\nALIGN U WITH T\n\
+             DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P\n",
+        )
+        .unwrap();
+        let out = runv(&["hpf", path.to_str().unwrap()]).unwrap();
+        assert!(out.contains("MULTI over dims"), "{out}");
+        let e = runv(&["hpf", "/nonexistent/x.hpf"]).unwrap_err();
+        assert!(e.0.contains("cannot read"));
+    }
+}

@@ -1,0 +1,174 @@
+//! One-stop analysis of a candidate configuration: everything the paper's
+//! cost model can say about running a line-sweep computation of a given
+//! shape on a given machine, gathered into a single report.
+//!
+//! This is the programmatic form of the advice a user wants from the
+//! library ("what partitioning, how many phases, how compact, should I use
+//! fewer processors?") — the `mpart` CLI and the examples render it.
+
+use crate::cost::CostModel;
+use crate::multipart::{Direction, Multipartitioning};
+use crate::plan::SweepPlan;
+use crate::search::{drop_back_search, optimal_for};
+use serde::{Deserialize, Serialize};
+
+/// Cost breakdown of sweeps along one dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepAnalysis {
+    /// The swept dimension.
+    pub dim: usize,
+    /// Number of computation phases (`γ_dim`).
+    pub phases: u64,
+    /// Aggregated messages per directional sweep.
+    pub messages: u64,
+    /// Predicted sweep time `T_i(p)` (§3.1).
+    pub predicted_seconds: f64,
+    /// Fraction of the sweep spent communicating (model estimate).
+    pub comm_fraction: f64,
+}
+
+/// The full report for a configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Processor count analyzed.
+    pub p: u64,
+    /// Domain extents.
+    pub eta: Vec<u64>,
+    /// The chosen tile counts.
+    pub gammas: Vec<u64>,
+    /// Tiles per processor.
+    pub tiles_per_proc: u64,
+    /// §6 compactness (1.0 = diagonal-equivalent).
+    pub compactness: f64,
+    /// §6 surface-to-volume proxy `Σ γ_i/η_i`.
+    pub surface_to_volume: f64,
+    /// Per-dimension sweep breakdowns.
+    pub sweeps: Vec<SweepAnalysis>,
+    /// Predicted total time for one ADI pass (all dimensions).
+    pub total_seconds: f64,
+    /// If using fewer processors is predicted faster: `(p', speedup_gain)`.
+    pub drop_back: Option<(u64, f64)>,
+}
+
+/// Analyze the optimal configuration for `(p, eta)` under `model`.
+pub fn analyze(p: u64, eta: &[u64], model: &CostModel) -> Analysis {
+    let res = optimal_for(p, eta, model);
+    let part = res.partitioning;
+    let mp = Multipartitioning::from_partitioning(p, part.clone());
+    let d = eta.len();
+    let total: f64 = model.total_time(p, eta, &part);
+    let sweeps = (0..d)
+        .map(|dim| {
+            let plan = SweepPlan::build(&mp, dim, Direction::Forward);
+            let t = model.sweep_time(p, eta, &part, dim);
+            let compute = model.k1 * eta.iter().map(|&e| e as f64).product::<f64>() / p as f64;
+            SweepAnalysis {
+                dim,
+                phases: part.gammas[dim],
+                messages: plan.message_count(),
+                predicted_seconds: t,
+                comm_fraction: ((t - compute) / t).max(0.0),
+            }
+        })
+        .collect();
+
+    // Drop-back advice: strictly faster p' < p only.
+    let cands = drop_back_search(p, eta, model);
+    let best = &cands[0];
+    let drop_back =
+        (best.procs < p && best.total_time < total).then(|| (best.procs, total / best.total_time));
+
+    Analysis {
+        p,
+        eta: eta.to_vec(),
+        gammas: part.gammas.clone(),
+        tiles_per_proc: part.tiles_per_proc(p),
+        compactness: part.compactness(p),
+        surface_to_volume: part.surface_to_volume(eta),
+        sweeps,
+        total_seconds: total,
+        drop_back,
+    }
+}
+
+impl std::fmt::Display for Analysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "configuration: {:?} on p = {} → γ = {:?} ({} tiles/proc, compactness {:.2})",
+            self.eta, self.p, self.gammas, self.tiles_per_proc, self.compactness
+        )?;
+        for s in &self.sweeps {
+            writeln!(
+                f,
+                "  sweep dim {}: {} phases, {} msgs, {:.3e}s ({:.0}% comm)",
+                s.dim,
+                s.phases,
+                s.messages,
+                s.predicted_seconds,
+                s.comm_fraction * 100.0
+            )?;
+        }
+        writeln!(f, "  total ADI pass: {:.3e}s", self.total_seconds)?;
+        match self.drop_back {
+            Some((pp, gain)) => writeln!(
+                f,
+                "  advice: drop back to {pp} processors ({gain:.2}× faster predicted)"
+            ),
+            None => writeln!(f, "  advice: use all {} processors", self.p),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::origin2000_like()
+    }
+
+    #[test]
+    fn analysis_class_b_50() {
+        let a = analyze(50, &[102, 102, 102], &model());
+        let mut g = a.gammas.clone();
+        g.sort_unstable();
+        assert_eq!(g, vec![5, 10, 10]);
+        assert_eq!(a.tiles_per_proc, 10);
+        assert!(a.compactness > 1.3);
+        // §6: the analysis itself recommends 49.
+        let (pp, gain) = a.drop_back.expect("should advise dropping back");
+        assert_eq!(pp, 49);
+        assert!(gain > 1.0 && gain < 1.1);
+    }
+
+    #[test]
+    fn analysis_perfect_square_no_advice() {
+        let a = analyze(49, &[102, 102, 102], &model());
+        assert!(a.drop_back.is_none());
+        assert!((a.compactness - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_breakdown_consistent() {
+        let a = analyze(16, &[64, 64, 64], &model());
+        assert_eq!(a.sweeps.len(), 3);
+        let sum: f64 = a.sweeps.iter().map(|s| s.predicted_seconds).sum();
+        assert!((sum - a.total_seconds).abs() < 1e-12 * a.total_seconds);
+        for s in &a.sweeps {
+            assert_eq!(s.phases, 4);
+            assert_eq!(s.messages, 16 * 3); // p·(γ−1)
+            assert!(s.comm_fraction > 0.0 && s.comm_fraction < 1.0);
+        }
+    }
+
+    #[test]
+    fn display_renders_advice() {
+        let a = analyze(50, &[102, 102, 102], &model());
+        let text = a.to_string();
+        assert!(text.contains("drop back to 49"));
+        assert!(text.contains("sweep dim 0"));
+        let a = analyze(4, &[32, 32, 32], &model());
+        assert!(a.to_string().contains("use all 4"));
+    }
+}

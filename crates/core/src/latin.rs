@@ -1,0 +1,130 @@
+//! Latin squares and F-hyper-rectangles: the combinatorial objects behind
+//! multipartitioning (§2 and §4 background).
+//!
+//! A **latin square** of order `p` is a `p × p` array over `p` symbols where
+//! every row and every column contains each symbol exactly once — exactly
+//! the balance property of a 2-D multipartitioning (Johnsson et al.'s
+//! `θ(i,j) = (i−j) mod p`). The `d`-dimensional, equally-many-to-one
+//! generalization is what Dénes & Keedwell call an **F-hyper-rectangle**;
+//! the paper proves constructively that one exists for every valid
+//! partitioning. This module provides checkers connecting those classical
+//! definitions to our mappings, used by tests and the verification binaries.
+
+use crate::modmap::ModularMapping;
+
+/// True if `square[i][j]` (values in `0..n`) is a latin square of order `n`.
+pub fn is_latin_square(square: &[Vec<u64>]) -> bool {
+    let n = square.len();
+    if square.iter().any(|row| row.len() != n) {
+        return false;
+    }
+    let full: u128 = if n >= 128 {
+        return false; // out of scope for this checker
+    } else {
+        (1u128 << n) - 1
+    };
+    for row in square {
+        let mut seen: u128 = 0;
+        for &v in row {
+            if v as usize >= n {
+                return false;
+            }
+            seen |= 1 << v;
+        }
+        if seen != full {
+            return false;
+        }
+    }
+    for j in 0..n {
+        let mut seen: u128 = 0;
+        for row in square {
+            seen |= 1 << row[j];
+        }
+        if seen != full {
+            return false;
+        }
+    }
+    true
+}
+
+/// Render a 2-D mapping over a `p × p` tile grid as a square of processor
+/// ids.
+pub fn mapping_as_square(map: &ModularMapping) -> Vec<Vec<u64>> {
+    assert_eq!(map.dims(), 2, "latin squares are 2-D");
+    let n = map.b[0];
+    assert_eq!(map.b[1], n, "tile grid must be square");
+    (0..n)
+        .map(|i| (0..n).map(|j| map.proc_id(&[i, j])).collect())
+        .collect()
+}
+
+/// True if the mapping is an **F-hyper-rectangle** in the sense used by the
+/// paper: over the tile box `b̄`, every axis-aligned slice contains every
+/// processor equally often. (This is precisely the load-balancing property;
+/// the alias exists to make the §4 literature connection executable.)
+pub fn is_f_hyper_rectangle(map: &ModularMapping) -> bool {
+    map.check_load_balance().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::elementary_partitionings;
+
+    #[test]
+    fn johnsson_mapping_is_latin_square() {
+        for p in 2..=9u64 {
+            let map = ModularMapping::diagonal(p, 2);
+            let sq = mapping_as_square(&map);
+            assert!(is_latin_square(&sq), "p={p}");
+        }
+    }
+
+    #[test]
+    fn constructed_2d_mappings_are_latin_squares() {
+        for p in 2..=9u64 {
+            let map = ModularMapping::construct(p, &[p, p]);
+            assert!(is_latin_square(&mapping_as_square(&map)), "p={p}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_latin() {
+        // constant square
+        let sq = vec![vec![0u64; 3]; 3];
+        assert!(!is_latin_square(&sq));
+        // row ok, column broken
+        let sq = vec![vec![0u64, 1, 2], vec![0, 1, 2], vec![0, 1, 2]];
+        assert!(!is_latin_square(&sq));
+        // ragged
+        let sq = vec![vec![0u64, 1], vec![1]];
+        assert!(!is_latin_square(&sq));
+        // out-of-range symbol
+        let sq = vec![vec![0u64, 3], vec![3, 0]];
+        assert!(!is_latin_square(&sq));
+    }
+
+    #[test]
+    fn accepts_cyclic_square() {
+        let n = 5u64;
+        let sq: Vec<Vec<u64>> = (0..n)
+            .map(|i| (0..n).map(|j| (i + j) % n).collect())
+            .collect();
+        assert!(is_latin_square(&sq));
+    }
+
+    #[test]
+    fn f_hyper_rectangle_equivalence() {
+        // Every constructed mapping for an elementary partitioning is an
+        // F-hyper-rectangle.
+        for p in [6u64, 8, 12] {
+            for part in elementary_partitionings(p, 3) {
+                if part.total_tiles() > 4096 {
+                    continue;
+                }
+                let map = ModularMapping::construct(p, &part.gammas);
+                assert!(is_f_hyper_rectangle(&map), "p={p} γ={:?}", part.gammas);
+            }
+        }
+    }
+}

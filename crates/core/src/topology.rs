@@ -1,0 +1,467 @@
+//! Network topologies and topology-aware evaluation of mappings.
+//!
+//! §4 of the paper notes that all legal tile→processor mappings are treated
+//! as equivalent because "the network topology is not taken into account
+//! yet" — and names topology-aware mapping selection as future work. This
+//! module supplies that machinery:
+//!
+//! * distance models for the interconnects of the §2 background systems —
+//!   the ring of Johnsson et al., the hypercube of Bruno & Cappello, plus
+//!   meshes and a flat crossbar;
+//! * the Bruno–Cappello **Gray-code mapping** itself (diagonal
+//!   multipartitioning with Gray-relabelled processor coordinates), with its
+//!   hallmark property: tiles adjacent along the first two dimensions map to
+//!   *adjacent* hypercube nodes, while third-dimension neighbors are exactly
+//!   two hops apart (they also proved 1-hop everywhere is impossible);
+//! * [`shift_hop_stats`] — per-dimension hop distances of every rank's
+//!   directional-shift partner under a mapping, the objective a
+//!   topology-aware mapping chooser would minimize.
+
+use crate::multipart::Multipartitioning;
+use serde::{Deserialize, Serialize};
+
+/// An interconnect distance model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Bidirectional ring of `p` nodes (Johnsson et al.'s target).
+    Ring(u64),
+    /// `rows × cols` mesh; `torus` adds wraparound links.
+    Mesh2D {
+        /// Mesh rows.
+        rows: u64,
+        /// Mesh columns.
+        cols: u64,
+        /// Wraparound links.
+        torus: bool,
+    },
+    /// Hypercube with `dims` dimensions (`p = 2^dims`; Bruno & Cappello's
+    /// target).
+    Hypercube {
+        /// log2 of the node count.
+        dims: u32,
+    },
+    /// Full crossbar: every pair one hop (an idealized Origin-2000-style
+    /// low-diameter network).
+    FullyConnected(u64),
+}
+
+impl Topology {
+    /// Number of nodes.
+    pub fn size(&self) -> u64 {
+        match *self {
+            Topology::Ring(p) => p,
+            Topology::Mesh2D { rows, cols, .. } => rows * cols,
+            Topology::Hypercube { dims } => 1 << dims,
+            Topology::FullyConnected(p) => p,
+        }
+    }
+
+    /// Hop distance between two node ids.
+    ///
+    /// ```
+    /// use mp_core::topology::Topology;
+    /// assert_eq!(Topology::Ring(8).hop_distance(0, 7), 1);        // wraps
+    /// assert_eq!(Topology::Hypercube { dims: 4 }.hop_distance(0b0101, 0b0110), 2);
+    /// ```
+    pub fn hop_distance(&self, a: u64, b: u64) -> u64 {
+        assert!(a < self.size() && b < self.size());
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Ring(p) => {
+                let d = a.abs_diff(b);
+                d.min(p - d)
+            }
+            Topology::Mesh2D { rows, cols, torus } => {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                let dr = ar.abs_diff(br);
+                let dc = ac.abs_diff(bc);
+                if torus {
+                    dr.min(rows - dr) + dc.min(cols - dc)
+                } else {
+                    dr + dc
+                }
+            }
+            Topology::Hypercube { .. } => (a ^ b).count_ones() as u64,
+            Topology::FullyConnected(_) => 1,
+        }
+    }
+
+    /// Network diameter (maximum hop distance).
+    pub fn diameter(&self) -> u64 {
+        match *self {
+            Topology::Ring(p) => p / 2,
+            Topology::Mesh2D { rows, cols, torus } => {
+                if torus {
+                    rows / 2 + cols / 2
+                } else {
+                    (rows - 1) + (cols - 1)
+                }
+            }
+            Topology::Hypercube { dims } => dims as u64,
+            Topology::FullyConnected(p) => u64::from(p > 1),
+        }
+    }
+}
+
+/// The binary reflected Gray code.
+pub fn gray(x: u64) -> u64 {
+    x ^ (x >> 1)
+}
+
+/// The Bruno–Cappello 3-D mapping \[4\]: a `2^d × 2^d × 2^d` tile grid on
+/// `2^{2d}` hypercube processors,
+/// `θ(i,j,k) = gray((i−k) mod 2^d) · 2^d + gray((j−k) mod 2^d)`.
+///
+/// The processor id's two `d`-bit halves are Gray codes, so stepping `i` or
+/// `j` changes exactly one bit (adjacent hypercube nodes) while stepping `k`
+/// changes one bit in each half (exactly two hops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrayCodeMapping {
+    /// Tiles per dimension, `q = 2^d`.
+    pub q: u64,
+    /// `d` (bits per half).
+    pub bits: u32,
+}
+
+impl GrayCodeMapping {
+    /// Build for `q = 2^bits` tiles per dimension (`p = q²` processors on a
+    /// `2·bits`-dimensional hypercube).
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=31).contains(&bits));
+        GrayCodeMapping { q: 1 << bits, bits }
+    }
+
+    /// Total processors `p = q²`.
+    pub fn procs(&self) -> u64 {
+        self.q * self.q
+    }
+
+    /// The hypercube this mapping targets.
+    pub fn topology(&self) -> Topology {
+        Topology::Hypercube {
+            dims: 2 * self.bits,
+        }
+    }
+
+    /// Processor id of tile `(i, j, k)`.
+    pub fn proc_of(&self, i: u64, j: u64, k: u64) -> u64 {
+        let q = self.q;
+        assert!(i < q && j < q && k < q);
+        gray((i + q - k) % q) * q + gray((j + q - k) % q)
+    }
+
+    /// Brute-force balance check (every slab of every dimension balanced).
+    pub fn check_balance(&self) -> Result<(), String> {
+        let q = self.q;
+        let p = self.procs();
+        for dim in 0..3usize {
+            for v in 0..q {
+                let mut counts = vec![0u64; p as usize];
+                for a in 0..q {
+                    for b in 0..q {
+                        let (i, j, k) = match dim {
+                            0 => (v, a, b),
+                            1 => (a, v, b),
+                            _ => (a, b, v),
+                        };
+                        counts[self.proc_of(i, j, k) as usize] += 1;
+                    }
+                }
+                let expect = q * q / p;
+                if counts.iter().any(|&c| c != expect) {
+                    return Err(format!("slab dim {dim} value {v} unbalanced"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hop-distance statistics of the directional-shift partners of a mapping
+/// under a topology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShiftHopStats {
+    /// `max_hops[dim]` — worst-case hops of any rank's forward shift
+    /// partner along `dim`.
+    pub max_hops: Vec<u64>,
+    /// `total_hops[dim]` — sum over ranks (∝ average).
+    pub total_hops: Vec<u64>,
+}
+
+impl ShiftHopStats {
+    /// Mean hops per message along `dim`.
+    pub fn mean(&self, dim: usize, p: u64) -> f64 {
+        self.total_hops[dim] as f64 / p as f64
+    }
+
+    /// Worst hop count across all dimensions.
+    pub fn worst(&self) -> u64 {
+        self.max_hops.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Evaluate a multipartitioning's forward-shift partners on a topology.
+///
+/// # Panics
+/// Panics if the topology size differs from the mapping's processor count.
+pub fn shift_hop_stats(mp: &Multipartitioning, topo: &Topology) -> ShiftHopStats {
+    assert_eq!(
+        topo.size(),
+        mp.p,
+        "topology size must match processor count"
+    );
+    let d = mp.dims();
+    let mut max_hops = vec![0u64; d];
+    let mut total_hops = vec![0u64; d];
+    for dim in 0..d {
+        if mp.gammas()[dim] < 2 {
+            continue; // no shifts along a single-slab dimension
+        }
+        for rank in 0..mp.p {
+            let partner = mp.neighbor_rank(rank, dim, 1);
+            let h = topo.hop_distance(rank, partner);
+            max_hops[dim] = max_hops[dim].max(h);
+            total_hops[dim] += h;
+        }
+    }
+    ShiftHopStats {
+        max_hops,
+        total_hops,
+    }
+}
+
+/// Topology-aware mapping *selection* — the §4 future work, realized: among
+/// the legal mappings obtained by pre-permuting the tile-grid axes in the
+/// Figure 3 construction (all of which have the balance and neighbor
+/// properties), pick the one minimizing total shift-partner hops on the
+/// given topology. Returns the winning mapping (as a full
+/// [`Multipartitioning`]) and its hop statistics.
+pub fn best_mapping_for_topology(
+    p: u64,
+    gammas: &[u64],
+    topo: &Topology,
+) -> (Multipartitioning, ShiftHopStats) {
+    assert_eq!(topo.size(), p);
+    let d = gammas.len();
+    let mut best: Option<(u64, Multipartitioning, ShiftHopStats)> = None;
+    let mut perm: Vec<usize> = (0..d).collect();
+    permute(&mut perm, 0, &mut |perm| {
+        let mapping = crate::modmap::ModularMapping::construct_permuted(p, gammas, perm);
+        let mp = Multipartitioning {
+            p,
+            partitioning: crate::partition::Partitioning::new(gammas.to_vec()),
+            mapping,
+        };
+        let stats = shift_hop_stats(&mp, topo);
+        let cost: u64 = stats.total_hops.iter().sum();
+        if best.as_ref().is_none_or(|(bc, ..)| cost < *bc) {
+            best = Some((cost, mp, stats));
+        }
+    });
+    let (_, mp, stats) = best.expect("at least the identity permutation");
+    (mp, stats)
+}
+
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn ring_distances() {
+        let t = Topology::Ring(8);
+        assert_eq!(t.hop_distance(0, 1), 1);
+        assert_eq!(t.hop_distance(0, 7), 1);
+        assert_eq!(t.hop_distance(0, 4), 4);
+        assert_eq!(t.hop_distance(2, 2), 0);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn mesh_distances() {
+        let t = Topology::Mesh2D {
+            rows: 3,
+            cols: 4,
+            torus: false,
+        };
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.hop_distance(0, 11), 2 + 3);
+        assert_eq!(t.diameter(), 5);
+        let t = Topology::Mesh2D {
+            rows: 3,
+            cols: 4,
+            torus: true,
+        };
+        assert_eq!(t.hop_distance(0, 11), 1 + 1);
+    }
+
+    #[test]
+    fn hypercube_distances() {
+        let t = Topology::Hypercube { dims: 4 };
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.hop_distance(0b0000, 0b1111), 4);
+        assert_eq!(t.hop_distance(0b0101, 0b0100), 1);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn fully_connected() {
+        let t = Topology::FullyConnected(10);
+        assert_eq!(t.hop_distance(3, 7), 1);
+        assert_eq!(t.hop_distance(3, 3), 0);
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn gray_code_basics() {
+        // Consecutive Gray codes differ in exactly one bit.
+        for x in 0..64u64 {
+            assert_eq!((gray(x) ^ gray(x + 1)).count_ones(), 1);
+        }
+        assert_eq!(gray(0), 0);
+    }
+
+    #[test]
+    fn johnsson_ring_mapping_neighbors_adjacent() {
+        // §2: the 2-D diagonal mapping on a ring — "each processor
+        // exchanges data with only its 2 neighbors in a linear ordering".
+        for p in [4u64, 5, 8] {
+            let mp = Multipartitioning::diagonal(p, 2);
+            let stats = shift_hop_stats(&mp, &Topology::Ring(p));
+            assert_eq!(stats.worst(), 1, "p={p}: ring shifts must be 1 hop");
+        }
+    }
+
+    #[test]
+    fn bruno_cappello_hop_properties() {
+        // §2: i/j-adjacent tiles → adjacent hypercube nodes; k-adjacent
+        // tiles → exactly two hops.
+        for bits in 1..=3u32 {
+            let m = GrayCodeMapping::new(bits);
+            let topo = m.topology();
+            let q = m.q;
+            for i in 0..q {
+                for j in 0..q {
+                    for k in 0..q {
+                        let here = m.proc_of(i, j, k);
+                        let ni = m.proc_of((i + 1) % q, j, k);
+                        let nj = m.proc_of(i, (j + 1) % q, k);
+                        let nk = m.proc_of(i, j, (k + 1) % q);
+                        assert_eq!(topo.hop_distance(here, ni), 1, "i-step");
+                        assert_eq!(topo.hop_distance(here, nj), 1, "j-step");
+                        assert_eq!(topo.hop_distance(here, nk), 2, "k-step");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bruno_cappello_balanced() {
+        for bits in 1..=3u32 {
+            GrayCodeMapping::new(bits).check_balance().unwrap();
+        }
+    }
+
+    #[test]
+    fn diagonal_on_hypercube_worse_than_gray() {
+        // The plain diagonal mapping ignores the hypercube; Gray-coded
+        // Bruno–Cappello beats it on worst-case i/j shift hops.
+        let m = GrayCodeMapping::new(2); // q=4, p=16, 4-cube
+        let topo = m.topology();
+        let mp = Multipartitioning::diagonal(16, 3);
+        let stats = shift_hop_stats(&mp, &topo);
+        // diagonal's i-shift partner differs by +1 in a binary coordinate →
+        // can flip many bits (3→4 flips 3 bits).
+        assert!(stats.worst() > 1, "diagonal should not be 1-hop on a cube");
+        // Gray i/j shifts are 1 hop by construction (previous test).
+    }
+
+    #[test]
+    fn shift_stats_on_generalized_mapping() {
+        let mp = Multipartitioning::optimal(12, &[48, 48, 48], &CostModel::origin2000_like());
+        let ring = Topology::Ring(12);
+        let stats = shift_hop_stats(&mp, &ring);
+        for dim in 0..3 {
+            if mp.gammas()[dim] >= 2 {
+                assert!(stats.max_hops[dim] >= 1);
+                assert!(stats.mean(dim, 12) >= 1.0);
+                assert!(stats.max_hops[dim] <= ring.diameter());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topology size must match")]
+    fn size_mismatch_panics() {
+        let mp = Multipartitioning::diagonal(16, 3);
+        let _ = shift_hop_stats(&mp, &Topology::Ring(8));
+    }
+
+    #[test]
+    fn permuted_construction_keeps_properties() {
+        use crate::modmap::ModularMapping;
+        let perms3 = [
+            [0usize, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for (p, b) in [(8u64, [4u64, 4, 2]), (12, [6, 6, 2]), (30, [10, 15, 6])] {
+            for perm in &perms3 {
+                let map = ModularMapping::construct_permuted(p, &b, perm);
+                assert_eq!(map.b, b.to_vec(), "b must stay in original order");
+                map.check_load_balance()
+                    .unwrap_or_else(|e| panic!("p={p} b={b:?} perm={perm:?}: {e}"));
+                map.check_neighbor_property()
+                    .unwrap_or_else(|e| panic!("p={p} b={b:?} perm={perm:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn permutations_give_distinct_mappings() {
+        use crate::modmap::ModularMapping;
+        let a = ModularMapping::construct_permuted(8, &[4, 4, 2], &[0, 1, 2]);
+        let b = ModularMapping::construct_permuted(8, &[4, 4, 2], &[2, 1, 0]);
+        assert_ne!(a, b, "different permutations should differ");
+    }
+
+    #[test]
+    fn topology_aware_selection_beats_or_ties_identity() {
+        for topo in [Topology::Ring(8), Topology::Hypercube { dims: 3 }] {
+            let gammas = [4u64, 4, 2];
+            let (mp, stats) = best_mapping_for_topology(8, &gammas, &topo);
+            mp.verify().unwrap();
+            // Identity-permutation baseline:
+            let base = Multipartitioning::from_partitioning(
+                8,
+                crate::partition::Partitioning::new(gammas.to_vec()),
+            );
+            let base_stats = shift_hop_stats(&base, &topo);
+            let best_cost: u64 = stats.total_hops.iter().sum();
+            let base_cost: u64 = base_stats.total_hops.iter().sum();
+            assert!(
+                best_cost <= base_cost,
+                "{topo:?}: best {best_cost} vs identity {base_cost}"
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-rank distributed storage: the tiles one processor owns, each holding
+//! a set of named fields with halos.
+//!
+//! This layer is deliberately ignorant of *how* tiles were assigned (that is
+//! `mp-core`'s job); it just materializes storage for a given list of tile
+//! coordinates over a [`TileGrid`].
+
+use crate::halo::HaloArray;
+use crate::shape::Region;
+use crate::tile::TileGrid;
+use serde::{Deserialize, Serialize};
+
+/// Declares one field stored on every tile.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Human-readable field name (e.g. `"u"`, `"rhs"`).
+    pub name: String,
+    /// Ghost width this field needs.
+    pub halo: usize,
+}
+
+impl FieldDef {
+    /// Convenience constructor.
+    pub fn new(name: &str, halo: usize) -> Self {
+        FieldDef {
+            name: name.to_string(),
+            halo,
+        }
+    }
+}
+
+/// Storage for one tile: coordinates, its element region, and one
+/// [`HaloArray`] per declared field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TileData {
+    /// Tile-grid coordinate.
+    pub coord: Vec<u64>,
+    /// Element region in the global domain.
+    pub region: Region,
+    /// Field storage, parallel to the `FieldDef` list used at construction.
+    pub fields: Vec<HaloArray>,
+}
+
+impl TileData {
+    /// Field by index.
+    pub fn field(&self, f: usize) -> &HaloArray {
+        &self.fields[f]
+    }
+
+    /// Mutable field by index.
+    pub fn field_mut(&mut self, f: usize) -> &mut HaloArray {
+        &mut self.fields[f]
+    }
+
+    /// Borrow two distinct fields mutably at once (e.g. read `u`, write
+    /// `rhs`).
+    pub fn two_fields_mut(&mut self, a: usize, b: usize) -> (&mut HaloArray, &mut HaloArray) {
+        assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = self.fields.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.fields.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+}
+
+/// Everything one rank stores: its tiles and the shared field declarations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankStore {
+    /// This rank's id.
+    pub rank: u64,
+    /// Field declarations (shared across tiles).
+    pub field_defs: Vec<FieldDef>,
+    /// Owned tiles, in the order given at construction.
+    pub tiles: Vec<TileData>,
+}
+
+impl RankStore {
+    /// Allocate storage for `rank` owning `tile_coords` over `grid`.
+    pub fn allocate(
+        rank: u64,
+        grid: &TileGrid,
+        tile_coords: &[Vec<u64>],
+        field_defs: &[FieldDef],
+    ) -> Self {
+        let tiles = tile_coords
+            .iter()
+            .map(|coord| {
+                let cu: Vec<usize> = coord.iter().map(|&c| c as usize).collect();
+                let region = grid.tile_region(&cu);
+                let fields = field_defs
+                    .iter()
+                    .map(|fd| HaloArray::zeros(&region.extent, fd.halo))
+                    .collect();
+                TileData {
+                    coord: coord.clone(),
+                    region,
+                    fields,
+                }
+            })
+            .collect();
+        RankStore {
+            rank,
+            field_defs: field_defs.to_vec(),
+            tiles,
+        }
+    }
+
+    /// Index of a field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.field_defs.iter().position(|fd| fd.name == name)
+    }
+
+    /// Find the local index of a tile by grid coordinate.
+    pub fn tile_index(&self, coord: &[u64]) -> Option<usize> {
+        self.tiles.iter().position(|t| t.coord == coord)
+    }
+
+    /// Initialize a field on all tiles from a global function of the element
+    /// index.
+    pub fn init_field(&mut self, f: usize, init: impl Fn(&[usize]) -> f64) {
+        for tile in &mut self.tiles {
+            let region = tile.region.clone();
+            let origin = region.origin.clone();
+            let arr = tile.field_mut(f);
+            let extent = arr.interior().to_vec();
+            let mut idx_local = vec![0usize; extent.len()];
+            region.for_each_index(|global| {
+                for (k, (g, o)) in global.iter().zip(origin.iter()).enumerate() {
+                    idx_local[k] = g - o;
+                }
+                arr.set_i(&idx_local, init(global));
+            });
+        }
+    }
+
+    /// Scatter every tile's interior of field `f` into a global array
+    /// (used by verification against serial runs).
+    pub fn gather_into(&self, f: usize, global: &mut crate::array::ArrayD<f64>) {
+        for tile in &self.tiles {
+            let origin = tile.region.origin.clone();
+            let arr = tile.field(f);
+            let extent = arr.interior().to_vec();
+            let shape = crate::shape::Shape::new(&extent);
+            shape.for_each_index(|local| {
+                let global_idx: Vec<usize> = local
+                    .iter()
+                    .zip(origin.iter())
+                    .map(|(&l, &o)| l + o)
+                    .collect();
+                global.set(&global_idx, arr.get_i(local));
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayD;
+
+    fn grid_4x4() -> TileGrid {
+        TileGrid::new(&[8, 8], &[4, 4])
+    }
+
+    #[test]
+    fn allocate_shapes() {
+        let grid = grid_4x4();
+        let coords = vec![vec![0u64, 0], vec![1, 2], vec![3, 3]];
+        let fields = vec![FieldDef::new("u", 1), FieldDef::new("rhs", 0)];
+        let store = RankStore::allocate(5, &grid, &coords, &fields);
+        assert_eq!(store.rank, 5);
+        assert_eq!(store.tiles.len(), 3);
+        for t in &store.tiles {
+            assert_eq!(t.fields.len(), 2);
+            assert_eq!(t.fields[0].interior(), &[2, 2]);
+            assert_eq!(t.fields[0].halo(), 1);
+            assert_eq!(t.fields[1].halo(), 0);
+        }
+        assert_eq!(store.field_index("u"), Some(0));
+        assert_eq!(store.field_index("rhs"), Some(1));
+        assert_eq!(store.field_index("nope"), None);
+        assert_eq!(store.tile_index(&[1, 2]), Some(1));
+        assert_eq!(store.tile_index(&[2, 2]), None);
+    }
+
+    #[test]
+    fn init_and_gather_roundtrip() {
+        let grid = grid_4x4();
+        // One "rank" owning all 16 tiles — gather must reconstruct exactly.
+        let coords: Vec<Vec<u64>> = (0..4u64)
+            .flat_map(|a| (0..4u64).map(move |b| vec![a, b]))
+            .collect();
+        let fields = vec![FieldDef::new("u", 1)];
+        let mut store = RankStore::allocate(0, &grid, &coords, &fields);
+        store.init_field(0, |g| (g[0] * 100 + g[1]) as f64);
+        let mut global = ArrayD::zeros(&[8, 8]);
+        store.gather_into(0, &mut global);
+        for i in 0..8usize {
+            for j in 0..8usize {
+                assert_eq!(global.get(&[i, j]), (i * 100 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn two_fields_mut_disjoint() {
+        let grid = grid_4x4();
+        let fields = vec![FieldDef::new("a", 0), FieldDef::new("b", 0)];
+        let mut store = RankStore::allocate(0, &grid, &[vec![0, 0]], &fields);
+        let (a, b) = store.tiles[0].two_fields_mut(0, 1);
+        a.set_i(&[0, 0], 1.0);
+        b.set_i(&[0, 0], 2.0);
+        assert_eq!(store.tiles[0].field(0).get_i(&[0, 0]), 1.0);
+        assert_eq!(store.tiles[0].field(1).get_i(&[0, 0]), 2.0);
+        // reversed order works too
+        let (b2, a2) = store.tiles[0].two_fields_mut(1, 0);
+        b2.set_i(&[1, 1], 3.0);
+        a2.set_i(&[1, 1], 4.0);
+        assert_eq!(store.tiles[0].field(1).get_i(&[1, 1]), 3.0);
+        assert_eq!(store.tiles[0].field(0).get_i(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn two_fields_mut_same_index_panics() {
+        let grid = grid_4x4();
+        let fields = vec![FieldDef::new("a", 0)];
+        let mut store = RankStore::allocate(0, &grid, &[vec![0, 0]], &fields);
+        let _ = store.tiles[0].two_fields_mut(0, 0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Halo-augmented arrays: tile-local storage with ghost layers.
+//!
+//! Stencil phases (e.g. NAS SP's `compute_rhs`) read a `w`-wide layer of
+//! neighbor data along every dimension. A [`HaloArray`] stores a tile's
+//! interior plus `w` ghost planes on each side and exposes *logical* signed
+//! indexing: interior indices are `0..extent`, ghosts live at `-w..0` and
+//! `extent..extent+w`.
+
+use crate::array::ArrayD;
+use crate::shape::{Region, Side};
+use serde::{Deserialize, Serialize};
+
+/// A dense array with `halo` ghost layers on every side of every dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HaloArray {
+    /// Interior extents (without ghosts).
+    interior: Vec<usize>,
+    /// Ghost width per side.
+    halo: usize,
+    /// Backing storage of extents `interior[k] + 2·halo`.
+    data: ArrayD<f64>,
+}
+
+impl HaloArray {
+    /// Allocate a zero-filled halo array.
+    ///
+    /// ```
+    /// use mp_grid::{HaloArray, Side};
+    /// let mut a = HaloArray::zeros(&[2, 2], 1);
+    /// a.set_i(&[1, 0], 7.0);                    // interior write
+    /// a.set(&[-1, 0], 3.0);                     // ghost write (signed index)
+    /// assert_eq!(a.pack_face(0, Side::High, 1), vec![7.0, 0.0]);
+    /// ```
+    pub fn zeros(interior: &[usize], halo: usize) -> Self {
+        let padded: Vec<usize> = interior.iter().map(|&e| e + 2 * halo).collect();
+        HaloArray {
+            interior: interior.to_vec(),
+            halo,
+            data: ArrayD::zeros(&padded),
+        }
+    }
+
+    /// Interior extents.
+    pub fn interior(&self) -> &[usize] {
+        &self.interior
+    }
+
+    /// Ghost width.
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.interior.len()
+    }
+
+    fn storage_index(&self, idx: &[isize]) -> Vec<usize> {
+        debug_assert_eq!(idx.len(), self.ndim());
+        idx.iter()
+            .zip(self.interior.iter())
+            .map(|(&i, &e)| {
+                let h = self.halo as isize;
+                debug_assert!(
+                    i >= -h && i < e as isize + h,
+                    "logical index {i} outside [-{h}, {e}+{h})"
+                );
+                (i + h) as usize
+            })
+            .collect()
+    }
+
+    /// Read at a logical (possibly ghost) index.
+    #[inline]
+    pub fn get(&self, idx: &[isize]) -> f64 {
+        self.data.get(&self.storage_index(idx))
+    }
+
+    /// Write at a logical (possibly ghost) index.
+    #[inline]
+    pub fn set(&mut self, idx: &[isize], value: f64) {
+        let s = self.storage_index(idx);
+        self.data.set(&s, value);
+    }
+
+    /// Interior-only convenience accessors (unsigned indices).
+    #[inline]
+    pub fn get_i(&self, idx: &[usize]) -> f64 {
+        let s: Vec<usize> = idx.iter().map(|&i| i + self.halo).collect();
+        self.data.get(&s)
+    }
+
+    /// Interior-only write.
+    #[inline]
+    pub fn set_i(&mut self, idx: &[usize], value: f64) {
+        let s: Vec<usize> = idx.iter().map(|&i| i + self.halo).collect();
+        self.data.set(&s, value);
+    }
+
+    /// Region (in storage coordinates) of the interior face to *send* when a
+    /// neighbor on `side` of dimension `dim` needs `width` ghost layers.
+    fn send_region(&self, dim: usize, side: Side, width: usize) -> Region {
+        let h = self.halo;
+        let origin: Vec<usize> = (0..self.ndim())
+            .map(|k| {
+                if k == dim && side == Side::High {
+                    h + self.interior[k] - width
+                } else {
+                    h
+                }
+            })
+            .collect();
+        let extent: Vec<usize> = (0..self.ndim())
+            .map(|k| if k == dim { width } else { self.interior[k] })
+            .collect();
+        Region::new(origin, extent)
+    }
+
+    /// Region (in storage coordinates) of the ghost layer to *fill* with
+    /// data received from the neighbor on `side` of dimension `dim`.
+    fn recv_region(&self, dim: usize, side: Side, width: usize) -> Region {
+        let h = self.halo;
+        assert!(width <= h);
+        let origin: Vec<usize> = (0..self.ndim())
+            .map(|k| {
+                if k == dim {
+                    match side {
+                        Side::Low => h - width,
+                        Side::High => h + self.interior[k],
+                    }
+                } else {
+                    h
+                }
+            })
+            .collect();
+        let extent: Vec<usize> = (0..self.ndim())
+            .map(|k| if k == dim { width } else { self.interior[k] })
+            .collect();
+        Region::new(origin, extent)
+    }
+
+    /// Pack the `width`-wide interior face on `side` of `dim` for sending.
+    pub fn pack_face(&self, dim: usize, side: Side, width: usize) -> Vec<f64> {
+        self.data.pack(&self.send_region(dim, side, width))
+    }
+
+    /// Unpack a received face into the ghost layer on `side` of `dim`.
+    pub fn unpack_ghost(&mut self, dim: usize, side: Side, width: usize, buf: &[f64]) {
+        let r = self.recv_region(dim, side, width);
+        self.data.unpack(&r, buf);
+    }
+
+    /// Number of elements in a face message.
+    pub fn face_len(&self, dim: usize, width: usize) -> usize {
+        self.interior
+            .iter()
+            .enumerate()
+            .map(|(k, &e)| if k == dim { width } else { e })
+            .product()
+    }
+
+    /// Storage offset and stride of the interior line along `axis` passing
+    /// through interior base point `base` (its `axis` component is ignored
+    /// and treated as 0), plus the interior length. The line's element `k`
+    /// lives at `raw()[offset + k·stride]`.
+    ///
+    /// This is the executor's fast path: a line sweep touches `η_axis`
+    /// elements with one multiplication each instead of a full index
+    /// computation per element.
+    pub fn interior_line(&self, axis: usize, base: &[usize]) -> (usize, usize, usize) {
+        let mut idx: Vec<usize> = base.iter().map(|&i| i + self.halo).collect();
+        idx[axis] = self.halo;
+        let offset = self.data.shape().offset(&idx);
+        let stride = self.data.shape().strides()[axis];
+        (offset, stride, self.interior[axis])
+    }
+
+    /// Raw backing storage (row-major over the padded extents); use with
+    /// [`HaloArray::interior_line`].
+    pub fn raw(&self) -> &[f64] {
+        self.data.as_slice()
+    }
+
+    /// Mutable raw backing storage.
+    pub fn raw_mut(&mut self) -> &mut [f64] {
+        self.data.as_mut_slice()
+    }
+
+    /// Copy interior values out into a plain array.
+    pub fn to_interior_array(&self) -> ArrayD<f64> {
+        ArrayD::from_fn(&self.interior, |idx| self.get_i(idx))
+    }
+
+    /// Overwrite interior values from a plain array of matching shape.
+    pub fn set_interior_from(&mut self, src: &ArrayD<f64>) {
+        assert_eq!(src.dims(), self.interior.as_slice());
+        src.shape().clone().for_each_index(|idx| {
+            self.set_i(idx, src.get(idx));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_indexing() {
+        let mut a = HaloArray::zeros(&[3, 3], 1);
+        a.set(&[-1, 0], 5.0);
+        a.set(&[3, 2], 7.0);
+        a.set(&[1, 1], 9.0);
+        assert_eq!(a.get(&[-1, 0]), 5.0);
+        assert_eq!(a.get(&[3, 2]), 7.0);
+        assert_eq!(a.get_i(&[1, 1]), 9.0);
+    }
+
+    #[test]
+    fn face_exchange_between_two_tiles() {
+        // Tile A | Tile B adjacent along dim 0. B's low ghost = A's high face.
+        let mut a = HaloArray::zeros(&[2, 3], 1);
+        let mut b = HaloArray::zeros(&[2, 3], 1);
+        for i in 0..2usize {
+            for j in 0..3usize {
+                a.set_i(&[i, j], (10 * i + j) as f64);
+            }
+        }
+        let msg = a.pack_face(0, Side::High, 1);
+        assert_eq!(msg.len(), 3);
+        assert_eq!(msg, vec![10.0, 11.0, 12.0]); // A's last interior row
+        b.unpack_ghost(0, Side::Low, 1, &msg);
+        for j in 0..3isize {
+            assert_eq!(b.get(&[-1, j]), (10 + j) as f64);
+        }
+    }
+
+    #[test]
+    fn low_face_and_high_ghost() {
+        let mut a = HaloArray::zeros(&[2, 2], 1);
+        a.set_i(&[0, 0], 1.0);
+        a.set_i(&[0, 1], 2.0);
+        let msg = a.pack_face(0, Side::Low, 1);
+        assert_eq!(msg, vec![1.0, 2.0]);
+        let mut b = HaloArray::zeros(&[2, 2], 1);
+        b.unpack_ghost(0, Side::High, 1, &msg);
+        assert_eq!(b.get(&[2, 0]), 1.0);
+        assert_eq!(b.get(&[2, 1]), 2.0);
+    }
+
+    #[test]
+    fn face_len() {
+        let a = HaloArray::zeros(&[4, 5, 6], 2);
+        assert_eq!(a.face_len(0, 1), 30);
+        assert_eq!(a.face_len(1, 2), 48);
+        assert_eq!(a.face_len(2, 1), 20);
+    }
+
+    #[test]
+    fn interior_array_roundtrip() {
+        let mut a = HaloArray::zeros(&[2, 2], 1);
+        a.set_i(&[0, 0], 1.0);
+        a.set_i(&[1, 1], 4.0);
+        let arr = a.to_interior_array();
+        assert_eq!(arr.get(&[0, 0]), 1.0);
+        assert_eq!(arr.get(&[1, 1]), 4.0);
+        let mut b = HaloArray::zeros(&[2, 2], 3);
+        b.set_interior_from(&arr);
+        assert_eq!(b.get_i(&[0, 0]), 1.0);
+        assert_eq!(b.get_i(&[1, 1]), 4.0);
+    }
+
+    #[test]
+    fn interior_line_matches_get_i() {
+        let mut a = HaloArray::zeros(&[3, 4, 5], 2);
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    a.set_i(&[i, j, k], (i * 100 + j * 10 + k) as f64);
+                }
+            }
+        }
+        for axis in 0..3 {
+            let (off, stride, len) = a.interior_line(axis, &[1, 2, 3]);
+            assert_eq!(len, a.interior()[axis]);
+            for k in 0..len {
+                let mut idx = [1usize, 2, 3];
+                idx[axis] = k;
+                assert_eq!(
+                    a.raw()[off + k * stride],
+                    a.get_i(&idx),
+                    "axis {axis} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_halo_is_plain_array() {
+        let mut a = HaloArray::zeros(&[3], 0);
+        a.set_i(&[2], 8.0);
+        assert_eq!(a.get(&[2]), 8.0);
+        assert_eq!(a.face_len(0, 1), 1);
+    }
+
+    #[test]
+    fn wide_halo_exchange() {
+        let mut a = HaloArray::zeros(&[4, 2], 2);
+        for i in 0..4usize {
+            for j in 0..2usize {
+                a.set_i(&[i, j], (i * 2 + j) as f64);
+            }
+        }
+        let msg = a.pack_face(0, Side::High, 2); // rows 2,3
+        assert_eq!(msg, vec![4.0, 5.0, 6.0, 7.0]);
+        let mut b = HaloArray::zeros(&[4, 2], 2);
+        b.unpack_ghost(0, Side::Low, 2, &msg);
+        assert_eq!(b.get(&[-2, 0]), 4.0);
+        assert_eq!(b.get(&[-1, 1]), 7.0);
+    }
+}

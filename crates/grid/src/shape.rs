@@ -1,0 +1,298 @@
+//! Shapes, strides and index arithmetic for dense row-major arrays.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape of a dense `d`-dimensional array (row-major storage: the last
+/// dimension is contiguous).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape; every extent must be positive.
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "shape needs at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "extents must be positive");
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len() - 1).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        Shape {
+            dims: dims.to_vec(),
+            strides,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extents per dimension.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent of dimension `k`.
+    pub fn dim(&self, k: usize) -> usize {
+        self.dims[k]
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the array holds no elements (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear offset of a multi-index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.ndim());
+        let mut off = 0;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.dims[k], "index {i} out of bounds for dim {k}");
+            off += i * self.strides[k];
+        }
+        off
+    }
+
+    /// Inverse of [`Shape::offset`].
+    pub fn unoffset(&self, mut off: usize) -> Vec<usize> {
+        let mut idx = vec![0usize; self.ndim()];
+        for (slot, &stride) in idx.iter_mut().zip(self.strides.iter()) {
+            *slot = off / stride;
+            off %= stride;
+        }
+        idx
+    }
+
+    /// Visit every multi-index in row-major (lexicographic) order.
+    pub fn for_each_index(&self, mut f: impl FnMut(&[usize])) {
+        let d = self.ndim();
+        let mut idx = vec![0usize; d];
+        loop {
+            f(&idx);
+            let mut k = d;
+            loop {
+                if k == 0 {
+                    return;
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < self.dims[k] {
+                    break;
+                }
+                idx[k] = 0;
+                if k == 0 {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// A rectangular region inside a larger array: `origin ≤ idx < origin + extent`
+/// component-wise.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// Lower corner (inclusive).
+    pub origin: Vec<usize>,
+    /// Extent per dimension.
+    pub extent: Vec<usize>,
+}
+
+impl Region {
+    /// Build a region; extents must be positive.
+    pub fn new(origin: Vec<usize>, extent: Vec<usize>) -> Self {
+        assert_eq!(origin.len(), extent.len());
+        assert!(
+            extent.iter().all(|&e| e > 0),
+            "region extents must be positive"
+        );
+        Region { origin, extent }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.extent.iter().product()
+    }
+
+    /// True if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exclusive upper corner.
+    pub fn end(&self) -> Vec<usize> {
+        self.origin
+            .iter()
+            .zip(self.extent.iter())
+            .map(|(&o, &e)| o + e)
+            .collect()
+    }
+
+    /// True if `idx` lies inside the region.
+    pub fn contains(&self, idx: &[usize]) -> bool {
+        idx.iter()
+            .zip(self.origin.iter().zip(self.extent.iter()))
+            .all(|(&i, (&o, &e))| i >= o && i < o + e)
+    }
+
+    /// The face of this region at the `side` end of dimension `dim`, of the
+    /// given `width` (clamped into the region).
+    pub fn face(&self, dim: usize, side: Side, width: usize) -> Region {
+        assert!(dim < self.ndim());
+        let w = width.min(self.extent[dim]);
+        assert!(w > 0);
+        let mut origin = self.origin.clone();
+        let mut extent = self.extent.clone();
+        extent[dim] = w;
+        if side == Side::High {
+            origin[dim] = self.origin[dim] + self.extent[dim] - w;
+        }
+        Region { origin, extent }
+    }
+
+    /// Visit every index of the region in row-major order.
+    pub fn for_each_index(&self, mut f: impl FnMut(&[usize])) {
+        let inner = Shape::new(&self.extent);
+        let mut idx = vec![0usize; self.ndim()];
+        inner.for_each_index(|rel| {
+            for (k, (&r, &o)) in rel.iter().zip(self.origin.iter()).enumerate() {
+                idx[k] = r + o;
+            }
+            f(&idx);
+        });
+    }
+}
+
+/// Which end of a dimension a face or neighbor is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The low-coordinate end.
+    Low,
+    /// The high-coordinate end.
+    High,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Low => Side::High,
+            Side::High => Side::Low,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.ndim(), 3);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[3, 4, 5]);
+        for off in 0..s.len() {
+            let idx = s.unoffset(off);
+            assert_eq!(s.offset(&idx), off);
+        }
+    }
+
+    #[test]
+    fn for_each_index_order_and_count() {
+        let s = Shape::new(&[2, 3]);
+        let mut seen = Vec::new();
+        s.for_each_index(|i| seen.push(i.to_vec()));
+        assert_eq!(
+            seen,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn one_dimensional() {
+        let s = Shape::new(&[7]);
+        assert_eq!(s.strides(), &[1]);
+        assert_eq!(s.offset(&[3]), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "extents must be positive")]
+    fn zero_extent_rejected() {
+        let _ = Shape::new(&[2, 0]);
+    }
+
+    #[test]
+    fn region_basics() {
+        let r = Region::new(vec![1, 2], vec![3, 4]);
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.end(), vec![4, 6]);
+        assert!(r.contains(&[1, 2]));
+        assert!(r.contains(&[3, 5]));
+        assert!(!r.contains(&[4, 2]));
+        assert!(!r.contains(&[0, 3]));
+    }
+
+    #[test]
+    fn region_faces() {
+        let r = Region::new(vec![10, 20], vec![4, 6]);
+        let lo = r.face(0, Side::Low, 1);
+        assert_eq!(lo, Region::new(vec![10, 20], vec![1, 6]));
+        let hi = r.face(0, Side::High, 2);
+        assert_eq!(hi, Region::new(vec![12, 20], vec![2, 6]));
+        let hi1 = r.face(1, Side::High, 1);
+        assert_eq!(hi1, Region::new(vec![10, 25], vec![4, 1]));
+    }
+
+    #[test]
+    fn region_face_clamps_width() {
+        let r = Region::new(vec![0], vec![3]);
+        let f = r.face(0, Side::High, 10);
+        assert_eq!(f, Region::new(vec![0], vec![3]));
+    }
+
+    #[test]
+    fn region_iteration() {
+        let r = Region::new(vec![1, 1], vec![2, 2]);
+        let mut seen = Vec::new();
+        r.for_each_index(|i| seen.push(i.to_vec()));
+        assert_eq!(seen, vec![vec![1, 1], vec![1, 2], vec![2, 1], vec![2, 2]]);
+    }
+
+    #[test]
+    fn side_opposite() {
+        assert_eq!(Side::Low.opposite(), Side::High);
+        assert_eq!(Side::High.opposite(), Side::Low);
+    }
+}

@@ -1,0 +1,206 @@
+//! Tile-grid geometry: cutting a global domain `η_1 × … × η_d` into a
+//! `γ_1 × … × γ_d` grid of tiles.
+//!
+//! The paper assumes `γ_i | η_i`; in practice the remainder must go
+//! somewhere, so the cutter spreads it over the leading tiles (sizes differ
+//! by at most one — "balanced block" distribution). All benches use the
+//! divisible case, matching the paper, but the geometry layer is exact for
+//! ragged cuts too.
+
+use crate::shape::Region;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of a tile grid over a global domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileGrid {
+    /// Global extents `η`.
+    pub eta: Vec<usize>,
+    /// Tile counts `γ`.
+    pub gamma: Vec<usize>,
+    /// Per dimension, the cut offsets: `cuts[k]` has `γ_k + 1` entries,
+    /// `cuts[k][0] = 0`, `cuts[k][γ_k] = η_k`.
+    cuts: Vec<Vec<usize>>,
+}
+
+impl TileGrid {
+    /// ```
+    /// use mp_grid::TileGrid;
+    /// // 10 elements into 4 tiles: balanced sizes 3,3,2,2.
+    /// let g = TileGrid::new(&[10], &[4]);
+    /// assert_eq!(g.slab_range(0, 0), (0, 3));
+    /// assert_eq!(g.slab_range(0, 3), (8, 10));
+    /// ```
+    ///
+    /// Cut a domain of extents `eta` into `gamma[k]` tiles per dimension.
+    ///
+    /// # Panics
+    /// Panics if `gamma[k] > eta[k]` for some `k` (a tile would be empty) or
+    /// the vectors' lengths differ.
+    pub fn new(eta: &[usize], gamma: &[usize]) -> Self {
+        assert_eq!(eta.len(), gamma.len());
+        assert!(
+            eta.iter()
+                .zip(gamma.iter())
+                .all(|(&e, &g)| g >= 1 && g <= e),
+            "need 1 <= gamma <= eta per dimension (eta={eta:?}, gamma={gamma:?})"
+        );
+        let cuts = eta
+            .iter()
+            .zip(gamma.iter())
+            .map(|(&e, &g)| {
+                // Balanced: first (e % g) tiles get ⌈e/g⌉, the rest ⌊e/g⌋.
+                let base = e / g;
+                let extra = e % g;
+                let mut c = Vec::with_capacity(g + 1);
+                let mut pos = 0;
+                c.push(0);
+                for t in 0..g {
+                    pos += base + usize::from(t < extra);
+                    c.push(pos);
+                }
+                c
+            })
+            .collect();
+        TileGrid {
+            eta: eta.to_vec(),
+            gamma: gamma.to_vec(),
+            cuts,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.eta.len()
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.gamma.iter().product()
+    }
+
+    /// The element region of the tile at grid coordinate `coord`.
+    pub fn tile_region(&self, coord: &[usize]) -> Region {
+        assert_eq!(coord.len(), self.ndim());
+        let origin: Vec<usize> = coord
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| {
+                assert!(c < self.gamma[k], "tile coord out of range");
+                self.cuts[k][c]
+            })
+            .collect();
+        let extent: Vec<usize> = coord
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| self.cuts[k][c + 1] - self.cuts[k][c])
+            .collect();
+        Region::new(origin, extent)
+    }
+
+    /// Extent of tile `t` along dimension `k`.
+    pub fn tile_extent(&self, k: usize, t: usize) -> usize {
+        self.cuts[k][t + 1] - self.cuts[k][t]
+    }
+
+    /// The element-index range `[start, end)` of slab `t` along dimension `k`.
+    pub fn slab_range(&self, k: usize, t: usize) -> (usize, usize) {
+        (self.cuts[k][t], self.cuts[k][t + 1])
+    }
+
+    /// Which tile (along dimension `k`) contains element index `i`.
+    pub fn tile_of_element(&self, k: usize, i: usize) -> usize {
+        assert!(i < self.eta[k]);
+        // cuts[k] is sorted; find the last cut ≤ i.
+        match self.cuts[k].binary_search(&i) {
+            Ok(t) if t == self.gamma[k] => t - 1,
+            Ok(t) => t,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Surface area (element count) of the boundary hyperplane between two
+    /// adjacent slabs along dimension `k` — the per-phase communication
+    /// volume of a sweep: `Π_{j≠k} η_j`.
+    pub fn slab_boundary_area(&self, k: usize) -> usize {
+        self.eta
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != k)
+            .map(|(_, &e)| e)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisible_cut() {
+        let g = TileGrid::new(&[12, 8], &[4, 2]);
+        assert_eq!(g.num_tiles(), 8);
+        let r = g.tile_region(&[0, 0]);
+        assert_eq!(r, Region::new(vec![0, 0], vec![3, 4]));
+        let r = g.tile_region(&[3, 1]);
+        assert_eq!(r, Region::new(vec![9, 4], vec![3, 4]));
+    }
+
+    #[test]
+    fn ragged_cut_balanced() {
+        // 10 elements into 4 tiles: sizes 3,3,2,2.
+        let g = TileGrid::new(&[10], &[4]);
+        let sizes: Vec<usize> = (0..4).map(|t| g.tile_extent(0, t)).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn tiles_cover_domain_exactly() {
+        let g = TileGrid::new(&[7, 9, 5], &[2, 3, 5]);
+        let mut covered = vec![false; 7 * 9 * 5];
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..5 {
+                    g.tile_region(&[a, b, c]).for_each_index(|idx| {
+                        let lin = (idx[0] * 9 + idx[1]) * 5 + idx[2];
+                        assert!(!covered[lin], "overlap at {idx:?}");
+                        covered[lin] = true;
+                    });
+                }
+            }
+        }
+        assert!(covered.iter().all(|&v| v), "domain not fully covered");
+    }
+
+    #[test]
+    fn tile_of_element_inverse() {
+        let g = TileGrid::new(&[10, 12], &[3, 4]);
+        for k in 0..2 {
+            for i in 0..g.eta[k] {
+                let t = g.tile_of_element(k, i);
+                let (s, e) = g.slab_range(k, t);
+                assert!(i >= s && i < e, "k={k} i={i} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn slab_boundary_area() {
+        let g = TileGrid::new(&[10, 20, 30], &[2, 2, 2]);
+        assert_eq!(g.slab_boundary_area(0), 600);
+        assert_eq!(g.slab_boundary_area(1), 300);
+        assert_eq!(g.slab_boundary_area(2), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= gamma <= eta")]
+    fn too_many_tiles_rejected() {
+        let _ = TileGrid::new(&[3], &[4]);
+    }
+
+    #[test]
+    fn single_tile() {
+        let g = TileGrid::new(&[5, 5], &[1, 1]);
+        assert_eq!(g.tile_region(&[0, 0]), Region::new(vec![0, 0], vec![5, 5]));
+    }
+}

@@ -1,0 +1,276 @@
+//! Borrowed, strided views into dense arrays — zero-copy sub-array access.
+//!
+//! A [`ArrayView`] is a window (origin + extents, original strides) into an
+//! [`ArrayD`]'s storage: reading a tile's worth of a global array, or one
+//! hyperplane of a tile, costs no allocation or copying. Mutable views
+//! ([`ArrayViewMut`]) power in-place region updates.
+
+use crate::array::ArrayD;
+use crate::shape::{Region, Shape};
+
+/// An immutable strided view into borrowed array storage.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayView<'a, T> {
+    data: &'a [T],
+    offset: usize,
+    dims: &'a [usize],
+    strides: &'a [usize],
+    extent: [usize; MAX_D],
+    ndim: usize,
+}
+
+/// A mutable strided view into borrowed array storage.
+#[derive(Debug)]
+pub struct ArrayViewMut<'a, T> {
+    data: &'a mut [T],
+    offset: usize,
+    strides: Vec<usize>,
+    extent: Vec<usize>,
+}
+
+/// Maximum dimensionality supported by views (matches the library's
+/// realistic use: the paper's arrays are 2–5 dimensional).
+pub const MAX_D: usize = 8;
+
+impl<T: Copy + Default> ArrayD<T> {
+    /// A view of the whole array.
+    pub fn view(&self) -> ArrayView<'_, T> {
+        let region = self.full_region();
+        self.slice(&region)
+    }
+
+    /// A zero-copy view of `region`.
+    ///
+    /// # Panics
+    /// Panics if the region does not fit inside the array or has more than
+    /// [`MAX_D`] dimensions.
+    pub fn slice(&self, region: &Region) -> ArrayView<'_, T> {
+        let shape = self.shape();
+        assert_eq!(region.ndim(), shape.ndim());
+        assert!(region.ndim() <= MAX_D, "views support up to {MAX_D} dims");
+        for (k, (&o, &e)) in region.origin.iter().zip(region.extent.iter()).enumerate() {
+            assert!(o + e <= shape.dim(k), "region exceeds array in dim {k}");
+        }
+        let offset = shape.offset(&region.origin);
+        let mut extent = [0usize; MAX_D];
+        extent[..region.ndim()].copy_from_slice(&region.extent);
+        ArrayView {
+            data: self.as_slice(),
+            offset,
+            dims: shape.dims(),
+            strides: shape.strides(),
+            extent,
+            ndim: region.ndim(),
+        }
+    }
+
+    /// A mutable zero-copy view of `region`.
+    pub fn slice_mut(&mut self, region: &Region) -> ArrayViewMut<'_, T> {
+        let shape = self.shape().clone();
+        assert_eq!(region.ndim(), shape.ndim());
+        for (k, (&o, &e)) in region.origin.iter().zip(region.extent.iter()).enumerate() {
+            assert!(o + e <= shape.dim(k), "region exceeds array in dim {k}");
+        }
+        let offset = shape.offset(&region.origin);
+        ArrayViewMut {
+            data: self.as_mut_slice(),
+            offset,
+            strides: shape.strides().to_vec(),
+            extent: region.extent.clone(),
+        }
+    }
+}
+
+impl<'a, T: Copy + Default> ArrayView<'a, T> {
+    /// View extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.extent[..self.ndim]
+    }
+
+    /// Elements covered.
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Always false (regions have positive extents).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at a view-relative index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        debug_assert_eq!(idx.len(), self.ndim);
+        let mut off = self.offset;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.extent[k]);
+            off += i * self.strides[k];
+        }
+        self.data[off]
+    }
+
+    /// Copy the view into a fresh dense array.
+    pub fn to_owned(&self) -> ArrayD<T> {
+        let dims = self.dims().to_vec();
+        ArrayD::from_fn(&dims, |idx| self.get(idx))
+    }
+
+    /// Iterate elements in row-major view order.
+    pub fn for_each(&self, mut f: impl FnMut(&[usize], T)) {
+        let dims = self.dims().to_vec();
+        Shape::new(&dims).for_each_index(|idx| f(idx, self.get(idx)));
+    }
+
+    /// Underlying full-array dims (for diagnostics).
+    pub fn parent_dims(&self) -> &[usize] {
+        self.dims
+    }
+}
+
+impl<'a, T: Copy + Default> ArrayViewMut<'a, T> {
+    /// View extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.extent
+    }
+
+    /// Element at a view-relative index.
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> T {
+        let mut off = self.offset;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.extent[k]);
+            off += i * self.strides[k];
+        }
+        self.data[off]
+    }
+
+    /// Write at a view-relative index.
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], value: T) {
+        let mut off = self.offset;
+        for (k, &i) in idx.iter().enumerate() {
+            debug_assert!(i < self.extent[k]);
+            off += i * self.strides[k];
+        }
+        self.data[off] = value;
+    }
+
+    /// Fill the whole view with a constant.
+    pub fn fill(&mut self, value: T) {
+        let dims = self.extent.clone();
+        Shape::new(&dims).for_each_index(|idx| self.set(idx, value));
+    }
+
+    /// Copy element-wise from an equally-shaped view.
+    pub fn copy_from(&mut self, src: &ArrayView<'_, T>) {
+        assert_eq!(self.dims(), src.dims(), "view shapes must match");
+        let dims = self.extent.clone();
+        Shape::new(&dims).for_each_index(|idx| self.set(idx, src.get(idx)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(dims: &[usize]) -> ArrayD<f64> {
+        let mut c = -1.0;
+        ArrayD::from_fn(dims, |_| {
+            c += 1.0;
+            c
+        })
+    }
+
+    #[test]
+    fn full_view_matches_array() {
+        let a = seq(&[3, 4]);
+        let v = a.view();
+        assert_eq!(v.dims(), &[3, 4]);
+        assert_eq!(v.len(), 12);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(v.get(&[i, j]), a.get(&[i, j]));
+            }
+        }
+    }
+
+    #[test]
+    fn slice_is_window() {
+        let a = seq(&[4, 5]);
+        let v = a.slice(&Region::new(vec![1, 2], vec![2, 3]));
+        assert_eq!(v.dims(), &[2, 3]);
+        assert_eq!(v.get(&[0, 0]), a.get(&[1, 2]));
+        assert_eq!(v.get(&[1, 2]), a.get(&[2, 4]));
+        // to_owned round trip equals pack-based extraction
+        let owned = v.to_owned();
+        let packed = a.pack(&Region::new(vec![1, 2], vec![2, 3]));
+        assert_eq!(owned.as_slice(), packed.as_slice());
+    }
+
+    #[test]
+    fn for_each_row_major() {
+        let a = seq(&[2, 2]);
+        let v = a.slice(&Region::new(vec![0, 0], vec![2, 2]));
+        let mut seen = Vec::new();
+        v.for_each(|_, x| seen.push(x));
+        assert_eq!(seen, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut a = seq(&[4, 4]);
+        {
+            let mut v = a.slice_mut(&Region::new(vec![2, 2], vec![2, 2]));
+            v.fill(-1.0);
+            v.set(&[0, 1], 99.0);
+        }
+        assert_eq!(a.get(&[2, 2]), -1.0);
+        assert_eq!(a.get(&[2, 3]), 99.0);
+        assert_eq!(a.get(&[3, 3]), -1.0);
+        // outside untouched
+        assert_eq!(a.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn copy_between_views() {
+        let a = seq(&[4, 4]);
+        let mut b: ArrayD<f64> = ArrayD::zeros(&[4, 4]);
+        {
+            let src = a.slice(&Region::new(vec![0, 0], vec![2, 2]));
+            let mut dst = b.slice_mut(&Region::new(vec![2, 2], vec![2, 2]));
+            dst.copy_from(&src);
+        }
+        assert_eq!(b.get(&[2, 2]), a.get(&[0, 0]));
+        assert_eq!(b.get(&[3, 3]), a.get(&[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "region exceeds array")]
+    fn oversized_region_rejected() {
+        let a = seq(&[3, 3]);
+        let _ = a.slice(&Region::new(vec![2, 0], vec![2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "view shapes must match")]
+    fn mismatched_copy_rejected() {
+        let a = seq(&[3, 3]);
+        let mut b: ArrayD<f64> = ArrayD::zeros(&[3, 3]);
+        let src = a.slice(&Region::new(vec![0, 0], vec![2, 2]));
+        let mut dst = b.slice_mut(&Region::new(vec![0, 0], vec![3, 3]));
+        dst.copy_from(&src);
+    }
+
+    #[test]
+    fn three_d_views() {
+        let a = seq(&[3, 4, 5]);
+        let v = a.slice(&Region::new(vec![1, 1, 1], vec![2, 2, 2]));
+        for i in 0..2 {
+            for j in 0..2 {
+                for k in 0..2 {
+                    assert_eq!(v.get(&[i, j, k]), a.get(&[i + 1, j + 1, k + 1]));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Abstract syntax for the miniature HPF directive language.
+//!
+//! The subset mirrors what the paper's §5 describes the Rice dHPF compiler
+//! consuming: a `PROCESSORS` arrangement, `TEMPLATE`s, `ALIGN`ment of arrays
+//! with templates, and `DISTRIBUTE` directives whose per-dimension format is
+//! `MULTI` (multipartitioned — the paper's extension), `BLOCK`, or `*`
+//! (collapsed / not distributed).
+//!
+//! ```text
+//! PROCESSORS P(50)
+//! TEMPLATE T(102, 102, 102)
+//! ALIGN U WITH T
+//! ALIGN RHS WITH T
+//! DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+//! ```
+//!
+//! As §5 notes, when using multipartitioning "the number of processors
+//! cannot be specified on a per dimension basis": `PROCESSORS` takes a
+//! single total, and every `MULTI` hyperplane is distributed among all of
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension distribution format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistFormat {
+    /// Multipartitioned (the paper's generalized multipartitioning).
+    Multi,
+    /// Contiguous block partitioning.
+    Block,
+    /// Not distributed (collapsed; every processor sees the whole extent).
+    Collapsed,
+}
+
+impl DistFormat {
+    /// The directive keyword.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            DistFormat::Multi => "MULTI",
+            DistFormat::Block => "BLOCK",
+            DistFormat::Collapsed => "*",
+        }
+    }
+}
+
+/// `PROCESSORS name(p)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessorsDecl {
+    /// Arrangement name.
+    pub name: String,
+    /// Total processor count.
+    pub count: u64,
+    /// Source line (1-based) for diagnostics.
+    pub line: usize,
+}
+
+/// `TEMPLATE name(e1, …, ed)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemplateDecl {
+    /// Template name.
+    pub name: String,
+    /// Extents per dimension.
+    pub extents: Vec<u64>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// `ALIGN array WITH template`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlignDecl {
+    /// Array name.
+    pub array: String,
+    /// Target template name.
+    pub template: String,
+    /// Source line.
+    pub line: usize,
+}
+
+/// `DISTRIBUTE template(fmt, …, fmt) ONTO procs`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DistributeDecl {
+    /// Template being distributed.
+    pub template: String,
+    /// Per-dimension format.
+    pub formats: Vec<DistFormat>,
+    /// Target processor arrangement.
+    pub onto: String,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A parsed directive program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Processor arrangements.
+    pub processors: Vec<ProcessorsDecl>,
+    /// Templates.
+    pub templates: Vec<TemplateDecl>,
+    /// Array alignments.
+    pub aligns: Vec<AlignDecl>,
+    /// Distribution directives.
+    pub distributes: Vec<DistributeDecl>,
+}
+
+impl Program {
+    /// Look up a template by name.
+    pub fn template(&self, name: &str) -> Option<&TemplateDecl> {
+        self.templates.iter().find(|t| t.name == name)
+    }
+
+    /// Look up a processors arrangement by name.
+    pub fn procs(&self, name: &str) -> Option<&ProcessorsDecl> {
+        self.processors.iter().find(|p| p.name == name)
+    }
+
+    /// Render back to canonical directive text (parse ∘ render = identity up
+    /// to source line numbers; tested by property tests).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.processors {
+            out.push_str(&format!("PROCESSORS {}({})\n", p.name, p.count));
+        }
+        for t in &self.templates {
+            let exts: Vec<String> = t.extents.iter().map(u64::to_string).collect();
+            out.push_str(&format!("TEMPLATE {}({})\n", t.name, exts.join(", ")));
+        }
+        for a in &self.aligns {
+            out.push_str(&format!("ALIGN {} WITH {}\n", a.array, a.template));
+        }
+        for d in &self.distributes {
+            let fmts: Vec<&str> = d.formats.iter().map(DistFormat::keyword).collect();
+            out.push_str(&format!(
+                "DISTRIBUTE {}({}) ONTO {}\n",
+                d.template,
+                fmts.join(", "),
+                d.onto
+            ));
+        }
+        out
+    }
+}

@@ -1,0 +1,479 @@
+//! Semantic analysis and "code generation": directives → distribution
+//! plans.
+//!
+//! This performs the part of the paper's §5 dHPF work that is independent of
+//! Fortran: interpreting a `MULTI` distribution as a generalized
+//! multipartitioning of the marked template dimensions onto *all* processors
+//! (choosing the tile counts with the §3 search and the tile→processor map
+//! with the §4 construction), and exposing per-sweep schedules with
+//! fully-aggregated communication.
+
+use crate::ast::{DistFormat, Program};
+use mp_core::cost::CostModel;
+use mp_core::multipart::{Direction, Multipartitioning};
+use mp_core::plan::SweepPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A semantic error with the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, CompileError> {
+    Err(CompileError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// How a compiled template is laid out across processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layout {
+    /// Generalized multipartitioning over the `MULTI` dimensions.
+    Multipartitioned {
+        /// Template dimensions marked `MULTI`, in order.
+        multi_dims: Vec<usize>,
+        /// The multipartitioning over those dimensions' extents.
+        mp: Multipartitioning,
+    },
+    /// Contiguous blocks along one `BLOCK` dimension.
+    Block {
+        /// The partitioned template dimension.
+        dim: usize,
+        /// Processor count.
+        p: u64,
+    },
+    /// Fully replicated / serial (all dimensions collapsed).
+    Serial,
+}
+
+/// A compiled template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledTemplate {
+    /// Template extents.
+    pub extents: Vec<u64>,
+    /// The per-dimension formats from the directive.
+    pub formats: Vec<DistFormat>,
+    /// The chosen layout.
+    pub layout: Layout,
+}
+
+/// The result of compiling a directive program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Compiled {
+    /// Total processors.
+    pub p: u64,
+    /// Templates by name.
+    pub templates: BTreeMap<String, CompiledTemplate>,
+    /// Array → template alignment.
+    pub arrays: BTreeMap<String, String>,
+}
+
+/// Compile with the default Origin-2000-like cost model.
+pub fn compile(program: &Program) -> Result<Compiled, CompileError> {
+    compile_with_model(program, &CostModel::origin2000_like())
+}
+
+/// Compile, choosing `MULTI` tile counts under a caller-supplied cost model.
+pub fn compile_with_model(program: &Program, model: &CostModel) -> Result<Compiled, CompileError> {
+    // Uniqueness checks.
+    let mut seen = std::collections::BTreeSet::new();
+    for p in &program.processors {
+        if !seen.insert(p.name.clone()) {
+            return err(p.line, format!("duplicate PROCESSORS name '{}'", p.name));
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for t in &program.templates {
+        if !seen.insert(t.name.clone()) {
+            return err(t.line, format!("duplicate TEMPLATE name '{}'", t.name));
+        }
+    }
+    if program.processors.is_empty() {
+        return err(1, "no PROCESSORS declaration");
+    }
+
+    // Alignments must reference known templates; arrays align once.
+    let mut arrays = BTreeMap::new();
+    for a in &program.aligns {
+        if program.template(&a.template).is_none() {
+            return err(
+                a.line,
+                format!("ALIGN references unknown template '{}'", a.template),
+            );
+        }
+        if arrays.insert(a.array.clone(), a.template.clone()).is_some() {
+            return err(a.line, format!("array '{}' aligned twice", a.array));
+        }
+    }
+
+    // Distributions.
+    let mut templates = BTreeMap::new();
+    let mut p_used: Option<u64> = None;
+    for d in &program.distributes {
+        let tdecl = match program.template(&d.template) {
+            Some(t) => t,
+            None => {
+                return err(
+                    d.line,
+                    format!("DISTRIBUTE references unknown template '{}'", d.template),
+                )
+            }
+        };
+        let pdecl = match program.procs(&d.onto) {
+            Some(p) => p,
+            None => {
+                return err(
+                    d.line,
+                    format!("ONTO references unknown processors '{}'", d.onto),
+                )
+            }
+        };
+        if let Some(p0) = p_used {
+            if p0 != pdecl.count {
+                return err(
+                    d.line,
+                    "all distributions must target the same processor count",
+                );
+            }
+        }
+        p_used = Some(pdecl.count);
+        if d.formats.len() != tdecl.extents.len() {
+            return err(
+                d.line,
+                format!(
+                    "template '{}' has {} dimensions but {} formats given",
+                    d.template,
+                    tdecl.extents.len(),
+                    d.formats.len()
+                ),
+            );
+        }
+        if templates.contains_key(&d.template) {
+            return err(
+                d.line,
+                format!("template '{}' distributed twice", d.template),
+            );
+        }
+
+        let multi_dims: Vec<usize> = d
+            .formats
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == DistFormat::Multi)
+            .map(|(k, _)| k)
+            .collect();
+        let block_dims: Vec<usize> = d
+            .formats
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == DistFormat::Block)
+            .map(|(k, _)| k)
+            .collect();
+
+        let layout = match (multi_dims.len(), block_dims.len()) {
+            (0, 0) => Layout::Serial,
+            (0, 1) => Layout::Block {
+                dim: block_dims[0],
+                p: pdecl.count,
+            },
+            (0, _) => {
+                return err(
+                    d.line,
+                    "multiple BLOCK dimensions are not supported by this mini-compiler \
+                     (use MULTI for multidimensional distributions)",
+                )
+            }
+            (1, _) => {
+                return err(
+                    d.line,
+                    "a single MULTI dimension cannot form a multipartitioning (d >= 2 \
+                     required); use BLOCK instead",
+                )
+            }
+            (_, 0) => {
+                let eta: Vec<u64> = multi_dims.iter().map(|&k| tdecl.extents[k]).collect();
+                let mp = Multipartitioning::optimal(pdecl.count, &eta, model);
+                // Reject over-cut grids early, as dHPF does when tile
+                // extents fall below communication widths.
+                for (gamma, ext) in mp.gammas().iter().zip(eta.iter()) {
+                    if gamma > ext {
+                        return err(
+                            d.line,
+                            format!(
+                                "multipartitioning would cut extent {ext} into {gamma} \
+                                 tiles; too many processors for this template"
+                            ),
+                        );
+                    }
+                }
+                Layout::Multipartitioned { multi_dims, mp }
+            }
+            _ => {
+                return err(
+                    d.line,
+                    "mixing MULTI and BLOCK in one distribution is not supported",
+                )
+            }
+        };
+        templates.insert(
+            d.template.clone(),
+            CompiledTemplate {
+                extents: tdecl.extents.clone(),
+                formats: d.formats.clone(),
+                layout,
+            },
+        );
+    }
+
+    // Every aligned template must be distributed.
+    for a in &program.aligns {
+        if !templates.contains_key(&a.template) {
+            return err(
+                a.line,
+                format!(
+                    "template '{}' is aligned to but never distributed",
+                    a.template
+                ),
+            );
+        }
+    }
+
+    Ok(Compiled {
+        p: p_used.unwrap_or_else(|| program.processors[0].count),
+        templates,
+        arrays,
+    })
+}
+
+impl Compiled {
+    /// The compiled template an array is aligned with.
+    pub fn template_of(&self, array: &str) -> Option<&CompiledTemplate> {
+        self.arrays.get(array).and_then(|t| self.templates.get(t))
+    }
+
+    /// Build the sweep schedule for a sweep along `array`'s dimension `dim`.
+    /// Returns `None` when that dimension is not multipartitioned (the sweep
+    /// is local, or block-partitioned and needs a wavefront instead).
+    pub fn sweep_plan(&self, array: &str, dim: usize, dir: Direction) -> Option<SweepPlan> {
+        let t = self.template_of(array)?;
+        match &t.layout {
+            Layout::Multipartitioned { multi_dims, mp } => {
+                let sub = multi_dims.iter().position(|&k| k == dim)?;
+                Some(SweepPlan::build(mp, sub, dir))
+            }
+            _ => None,
+        }
+    }
+
+    /// A human-readable summary of each template's layout and per-sweep
+    /// communication (messages per sweep thanks to aggregation).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, t) in &self.templates {
+            out.push_str(&format!("template {name}{:?}: ", t.extents));
+            match &t.layout {
+                Layout::Serial => out.push_str("serial (replicated)\n"),
+                Layout::Block { dim, p } => {
+                    out.push_str(&format!("BLOCK along dim {dim} over {p} processors\n"))
+                }
+                Layout::Multipartitioned { multi_dims, mp } => {
+                    out.push_str(&format!(
+                        "MULTI over dims {multi_dims:?}, γ = {:?}, {} tiles/processor\n",
+                        mp.gammas(),
+                        mp.partitioning.tiles_per_proc(mp.p)
+                    ));
+                    for (sub, &dim) in multi_dims.iter().enumerate() {
+                        let plan = SweepPlan::build(mp, sub, Direction::Forward);
+                        out.push_str(&format!(
+                            "  sweep along dim {dim}: {} phases, {} aggregated messages \
+                             ({} unaggregated)\n",
+                            plan.num_phases(),
+                            plan.message_count(),
+                            plan.message_count_unaggregated()
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn compile_src(src: &str) -> Result<Compiled, CompileError> {
+        compile(&parse(src).unwrap())
+    }
+
+    const SP50: &str = "\
+PROCESSORS P(50)
+TEMPLATE T(102, 102, 102)
+ALIGN U WITH T
+DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+";
+
+    #[test]
+    fn compiles_sp_class_b() {
+        let c = compile_src(SP50).unwrap();
+        assert_eq!(c.p, 50);
+        let t = c.template_of("U").unwrap();
+        match &t.layout {
+            Layout::Multipartitioned { mp, multi_dims } => {
+                let mut g = mp.gammas().to_vec();
+                g.sort_unstable();
+                assert_eq!(g, vec![5, 10, 10]); // the paper's 5×10×10
+                assert_eq!(multi_dims, &[0, 1, 2]);
+                mp.verify().unwrap();
+            }
+            other => panic!("wrong layout {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_plans_from_arrays() {
+        let c = compile_src(SP50).unwrap();
+        for dim in 0..3 {
+            let plan = c.sweep_plan("U", dim, Direction::Forward).unwrap();
+            assert!(plan.num_phases() >= 5);
+        }
+        assert!(c.sweep_plan("NOSUCH", 0, Direction::Forward).is_none());
+    }
+
+    #[test]
+    fn partial_multi_distribution() {
+        // MULTI on 2 of 3 dims: a 2-D multipartitioning of those dims; the
+        // third dimension is local.
+        let c = compile_src(
+            "PROCESSORS P(6)\nTEMPLATE T(60, 30, 60)\nALIGN A WITH T\n\
+             DISTRIBUTE T(MULTI, *, MULTI) ONTO P\n",
+        )
+        .unwrap();
+        let t = c.template_of("A").unwrap();
+        match &t.layout {
+            Layout::Multipartitioned { multi_dims, mp } => {
+                assert_eq!(multi_dims, &[0, 2]);
+                assert_eq!(mp.gammas(), &[6, 6]); // 2-D: p×p
+            }
+            other => panic!("wrong layout {other:?}"),
+        }
+        // Sweeps along dim 1 are local → no plan.
+        assert!(c.sweep_plan("A", 1, Direction::Forward).is_none());
+        assert!(c.sweep_plan("A", 0, Direction::Forward).is_some());
+    }
+
+    #[test]
+    fn block_layout() {
+        let c = compile_src("PROCESSORS P(8)\nTEMPLATE T(64, 64)\nDISTRIBUTE T(BLOCK, *) ONTO P\n")
+            .unwrap();
+        match &c.templates["T"].layout {
+            Layout::Block { dim: 0, p: 8 } => {}
+            other => panic!("wrong layout {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serial_layout() {
+        let c = compile_src("PROCESSORS P(4)\nTEMPLATE T(10, 10)\nDISTRIBUTE T(*, *) ONTO P\n")
+            .unwrap();
+        assert_eq!(c.templates["T"].layout, Layout::Serial);
+    }
+
+    #[test]
+    fn four_dimensional_multi() {
+        // The paper's generality: a 4-D template, all dims MULTI.
+        let c = compile_src(
+            "PROCESSORS P(6)\nTEMPLATE T(12, 12, 12, 12)\nALIGN A WITH T\n\
+             DISTRIBUTE T(MULTI, MULTI, MULTI, MULTI) ONTO P\n",
+        )
+        .unwrap();
+        match &c.template_of("A").unwrap().layout {
+            Layout::Multipartitioned { multi_dims, mp } => {
+                assert_eq!(multi_dims.len(), 4);
+                assert!(mp.partitioning.is_valid(6));
+                mp.verify().unwrap();
+                for dim in 0..4 {
+                    assert!(c.sweep_plan("A", dim, Direction::Forward).is_some());
+                }
+            }
+            other => panic!("wrong layout {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_single_multi() {
+        let e = compile_src("PROCESSORS P(4)\nTEMPLATE T(10, 10)\nDISTRIBUTE T(MULTI, *) ONTO P\n")
+            .unwrap_err();
+        assert!(e.message.contains("d >= 2"));
+    }
+
+    #[test]
+    fn rejects_mixed_multi_block() {
+        let e = compile_src(
+            "PROCESSORS P(4)\nTEMPLATE T(10, 10, 10)\nDISTRIBUTE T(MULTI, MULTI, BLOCK) ONTO P\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("mixing"));
+    }
+
+    #[test]
+    fn rejects_unknown_references() {
+        let e = compile_src("PROCESSORS P(4)\nDISTRIBUTE T(MULTI, MULTI) ONTO P\n").unwrap_err();
+        assert!(e.message.contains("unknown template"));
+        let e =
+            compile_src("PROCESSORS P(4)\nTEMPLATE T(8, 8)\nDISTRIBUTE T(MULTI, MULTI) ONTO Q\n")
+                .unwrap_err();
+        assert!(e.message.contains("unknown processors"));
+        let e = compile_src("PROCESSORS P(4)\nALIGN A WITH T\n").unwrap_err();
+        assert!(e.message.contains("unknown template"));
+    }
+
+    #[test]
+    fn rejects_format_arity_mismatch() {
+        let e = compile_src(
+            "PROCESSORS P(4)\nTEMPLATE T(8, 8, 8)\nDISTRIBUTE T(MULTI, MULTI) ONTO P\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("3 dimensions but 2 formats"));
+    }
+
+    #[test]
+    fn rejects_overcut() {
+        // 4³ template on 97 (prime) processors: γ = (97, 97, 1) > extents.
+        let e = compile_src(
+            "PROCESSORS P(97)\nTEMPLATE T(4, 4, 4)\nDISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P\n",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("too many processors"));
+    }
+
+    #[test]
+    fn rejects_undistributed_alignment() {
+        let e = compile_src("PROCESSORS P(4)\nTEMPLATE T(8, 8)\nALIGN A WITH T\n").unwrap_err();
+        assert!(e.message.contains("never distributed"));
+    }
+
+    #[test]
+    fn summary_mentions_aggregation() {
+        let c = compile_src(SP50).unwrap();
+        let s = c.summary();
+        assert!(s.contains("MULTI over dims [0, 1, 2]"));
+        assert!(s.contains("aggregated messages"));
+    }
+}

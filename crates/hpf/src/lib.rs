@@ -1,0 +1,33 @@
+//! # mp-hpf — a miniature HPF directive front-end
+//!
+//! The paper's §5 describes extending the Rice dHPF compiler so that High
+//! Performance Fortran `DISTRIBUTE` directives can request generalized
+//! multipartitioning. This crate rebuilds that interface as a library: a
+//! tiny directive language (`PROCESSORS` / `TEMPLATE` / `ALIGN` /
+//! `DISTRIBUTE … (MULTI, …) ONTO …`), parsed and compiled into the same
+//! distribution plans the rest of the workspace executes.
+//!
+//! ```
+//! use mp_hpf::{compile, parse};
+//! use mp_core::multipart::Direction;
+//!
+//! let program = parse("\
+//! PROCESSORS P(50)
+//! TEMPLATE T(102, 102, 102)
+//! ALIGN U WITH T
+//! DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+//! ").unwrap();
+//! let compiled = compile(&program).unwrap();
+//! let plan = compiled.sweep_plan("U", 0, Direction::Forward).unwrap();
+//! assert!(plan.message_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod parse;
+
+pub use ast::{DistFormat, Program};
+pub use compile::{compile, compile_with_model, CompileError, Compiled, CompiledTemplate, Layout};
+pub use parse::{parse, ParseError};

@@ -1,0 +1,317 @@
+//! Line-oriented parser for the directive language.
+//!
+//! Grammar (case-insensitive keywords, `!` starts a comment):
+//!
+//! ```text
+//! program    := line*
+//! line       := processors | template | align | distribute | blank
+//! processors := "PROCESSORS" ident "(" integer ")"
+//! template   := "TEMPLATE" ident "(" integer ("," integer)* ")"
+//! align      := "ALIGN" ident "WITH" ident
+//! distribute := "DISTRIBUTE" ident "(" fmt ("," fmt)* ")" "ONTO" ident
+//! fmt        := "MULTI" | "BLOCK" | "*"
+//! ```
+
+use crate::ast::*;
+
+/// A parse error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Tokenize one directive line: identifiers/keywords, integers, `( ) , *`.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in line.chars() {
+        match ch {
+            '!' => break, // comment
+            '(' | ')' | ',' | '*' => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Parse `ident ( item, item, … )` starting at `toks[start]`; returns the
+/// name and raw item token lists.
+fn parse_call(
+    toks: &[String],
+    start: usize,
+    line: usize,
+) -> Result<(String, Vec<Vec<String>>, usize), ParseError> {
+    let name = match toks.get(start) {
+        Some(t) if t != "(" && t != ")" && t != "," => t.clone(),
+        _ => return err(line, "expected a name"),
+    };
+    if toks.get(start + 1).map(String::as_str) != Some("(") {
+        return err(line, format!("expected '(' after {name}"));
+    }
+    let mut items = Vec::new();
+    let mut cur = Vec::new();
+    let mut i = start + 2;
+    loop {
+        match toks.get(i).map(String::as_str) {
+            None => return err(line, "unterminated '('"),
+            Some(")") => {
+                if !cur.is_empty() {
+                    items.push(std::mem::take(&mut cur));
+                }
+                return Ok((name, items, i + 1));
+            }
+            Some(",") => {
+                if cur.is_empty() {
+                    return err(line, "empty item in list");
+                }
+                items.push(std::mem::take(&mut cur));
+            }
+            Some(t) => cur.push(t.to_string()),
+        }
+        i += 1;
+    }
+}
+
+fn parse_u64(item: &[String], line: usize, what: &str) -> Result<u64, ParseError> {
+    if item.len() != 1 {
+        return err(line, format!("expected a single integer for {what}"));
+    }
+    item[0]
+        .parse()
+        .map_err(|_| ParseError {
+            line,
+            message: format!("'{}' is not a valid {what}", item[0]),
+        })
+        .and_then(|v: u64| {
+            if v == 0 {
+                err(line, format!("{what} must be positive"))
+            } else {
+                Ok(v)
+            }
+        })
+}
+
+/// Parse a full directive program.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let mut program = Program::default();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx + 1;
+        let toks = tokenize(raw);
+        if toks.is_empty() {
+            continue;
+        }
+        let kw = toks[0].to_ascii_uppercase();
+        match kw.as_str() {
+            "PROCESSORS" => {
+                let (name, items, rest) = parse_call(&toks, 1, line)?;
+                if rest != toks.len() {
+                    return err(line, "unexpected tokens after PROCESSORS declaration");
+                }
+                if items.len() != 1 {
+                    return err(
+                        line,
+                        "PROCESSORS takes a single total count (the paper's \
+                                      §5: with multipartitioning, per-dimension processor \
+                                      counts cannot be specified)",
+                    );
+                }
+                let count = parse_u64(&items[0], line, "processor count")?;
+                program
+                    .processors
+                    .push(ProcessorsDecl { name, count, line });
+            }
+            "TEMPLATE" => {
+                let (name, items, rest) = parse_call(&toks, 1, line)?;
+                if rest != toks.len() {
+                    return err(line, "unexpected tokens after TEMPLATE declaration");
+                }
+                if items.is_empty() {
+                    return err(line, "TEMPLATE needs at least one extent");
+                }
+                let extents = items
+                    .iter()
+                    .map(|it| parse_u64(it, line, "template extent"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                program.templates.push(TemplateDecl {
+                    name,
+                    extents,
+                    line,
+                });
+            }
+            "ALIGN" => {
+                if toks.len() != 4 || !toks[2].eq_ignore_ascii_case("WITH") {
+                    return err(line, "expected: ALIGN <array> WITH <template>");
+                }
+                program.aligns.push(AlignDecl {
+                    array: toks[1].clone(),
+                    template: toks[3].clone(),
+                    line,
+                });
+            }
+            "DISTRIBUTE" => {
+                let (template, items, rest) = parse_call(&toks, 1, line)?;
+                if toks.get(rest).map(|t| t.to_ascii_uppercase()) != Some("ONTO".into()) {
+                    return err(line, "expected ONTO <processors> after the format list");
+                }
+                let onto = match toks.get(rest + 1) {
+                    Some(t) => t.clone(),
+                    None => return err(line, "missing processors name after ONTO"),
+                };
+                if toks.len() != rest + 2 {
+                    return err(line, "unexpected tokens after DISTRIBUTE");
+                }
+                let formats = items
+                    .iter()
+                    .map(|it| {
+                        if it.len() != 1 {
+                            return err(line, "bad distribution format");
+                        }
+                        match it[0].to_ascii_uppercase().as_str() {
+                            "MULTI" => Ok(DistFormat::Multi),
+                            "BLOCK" => Ok(DistFormat::Block),
+                            "*" => Ok(DistFormat::Collapsed),
+                            other => err(
+                                line,
+                                format!("unknown format '{other}' (expected MULTI, BLOCK or *)"),
+                            ),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                program.distributes.push(DistributeDecl {
+                    template,
+                    formats,
+                    onto,
+                    line,
+                });
+            }
+            other => {
+                return err(line, format!("unknown directive '{other}'"));
+            }
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+! NAS SP class B on 50 processors
+PROCESSORS P(50)
+TEMPLATE T(102, 102, 102)
+ALIGN U WITH T
+ALIGN RHS WITH T
+
+DISTRIBUTE T(MULTI, MULTI, MULTI) ONTO P
+";
+
+    #[test]
+    fn parses_full_program() {
+        let prog = parse(GOOD).unwrap();
+        assert_eq!(prog.processors.len(), 1);
+        assert_eq!(prog.processors[0].name, "P");
+        assert_eq!(prog.processors[0].count, 50);
+        assert_eq!(prog.templates[0].extents, vec![102, 102, 102]);
+        assert_eq!(prog.aligns.len(), 2);
+        assert_eq!(prog.distributes[0].formats, vec![DistFormat::Multi; 3]);
+        assert_eq!(prog.distributes[0].onto, "P");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let prog = parse("! just a comment\n\n  ! another\n").unwrap();
+        assert_eq!(prog, Program::default());
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let prog = parse("processors q(9)\ntemplate t(12,12)\ndistribute t(multi, multi) onto q\n")
+            .unwrap();
+        assert_eq!(prog.processors[0].count, 9);
+        assert_eq!(prog.distributes[0].formats, vec![DistFormat::Multi; 2]);
+    }
+
+    #[test]
+    fn block_and_collapsed_formats() {
+        let prog =
+            parse("PROCESSORS P(4)\nTEMPLATE T(64, 64, 64)\nDISTRIBUTE T(BLOCK, *, *) ONTO P\n")
+                .unwrap();
+        assert_eq!(
+            prog.distributes[0].formats,
+            vec![
+                DistFormat::Block,
+                DistFormat::Collapsed,
+                DistFormat::Collapsed
+            ]
+        );
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse("PROCESSORS P(50)\nGIBBERISH X\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("GIBBERISH"));
+    }
+
+    #[test]
+    fn error_on_zero_processors() {
+        let e = parse("PROCESSORS P(0)\n").unwrap_err();
+        assert!(e.message.contains("positive"));
+    }
+
+    #[test]
+    fn error_on_multidim_processors() {
+        let e = parse("PROCESSORS P(5, 10)\n").unwrap_err();
+        assert!(e.message.contains("single total"));
+    }
+
+    #[test]
+    fn error_on_bad_format() {
+        let e = parse("DISTRIBUTE T(CYCLIC) ONTO P\n").unwrap_err();
+        assert!(e.message.contains("CYCLIC"));
+    }
+
+    #[test]
+    fn error_on_missing_onto() {
+        let e = parse("DISTRIBUTE T(MULTI, MULTI)\n").unwrap_err();
+        assert!(e.message.contains("ONTO"));
+    }
+
+    #[test]
+    fn error_on_unterminated_paren() {
+        let e = parse("TEMPLATE T(12, 12\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Distributed BT over a multipartitioning.
+//!
+//! Field layout: components `u_c` at `c` (halo 1, c in 0..5), right-hand
+//! sides at `5 + c`, the 25 block-elimination scratch fields at `10..35`,
+//! forcings at `35 + c`.
+
+use crate::problem::{BtProblem, NCOMP};
+use crate::serial::bt_rhs_at;
+use mp_core::multipart::{Direction, Multipartitioning};
+use mp_grid::{FieldDef, RankStore, TileGrid};
+use mp_runtime::comm::Communicator;
+use mp_sweep::block::{BlockTriBackwardKernel, BlockTriForwardKernel};
+use mp_sweep::executor::{allocate_rank_store, exchange_halos, multipart_sweep};
+
+/// Field index helpers.
+pub mod fields {
+    use super::NCOMP;
+
+    /// Solution component `c` (halo 1).
+    pub fn u(c: usize) -> usize {
+        c
+    }
+
+    /// Right-hand side of component `c`.
+    pub fn rhs(c: usize) -> usize {
+        NCOMP + c
+    }
+
+    /// Elimination scratch (row-major 5×5) entry `k`.
+    pub fn scratch(k: usize) -> usize {
+        2 * NCOMP + k
+    }
+
+    /// Forcing of component `c`.
+    pub fn forcing(c: usize) -> usize {
+        2 * NCOMP + NCOMP * NCOMP + c
+    }
+}
+
+/// All BT field declarations.
+pub fn bt_fields() -> Vec<FieldDef> {
+    let mut defs = Vec::new();
+    for c in 0..NCOMP {
+        defs.push(FieldDef::new(&format!("u{c}"), 1));
+    }
+    for c in 0..NCOMP {
+        defs.push(FieldDef::new(&format!("rhs{c}"), 0));
+    }
+    for k in 0..NCOMP * NCOMP {
+        defs.push(FieldDef::new(&format!("cw{k}"), 0));
+    }
+    for c in 0..NCOMP {
+        defs.push(FieldDef::new(&format!("forcing{c}"), 0));
+    }
+    defs
+}
+
+/// Per-rank distributed BT state.
+pub struct ParallelBt {
+    /// Problem constants.
+    pub prob: BtProblem,
+    /// The multipartitioning in force.
+    pub mp: Multipartitioning,
+    /// Tile-grid geometry.
+    pub grid: TileGrid,
+    /// This rank's tiles.
+    pub store: RankStore,
+    /// Completed iterations.
+    pub iters_done: usize,
+}
+
+impl ParallelBt {
+    /// Initialize this rank's tiles.
+    pub fn new(rank: u64, prob: BtProblem, mp: Multipartitioning) -> Self {
+        let gammas: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&prob.eta, &gammas);
+        let mut store = allocate_rank_store(rank, &mp, &grid, &bt_fields());
+        for c in 0..NCOMP {
+            store.init_field(fields::u(c), |g| prob.initial(g, c));
+            store.init_field(fields::forcing(c), |g| prob.forcing(g, c));
+        }
+        ParallelBt {
+            prob,
+            mp,
+            grid,
+            store,
+            iters_done: 0,
+        }
+    }
+
+    /// One distributed BT iteration.
+    pub fn iterate<C: Communicator>(&mut self, comm: &mut C) {
+        let prob = self.prob;
+
+        // 1. Halo exchange of every component.
+        for c in 0..NCOMP {
+            exchange_halos(
+                comm,
+                &mut self.store,
+                &self.mp,
+                fields::u(c),
+                1,
+                10_000 + c as u64 * 10,
+            );
+        }
+
+        // 2. compute_rhs.
+        for tile in &mut self.store.tiles {
+            let ext = tile.field(0).interior().to_vec();
+            for c in 0..NCOMP {
+                let mut idx = vec![0usize; 3];
+                for i in 0..ext[0] {
+                    for j in 0..ext[1] {
+                        for k in 0..ext[2] {
+                            idx[0] = i;
+                            idx[1] = j;
+                            idx[2] = k;
+                            let sidx = [i as isize, j as isize, k as isize];
+                            let uc = &tile.fields[fields::u(c)];
+                            let mut nb = [[0.0f64; 2]; 3];
+                            for dim in 0..3 {
+                                let mut lo = sidx;
+                                lo[dim] -= 1;
+                                let mut hi = sidx;
+                                hi[dim] += 1;
+                                nb[dim][0] = uc.get(&lo);
+                                nb[dim][1] = uc.get(&hi);
+                            }
+                            let center = uc.get(&sidx);
+                            let next = tile.fields[fields::u((c + 1) % NCOMP)].get(&sidx);
+                            let f = tile.fields[fields::forcing(c)].get_i(&idx);
+                            let v = bt_rhs_at(&prob, center, &nb, next, f);
+                            tile.fields[fields::rhs(c)].set_i(&idx, v);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Block solves: forward + backward per dimension.
+        let scratch_idx: Vec<usize> = (0..NCOMP * NCOMP).map(fields::scratch).collect();
+        let rhs_idx: Vec<usize> = (0..NCOMP).map(fields::rhs).collect();
+        for dim in 0..3 {
+            let fwd = BlockTriForwardKernel::<NCOMP, _>::new(prob, &scratch_idx, &rhs_idx);
+            multipart_sweep(
+                comm,
+                &mut self.store,
+                &self.mp,
+                dim,
+                Direction::Forward,
+                &fwd,
+                20_000 + dim as u64 * 1_000,
+            );
+            let bwd = BlockTriBackwardKernel::<NCOMP>::new(&scratch_idx, &rhs_idx);
+            multipart_sweep(
+                comm,
+                &mut self.store,
+                &self.mp,
+                dim,
+                Direction::Backward,
+                &bwd,
+                30_000 + dim as u64 * 1_000,
+            );
+        }
+
+        // 4. add.
+        for tile in &mut self.store.tiles {
+            let ext = tile.field(0).interior().to_vec();
+            for c in 0..NCOMP {
+                let mut idx = vec![0usize; 3];
+                for i in 0..ext[0] {
+                    for j in 0..ext[1] {
+                        for k in 0..ext[2] {
+                            idx[0] = i;
+                            idx[1] = j;
+                            idx[2] = k;
+                            let v = tile.fields[fields::u(c)].get_i(&idx)
+                                + tile.fields[fields::rhs(c)].get_i(&idx);
+                            tile.fields[fields::u(c)].set_i(&idx, v);
+                        }
+                    }
+                }
+            }
+        }
+        self.iters_done += 1;
+    }
+
+    /// Run several iterations.
+    pub fn run<C: Communicator>(&mut self, comm: &mut C, iterations: usize) {
+        for _ in 0..iterations {
+            self.iterate(comm);
+        }
+    }
+
+    /// Global L2 norm over all components (collective).
+    pub fn norm<C: Communicator>(&mut self, comm: &mut C) -> f64 {
+        let mut local = 0.0;
+        for tile in &self.store.tiles {
+            let ext = tile.field(0).interior().to_vec();
+            for c in 0..NCOMP {
+                let arr = tile.field(fields::u(c));
+                let mut idx = vec![0usize; 3];
+                for i in 0..ext[0] {
+                    for j in 0..ext[1] {
+                        for k in 0..ext[2] {
+                            idx[0] = i;
+                            idx[1] = j;
+                            idx[2] = k;
+                            let v = arr.get_i(&idx);
+                            local += v * v;
+                        }
+                    }
+                }
+            }
+        }
+        comm.allreduce_sum(&[local])[0].sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialBt;
+    use mp_core::cost::CostModel;
+    use mp_grid::ArrayD;
+    use mp_runtime::threaded::run_threaded;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let prob = BtProblem::new([6, 6, 6], 0.002);
+        let mut serial = SerialBt::new(prob);
+        serial.run(2);
+        for p in [4u64, 6] {
+            let mp = Multipartitioning::optimal(p, &[6, 6, 6], &CostModel::origin2000_like());
+            let results = run_threaded(p, |comm| {
+                let mut bt = ParallelBt::new(comm.rank(), prob, mp.clone());
+                bt.run(comm, 2);
+                let norm = bt.norm(comm);
+                (bt.store, norm)
+            });
+            for c in 0..NCOMP {
+                let mut global = ArrayD::zeros(&prob.eta);
+                for (store, _) in &results {
+                    store.gather_into(fields::u(c), &mut global);
+                }
+                assert_eq!(
+                    global.max_abs_diff(&serial.u[c]),
+                    0.0,
+                    "p={p} component {c} diverged"
+                );
+            }
+            assert!((results[0].1 - serial.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn field_layout_consistent() {
+        let defs = bt_fields();
+        assert_eq!(defs.len(), 2 * NCOMP + NCOMP * NCOMP + NCOMP);
+        assert_eq!(defs[fields::u(3)].name, "u3");
+        assert_eq!(defs[fields::rhs(0)].name, "rhs0");
+        assert_eq!(defs[fields::scratch(24)].name, "cw24");
+        assert_eq!(defs[fields::forcing(4)].name, "forcing4");
+        assert_eq!(defs[fields::u(0)].halo, 1);
+        assert_eq!(defs[fields::rhs(0)].halo, 0);
+    }
+}

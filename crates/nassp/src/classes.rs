@@ -1,0 +1,112 @@
+//! NAS SP problem classes.
+//!
+//! The NAS Parallel Benchmarks define SP problem classes by grid size and
+//! iteration count; the paper's evaluation uses **class B** (102³). Our
+//! simplified SP keeps the class sizes (and a `Custom` escape hatch for
+//! small test grids).
+
+use serde::{Deserialize, Serialize};
+
+/// SP problem class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Class {
+    /// Sample: 12³, 100 iterations.
+    S,
+    /// Workstation: 36³, 400 iterations.
+    W,
+    /// Class A: 64³, 400 iterations.
+    A,
+    /// Class B: 102³, 400 iterations — the size in the paper's Table 1.
+    B,
+    /// Custom cubic size (for tests/examples).
+    Custom(usize, usize),
+}
+
+impl Class {
+    /// Grid points per dimension.
+    pub fn problem_size(&self) -> usize {
+        match self {
+            Class::S => 12,
+            Class::W => 36,
+            Class::A => 64,
+            Class::B => 102,
+            Class::Custom(n, _) => *n,
+        }
+    }
+
+    /// Reference iteration count.
+    pub fn iterations(&self) -> usize {
+        match self {
+            Class::S => 100,
+            Class::W | Class::A | Class::B => 400,
+            Class::Custom(_, it) => *it,
+        }
+    }
+
+    /// Time step (smaller for larger grids, as in SP).
+    pub fn dt(&self) -> f64 {
+        match self {
+            Class::S => 0.015,
+            Class::W => 0.0015,
+            Class::A => 0.0015,
+            Class::B => 0.001,
+            Class::Custom(..) => 0.01,
+        }
+    }
+
+    /// Grid extents (cubic).
+    pub fn eta(&self) -> [usize; 3] {
+        let n = self.problem_size();
+        [n, n, n]
+    }
+
+    /// Parse a class name.
+    pub fn parse(s: &str) -> Option<Class> {
+        match s.to_ascii_uppercase().as_str() {
+            "S" => Some(Class::S),
+            "W" => Some(Class::W),
+            "A" => Some(Class::A),
+            "B" => Some(Class::B),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Class {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Class::S => write!(f, "S"),
+            Class::W => write!(f, "W"),
+            Class::A => write!(f, "A"),
+            Class::B => write!(f, "B"),
+            Class::Custom(n, it) => write!(f, "Custom({n}³, {it} iters)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_sizes() {
+        assert_eq!(Class::S.problem_size(), 12);
+        assert_eq!(Class::W.problem_size(), 36);
+        assert_eq!(Class::A.problem_size(), 64);
+        assert_eq!(Class::B.problem_size(), 102);
+        assert_eq!(Class::B.eta(), [102, 102, 102]);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(Class::parse("b"), Some(Class::B));
+        assert_eq!(Class::parse("S"), Some(Class::S));
+        assert_eq!(Class::parse("x"), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Class::B.to_string(), "B");
+        assert_eq!(Class::Custom(8, 2).to_string(), "Custom(8³, 2 iters)");
+    }
+}

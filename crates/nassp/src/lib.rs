@@ -1,0 +1,34 @@
+//! # mp-nassp — a simplified NAS SP benchmark on multipartitionings
+//!
+//! The paper's evaluation parallelizes the NAS SP computational fluid
+//! dynamics benchmark with generalized multipartitioning (dHPF-generated
+//! MPI) and compares against NASA's hand-coded diagonal-multipartitioned
+//! version (Table 1). This crate rebuilds that application layer:
+//!
+//! * [`classes`] — the NAS problem classes (S/W/A/B; class B = 102³ is
+//!   Table 1's size);
+//! * [`problem`] — the simplified SP physics: an ADI scheme whose every
+//!   iteration is one stencil phase (`compute_rhs` with halo exchange) plus
+//!   a forward and a backward line sweep per dimension — the exact parallel
+//!   structure of SP's x/y/z scalar solves;
+//! * [`serial`] / [`parallel`] — bit-identical reference and distributed
+//!   implementations (the distributed one runs on any multipartitioning);
+//! * [`simulate`] — discrete-event performance runs, including the
+//!   [`simulate::table1`] generator that reproduces the paper's Table 1
+//!   speedup comparison.
+
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod kernels;
+pub mod parallel;
+pub mod problem;
+pub mod serial;
+pub mod simulate;
+
+pub use classes::Class;
+pub use kernels::{SpPentaForwardKernel, SpTriForwardKernel};
+pub use parallel::ParallelSp;
+pub use problem::{SolverKind, SpProblem, SpWorkFactors};
+pub use serial::SerialSp;
+pub use simulate::{simulate_sp, table1, SpVersion, Table1Row, TABLE1_PROCS};

@@ -1,0 +1,238 @@
+//! The message-passing interface the sweep engines program against.
+//!
+//! Deliberately MPI-shaped but minimal: tagged point-to-point `f64` messages
+//! plus a few collectives built on top. Payloads are `Vec<f64>` because
+//! every message in a line-sweep code is a packed hyper-surface of field
+//! values.
+
+/// Message tag. Tags at or above [`RESERVED_TAG_BASE`] are reserved for the
+/// collectives provided by this crate.
+pub type Tag = u64;
+
+/// First tag reserved for internal collectives.
+pub const RESERVED_TAG_BASE: Tag = 1 << 62;
+
+/// Point-to-point message-passing endpoint for one rank.
+///
+/// Semantics: `send` is asynchronous (buffered, never blocks on the
+/// receiver); `recv` blocks until a matching `(from, tag)` message arrives.
+/// Messages between a fixed `(sender, receiver, tag)` triple are delivered
+/// in send order.
+pub trait Communicator {
+    /// This endpoint's rank in `0..size`.
+    fn rank(&self) -> u64;
+
+    /// Number of ranks.
+    fn size(&self) -> u64;
+
+    /// Send `payload` to `to` with `tag`.
+    fn send(&mut self, to: u64, tag: Tag, payload: Vec<f64>);
+
+    /// Block until a message with `tag` from `from` arrives; return its
+    /// payload.
+    fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64>;
+
+    /// Synchronize all ranks.
+    fn barrier(&mut self) {
+        // Dissemination barrier on top of send/recv: ⌈log2 p⌉ rounds.
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let me = self.rank();
+        let mut dist = 1u64;
+        let mut round = 0u64;
+        while dist < p {
+            let to = (me + dist) % p;
+            let from = (me + p - dist % p) % p;
+            let tag = RESERVED_TAG_BASE + round;
+            self.send(to, tag, Vec::new());
+            let _ = self.recv(from, tag);
+            dist *= 2;
+            round += 1;
+        }
+    }
+
+    /// Element-wise sum across all ranks; every rank receives the result.
+    fn allreduce_sum(&mut self, values: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let me = self.rank();
+        let mut acc = values.to_vec();
+        if p <= 1 {
+            return acc;
+        }
+        let tag_up = RESERVED_TAG_BASE + 100;
+        let tag_down = RESERVED_TAG_BASE + 101;
+        // Gather to rank 0.
+        if me == 0 {
+            for from in 1..p {
+                let part = self.recv(from, tag_up);
+                assert_eq!(part.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(part.iter()) {
+                    *a += b;
+                }
+            }
+            for to in 1..p {
+                self.send(to, tag_down, acc.clone());
+            }
+            acc
+        } else {
+            self.send(0, tag_up, acc);
+            self.recv(0, tag_down)
+        }
+    }
+
+    /// Max across all ranks of a scalar.
+    fn allreduce_max(&mut self, value: f64) -> f64 {
+        let p = self.size();
+        let me = self.rank();
+        if p <= 1 {
+            return value;
+        }
+        let tag_up = RESERVED_TAG_BASE + 102;
+        let tag_down = RESERVED_TAG_BASE + 103;
+        if me == 0 {
+            let mut acc = value;
+            for from in 1..p {
+                let part = self.recv(from, tag_up);
+                acc = acc.max(part[0]);
+            }
+            for to in 1..p {
+                self.send(to, tag_down, vec![acc]);
+            }
+            acc
+        } else {
+            self.send(0, tag_up, vec![value]);
+            self.recv(0, tag_down)[0]
+        }
+    }
+
+    /// Gather every rank's chunk at the root (rank 0); returns `Some(chunks)`
+    /// (indexed by source rank) at the root, `None` elsewhere.
+    fn gather(&mut self, chunk: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = RESERVED_TAG_BASE + 106;
+        if me == 0 {
+            let mut out = vec![Vec::new(); p as usize];
+            out[0] = chunk;
+            for r in 1..p {
+                out[r as usize] = self.recv(r, tag);
+            }
+            Some(out)
+        } else {
+            self.send(0, tag, chunk);
+            None
+        }
+    }
+
+    /// Scatter per-rank chunks from the root (rank 0); non-roots pass
+    /// `None`. Returns this rank's chunk.
+    fn scatter(&mut self, chunks: Option<Vec<Vec<f64>>>) -> Vec<f64> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = RESERVED_TAG_BASE + 107;
+        if me == 0 {
+            let mut chunks = chunks.expect("root must supply chunks");
+            assert_eq!(chunks.len() as u64, p, "one chunk per rank");
+            for r in (1..p).rev() {
+                let c = chunks.pop().unwrap();
+                self.send(r, tag, c);
+            }
+            chunks.pop().unwrap()
+        } else {
+            assert!(chunks.is_none(), "only the root supplies chunks");
+            self.recv(0, tag)
+        }
+    }
+
+    /// Personalized all-to-all: `chunks[r]` goes to rank `r`; returns the
+    /// chunks received from every rank (index = source), with this rank's
+    /// own chunk passed through locally. The primitive behind the dynamic
+    /// block partitioning's transposes.
+    fn alltoall(&mut self, chunks: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        assert_eq!(chunks.len() as u64, p, "need one chunk per rank");
+        let tag = RESERVED_TAG_BASE + 105;
+        let mut out: Vec<Vec<f64>> = vec![Vec::new(); p as usize];
+        // Post all sends first (buffered), keep own chunk.
+        for (r, chunk) in chunks.into_iter().enumerate() {
+            if r as u64 == me {
+                out[r] = chunk;
+            } else {
+                self.send(r as u64, tag, chunk);
+            }
+        }
+        for r in 0..p {
+            if r != me {
+                out[r as usize] = self.recv(r, tag);
+            }
+        }
+        out
+    }
+
+    /// Broadcast from rank 0 to everyone.
+    fn broadcast(&mut self, values: &[f64]) -> Vec<f64> {
+        let p = self.size();
+        let me = self.rank();
+        if p <= 1 {
+            return values.to_vec();
+        }
+        let tag = RESERVED_TAG_BASE + 104;
+        if me == 0 {
+            for to in 1..p {
+                self.send(to, tag, values.to_vec());
+            }
+            values.to_vec()
+        } else {
+            self.recv(0, tag)
+        }
+    }
+}
+
+/// A single-rank communicator: everything is a no-op; sending to yourself is
+/// an error (line-sweep schedules never self-send). Useful for serial
+/// reference runs through the same code paths.
+#[derive(Debug, Default)]
+pub struct SerialComm;
+
+impl Communicator for SerialComm {
+    fn rank(&self) -> u64 {
+        0
+    }
+
+    fn size(&self) -> u64 {
+        1
+    }
+
+    fn send(&mut self, _to: u64, _tag: Tag, _payload: Vec<f64>) {
+        panic!("SerialComm cannot send: only one rank exists");
+    }
+
+    fn recv(&mut self, _from: u64, _tag: Tag) -> Vec<f64> {
+        panic!("SerialComm cannot recv: only one rank exists");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_comm_trivial_collectives() {
+        let mut c = SerialComm;
+        assert_eq!(c.rank(), 0);
+        assert_eq!(c.size(), 1);
+        c.barrier(); // no-op
+        assert_eq!(c.allreduce_sum(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(c.allreduce_max(7.0), 7.0);
+        assert_eq!(c.broadcast(&[3.0]), vec![3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only one rank")]
+    fn serial_comm_send_panics() {
+        SerialComm.send(0, 1, vec![]);
+    }
+}

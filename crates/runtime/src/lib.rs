@@ -1,0 +1,27 @@
+//! # mp-runtime — message-passing substrate
+//!
+//! Two interchangeable backends behind one mental model (MPI-style tagged
+//! point-to-point messages between `p` ranks):
+//!
+//! * [`threaded`] — real execution, one OS thread per rank over crossbeam
+//!   channels; proves functional correctness of the sweep engines.
+//! * [`sim`] — a discrete-event simulator that charges virtual time for the
+//!   exact same schedules, using the Hockney-style [`machine::MachineModel`];
+//!   produces the performance curves (the evaluation in the paper ran on an
+//!   81-CPU Origin 2000, which we substitute with this model).
+//!
+//! [`comm::Communicator`] is the trait the functional engines program
+//! against; collectives (barrier, allreduce, broadcast) are provided on top
+//! of send/recv.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod machine;
+pub mod sim;
+pub mod threaded;
+
+pub use comm::{Communicator, SerialComm, Tag};
+pub use machine::MachineModel;
+pub use sim::{RankTimes, SimEvent, SimNet, SimStats};
+pub use threaded::{run_threaded, ThreadedComm};

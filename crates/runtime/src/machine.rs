@@ -1,0 +1,125 @@
+//! Machine performance models for the discrete-event simulator.
+//!
+//! The simulator charges virtual time using the same constants as the
+//! analytic cost model of `mp-core` (§3.1): `K1` seconds of compute per
+//! element per sweep, Hockney-style messages costing
+//! `α + n·K3(p)` seconds for `n` elements, with `K3(p)` scaling per the
+//! machine's bandwidth regime (footnote 1 of the paper).
+
+use mp_core::cost::{BandwidthScaling, CostModel};
+use serde::{Deserialize, Serialize};
+
+/// Simulator machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Seconds of compute per array element per sweep pass (the paper's K1).
+    pub elem_compute: f64,
+    /// Per-message latency in seconds (the paper's K2 / Hockney α).
+    pub alpha: f64,
+    /// Per-element transfer time at the reference point `p = 1`
+    /// (the paper's K3).
+    pub beta: f64,
+    /// How aggregate bandwidth scales with processor count.
+    pub scaling: BandwidthScaling,
+}
+
+impl MachineModel {
+    /// Build from the analytic cost model (same constants).
+    pub fn from_cost_model(cm: &CostModel) -> Self {
+        MachineModel {
+            elem_compute: cm.k1,
+            alpha: cm.k2,
+            beta: cm.k3,
+            scaling: cm.scaling,
+        }
+    }
+
+    /// Back to the analytic model.
+    pub fn to_cost_model(&self) -> CostModel {
+        CostModel {
+            k1: self.elem_compute,
+            k2: self.alpha,
+            k3: self.beta,
+            scaling: self.scaling,
+        }
+    }
+
+    /// The Origin-2000-like defaults used by the Table 1 reproduction.
+    pub fn origin2000_like() -> Self {
+        Self::from_cost_model(&CostModel::origin2000_like())
+    }
+
+    /// Machine model calibrated for the NAS SP reproduction.
+    ///
+    /// Identical to [`MachineModel::origin2000_like`] except for a larger
+    /// per-message overhead `α = 150 µs`: in the real SP each communication
+    /// phase pays not just MPI latency but also packing/unpacking of
+    /// five-component boundary hyperplanes and the synchronization stall of
+    /// the slowest rank — an effective per-phase fixed cost that sits in the
+    /// 100 µs range on a c. 2002 machine. This constant is what lets the
+    /// phase-count differences between partitionings (e.g. 5×10×10's 22
+    /// phases vs 7×7×7's 18) matter relative to compute, as they visibly do
+    /// in the paper's Table 1.
+    pub fn sp_origin2000() -> Self {
+        MachineModel {
+            alpha: 1.5e-4,
+            ..Self::origin2000_like()
+        }
+    }
+
+    /// Effective per-element transfer time with `p` processors active.
+    pub fn elem_transfer(&self, p: u64) -> f64 {
+        match self.scaling {
+            BandwidthScaling::Scalable => self.beta / p as f64,
+            BandwidthScaling::Fixed => self.beta,
+        }
+    }
+
+    /// Full cost of one `n`-element message (latency + transfer).
+    pub fn message_time(&self, p: u64, n: u64) -> f64 {
+        self.alpha + n as f64 * self.elem_transfer(p)
+    }
+
+    /// Compute time for `n` element-sweep operations on one CPU.
+    pub fn compute_time(&self, n: u64) -> f64 {
+        n as f64 * self.elem_compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_cost_model() {
+        let cm = CostModel::origin2000_like();
+        let mm = MachineModel::from_cost_model(&cm);
+        assert_eq!(mm.to_cost_model(), cm);
+    }
+
+    #[test]
+    fn scalable_transfer() {
+        let mm = MachineModel::origin2000_like();
+        assert!((mm.elem_transfer(10) - mm.beta / 10.0).abs() < 1e-20);
+        let t1 = mm.message_time(1, 1000);
+        let t10 = mm.message_time(10, 1000);
+        assert!(t10 < t1);
+        assert!(t10 > mm.alpha);
+    }
+
+    #[test]
+    fn fixed_transfer() {
+        let mm = MachineModel {
+            scaling: BandwidthScaling::Fixed,
+            ..MachineModel::origin2000_like()
+        };
+        assert_eq!(mm.message_time(1, 100), mm.message_time(64, 100));
+    }
+
+    #[test]
+    fn compute_time_linear() {
+        let mm = MachineModel::origin2000_like();
+        assert!((mm.compute_time(2000) - 2.0 * mm.compute_time(1000)).abs() < 1e-15);
+        assert_eq!(mm.compute_time(0), 0.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! In-process threaded backend: one OS thread per rank, crossbeam channels
+//! for transport.
+//!
+//! This backend is for *functional* execution — proving that the
+//! multipartitioned sweeps compute exactly what a serial run computes. (On
+//! the wall-clock side a single machine is not 81 CPUs; performance curves
+//! come from the discrete-event [`crate::sim`] backend instead.)
+
+use crate::comm::{Communicator, Tag};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+
+/// A tagged message in flight.
+#[derive(Debug)]
+struct Envelope {
+    from: u64,
+    tag: Tag,
+    payload: Vec<f64>,
+}
+
+/// Per-rank endpoint for the threaded backend.
+pub struct ThreadedComm {
+    rank: u64,
+    size: u64,
+    senders: Vec<Sender<Envelope>>,
+    inbox: Receiver<Envelope>,
+    /// Messages that arrived before anyone asked for them.
+    stash: HashMap<(u64, Tag), VecDeque<Vec<f64>>>,
+    /// Counters for observability.
+    pub sent_messages: u64,
+    /// Total elements sent.
+    pub sent_elements: u64,
+}
+
+impl Communicator for ThreadedComm {
+    fn rank(&self) -> u64 {
+        self.rank
+    }
+
+    fn size(&self) -> u64 {
+        self.size
+    }
+
+    fn send(&mut self, to: u64, tag: Tag, payload: Vec<f64>) {
+        assert!(to < self.size, "send to out-of-range rank {to}");
+        assert_ne!(to, self.rank, "self-sends are not supported");
+        self.sent_messages += 1;
+        self.sent_elements += payload.len() as u64;
+        self.senders[to as usize]
+            .send(Envelope {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver hung up");
+    }
+
+    fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64> {
+        if let Some(q) = self.stash.get_mut(&(from, tag)) {
+            if let Some(p) = q.pop_front() {
+                return p;
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("all senders dropped while waiting for a message");
+            if env.from == from && env.tag == tag {
+                return env.payload;
+            }
+            self.stash
+                .entry((env.from, env.tag))
+                .or_default()
+                .push_back(env.payload);
+        }
+    }
+}
+
+/// Run `f` on `p` ranks, each on its own thread, and collect the per-rank
+/// return values (index = rank).
+///
+/// ```
+/// use mp_runtime::{run_threaded, Communicator};
+/// // Each rank sends its id to rank 0, which sums them.
+/// let result = run_threaded(4, |comm| {
+///     if comm.rank() == 0 {
+///         (1..4).map(|r| comm.recv(r, 9)[0]).sum::<f64>()
+///     } else {
+///         comm.send(0, 9, vec![comm.rank() as f64]);
+///         0.0
+///     }
+/// });
+/// assert_eq!(result[0], 6.0);
+/// ```
+///
+/// # Panics
+/// Propagates any rank's panic.
+pub fn run_threaded<R, F>(p: u64, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync,
+{
+    assert!(p >= 1);
+    let mut senders = Vec::with_capacity(p as usize);
+    let mut receivers = Vec::with_capacity(p as usize);
+    for _ in 0..p {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, inbox)| {
+                let senders = senders.clone();
+                let f = &f;
+                scope.spawn(move || {
+                    let mut comm = ThreadedComm {
+                        rank: rank as u64,
+                        size: p,
+                        senders,
+                        inbox,
+                        stash: HashMap::new(),
+                        sent_messages: 0,
+                        sent_elements: 0,
+                    };
+                    f(&mut comm)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results[rank] = Some(r),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass() {
+        // Each rank sends its rank number around a ring; after p hops every
+        // rank has its own value back.
+        let p = 4u64;
+        let sums = run_threaded(p, |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            let mut val = me as f64;
+            for hop in 0..p {
+                comm.send(next, hop, vec![val]);
+                val = comm.recv(prev, hop)[0];
+            }
+            val
+        });
+        assert_eq!(sums, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags() {
+        // Rank 0 sends tags 2,1,0; rank 1 receives 0,1,2 — stash must hold
+        // the early arrivals.
+        let res = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 2, vec![2.0]);
+                comm.send(1, 1, vec![1.0]);
+                comm.send(1, 0, vec![0.0]);
+                0.0
+            } else {
+                let a = comm.recv(0, 0)[0];
+                let b = comm.recv(0, 1)[0];
+                let c = comm.recv(0, 2)[0];
+                a * 100.0 + b * 10.0 + c
+            }
+        });
+        assert_eq!(res[1], 12.0);
+    }
+
+    #[test]
+    fn fifo_per_tag() {
+        let res = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                for k in 0..5 {
+                    comm.send(1, 7, vec![k as f64]);
+                }
+                0.0
+            } else {
+                let mut order = Vec::new();
+                for _ in 0..5 {
+                    order.push(comm.recv(0, 7)[0]);
+                }
+                assert_eq!(order, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+                1.0
+            }
+        });
+        assert_eq!(res[1], 1.0);
+    }
+
+    #[test]
+    fn barrier_all_ranks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let counter = AtomicU64::new(0);
+        run_threaded(5, |comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier every rank must observe all 5 increments.
+            assert_eq!(counter.load(Ordering::SeqCst), 5);
+        });
+    }
+
+    #[test]
+    fn allreduce_sum_vector() {
+        let res = run_threaded(4, |comm| {
+            let me = comm.rank() as f64;
+            comm.allreduce_sum(&[me, 2.0 * me])
+        });
+        for r in res {
+            assert_eq!(r, vec![6.0, 12.0]); // 0+1+2+3, 0+2+4+6
+        }
+    }
+
+    #[test]
+    fn allreduce_max_scalar() {
+        let res = run_threaded(6, |comm| comm.allreduce_max(comm.rank() as f64 * 1.5));
+        for r in res {
+            assert_eq!(r, 7.5);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let res = run_threaded(3, |comm| {
+            if comm.rank() == 0 {
+                comm.broadcast(&[42.0, 43.0])
+            } else {
+                comm.broadcast(&[])
+            }
+        });
+        for r in res {
+            assert_eq!(r, vec![42.0, 43.0]);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let res = run_threaded(4, |comm| {
+            let me = comm.rank() as f64;
+            let gathered = comm.gather(vec![me, me * me]);
+            if comm.rank() == 0 {
+                let g = gathered.unwrap();
+                assert_eq!(g[2], vec![2.0, 4.0]);
+                // scatter each rank its chunk doubled
+                let chunks = g
+                    .into_iter()
+                    .map(|c| c.into_iter().map(|v| v * 2.0).collect())
+                    .collect();
+                comm.scatter(Some(chunks))
+            } else {
+                assert!(gathered.is_none());
+                comm.scatter(None)
+            }
+        });
+        for (r, chunk) in res.iter().enumerate() {
+            let me = r as f64;
+            assert_eq!(chunk, &vec![2.0 * me, 2.0 * me * me]);
+        }
+    }
+
+    #[test]
+    fn alltoall_personalized() {
+        let res = run_threaded(4, |comm| {
+            let me = comm.rank() as f64;
+            // chunk for rank r: [me, r]
+            let chunks: Vec<Vec<f64>> = (0..4).map(|r| vec![me, r as f64]).collect();
+            comm.alltoall(chunks)
+        });
+        for (me, received) in res.iter().enumerate() {
+            for (src, chunk) in received.iter().enumerate() {
+                assert_eq!(chunk, &vec![src as f64, me as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_run() {
+        let res = run_threaded(1, |comm| {
+            comm.barrier();
+            comm.rank() + comm.size()
+        });
+        assert_eq!(res, vec![1]);
+    }
+
+    #[test]
+    fn message_counters() {
+        let res = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0, 2.0, 3.0]);
+                (comm.sent_messages, comm.sent_elements)
+            } else {
+                let _ = comm.recv(0, 0);
+                (comm.sent_messages, comm.sent_elements)
+            }
+        });
+        assert_eq!(res[0], (1, 3));
+        assert_eq!(res[1], (0, 0));
+    }
+}

@@ -1,0 +1,601 @@
+//! The multipartitioned sweep executor (functional backend).
+//!
+//! Executes a line sweep along one dimension of a multipartitioned array,
+//! per the paper's schedule: `γ_dim` computation phases (one per slab),
+//! separated by communication phases in which each rank ships **one
+//! aggregated message** — the per-line carries of *all* its tiles in the
+//! slab — to the single rank owning the downstream neighbor tiles (the
+//! neighbor property makes that rank unique).
+//!
+//! Message ordering contract: carries are packed per tile (ranks' tiles in
+//! lexicographic coordinate order) and per line (row-major over the tile's
+//! cross-section). Because the receiving rank's tiles in the next slab are
+//! exactly the senders' tiles shifted one step along the swept dimension,
+//! both sides enumerate lines in the same order and no per-line addressing
+//! is needed on the wire.
+//!
+//! Also provides the halo exchange used by stencil phases (e.g. SP's
+//! `compute_rhs`), with the same per-direction aggregation.
+
+use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use mp_core::multipart::{Direction, Multipartitioning};
+use mp_grid::shape::{Shape, Side};
+use mp_grid::{RankStore, TileGrid};
+use mp_runtime::comm::{Communicator, Tag};
+
+/// Read one line segment of `field` inside tile `t` of `store`, ordered in
+/// sweep direction (element 0 first).
+fn read_segment(
+    store: &RankStore,
+    t: usize,
+    field: usize,
+    dim: usize,
+    base: &[usize],
+    dir: Direction,
+    out: &mut Vec<f64>,
+) {
+    let arr = store.tiles[t].field(field);
+    let (off, stride, n) = arr.interior_line(dim, base);
+    let raw = arr.raw();
+    out.clear();
+    out.reserve(n);
+    match dir {
+        Direction::Forward => {
+            for k in 0..n {
+                out.push(raw[off + k * stride]);
+            }
+        }
+        Direction::Backward => {
+            for k in (0..n).rev() {
+                out.push(raw[off + k * stride]);
+            }
+        }
+    }
+}
+
+/// Inverse of [`read_segment`].
+fn write_segment(
+    store: &mut RankStore,
+    t: usize,
+    field: usize,
+    dim: usize,
+    base: &[usize],
+    dir: Direction,
+    vals: &[f64],
+) {
+    let arr = store.tiles[t].field_mut(field);
+    let (off, stride, n) = arr.interior_line(dim, base);
+    assert_eq!(vals.len(), n);
+    let raw = arr.raw_mut();
+    match dir {
+        Direction::Forward => {
+            for (k, &v) in vals.iter().enumerate() {
+                raw[off + k * stride] = v;
+            }
+        }
+        Direction::Backward => {
+            for (k, &v) in vals.iter().enumerate() {
+                raw[off + (n - 1 - k) * stride] = v;
+            }
+        }
+    }
+}
+
+/// Enumerate the line bases of a tile's cross-section ⟂ `dim` in row-major
+/// order (the `dim` component of each base is 0).
+fn for_each_line_base(extents: &[usize], dim: usize, mut f: impl FnMut(&[usize])) {
+    let mut reduced = extents.to_vec();
+    reduced[dim] = 1;
+    Shape::new(&reduced).for_each_index(|idx| f(idx));
+}
+
+/// Execute one multipartitioned line sweep.
+///
+/// * `comm` — this rank's endpoint (threaded backend or serial).
+/// * `store` — this rank's tiles; must have been allocated for exactly the
+///   tiles `mp.tiles_of(comm.rank())`.
+/// * `dim`/`dir` — the swept dimension and direction.
+/// * `kernel` — the per-segment recurrence.
+/// * `tag_base` — tags `tag_base + phase` are used on the wire.
+///
+/// Self-neighbor schedules (a rank owning consecutive tiles along `dim`,
+/// possible for over-cut valid partitionings) short-circuit the network and
+/// pass carries locally.
+pub fn multipart_sweep<C: Communicator, K: LineSweepKernel>(
+    comm: &mut C,
+    store: &mut RankStore,
+    mp: &Multipartitioning,
+    dim: usize,
+    dir: Direction,
+    kernel: &K,
+    tag_base: Tag,
+) {
+    let rank = comm.rank();
+    let gamma = mp.gammas()[dim];
+    let step = dir.step();
+    let slab_order: Vec<u64> = match dir {
+        Direction::Forward => (0..gamma).collect(),
+        Direction::Backward => (0..gamma).rev().collect(),
+    };
+    let clen = kernel.carry_len();
+    let upstream = mp.neighbor_rank(rank, dim, -step);
+    let downstream = mp.neighbor_rank(rank, dim, step);
+
+    // Local carry hand-off when the downstream neighbor is this rank itself.
+    let mut local_carry: Vec<f64> = Vec::new();
+    let mut seg_bufs: Vec<Vec<f64>> = vec![Vec::new(); kernel.fields().len()];
+
+    for (phase, &slab) in slab_order.iter().enumerate() {
+        // 1. Obtain incoming carries for this phase.
+        let incoming: Option<Vec<f64>> = if phase == 0 {
+            None
+        } else if upstream == rank {
+            Some(std::mem::take(&mut local_carry))
+        } else {
+            Some(comm.recv(upstream, tag_base + phase as u64))
+        };
+
+        // 2. Compute this slab's tiles, collecting outgoing carries.
+        let my_tiles: Vec<usize> = store
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.coord[dim] == slab)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            my_tiles.len() as u64,
+            mp.tiles_per_proc_per_slab(dim),
+            "rank {rank}: store does not hold this rank's tiles for slab {slab} \
+             (was it allocated with allocate_rank_store for this multipartitioning?)"
+        );
+
+        let mut outgoing: Vec<f64> = Vec::new();
+        let mut cursor = 0usize;
+        for &t in &my_tiles {
+            let extents = store.tiles[t].field(kernel.fields()[0]).interior().to_vec();
+            let origin = store.tiles[t].region.origin.clone();
+            let bases: Vec<Vec<usize>> = {
+                let mut v = Vec::new();
+                for_each_line_base(&extents, dim, |b| v.push(b.to_vec()));
+                v
+            };
+            for base in &bases {
+                let mut carry = match &incoming {
+                    None => kernel.initial_carry(dir),
+                    Some(buf) => {
+                        let c = buf[cursor..cursor + clen].to_vec();
+                        cursor += clen;
+                        c
+                    }
+                };
+                for (s, &f) in kernel.fields().iter().enumerate() {
+                    read_segment(store, t, f, dim, base, dir, &mut seg_bufs[s]);
+                }
+                let mut gstart: Vec<usize> = base
+                    .iter()
+                    .zip(origin.iter())
+                    .map(|(&b, &o)| b + o)
+                    .collect();
+                gstart[dim] = match dir {
+                    Direction::Forward => origin[dim],
+                    Direction::Backward => origin[dim] + extents[dim] - 1,
+                };
+                let ctx = SegmentCtx::new(gstart, dim, dir);
+                kernel.sweep_segment(dir, &mut carry, &mut seg_bufs, &ctx);
+                for (s, &f) in kernel.fields().iter().enumerate() {
+                    write_segment(store, t, f, dim, base, dir, &seg_bufs[s]);
+                }
+                outgoing.extend_from_slice(&carry);
+            }
+        }
+        if let Some(buf) = &incoming {
+            assert_eq!(cursor, buf.len(), "carry message not fully consumed");
+        }
+
+        // 3. Ship carries downstream (unless this was the last phase).
+        if phase + 1 < slab_order.len() {
+            if downstream == rank {
+                local_carry = outgoing;
+            } else {
+                comm.send(downstream, tag_base + phase as u64 + 1, outgoing);
+            }
+        }
+    }
+}
+
+/// Exchange `width` ghost layers of `field` across all tile faces, in both
+/// directions of every dimension, with per-(dimension, direction)
+/// aggregation: each rank sends at most one message per neighbor per
+/// direction. Ghosts at the physical domain boundary are left untouched.
+pub fn exchange_halos<C: Communicator>(
+    comm: &mut C,
+    store: &mut RankStore,
+    mp: &Multipartitioning,
+    field: usize,
+    width: usize,
+    tag_base: Tag,
+) {
+    let rank = comm.rank();
+    let d = mp.dims();
+    for dim in 0..d {
+        if mp.gammas()[dim] < 2 {
+            continue;
+        }
+        for (dir_idx, step) in [(0u64, 1i64), (1, -1)] {
+            let tag = tag_base + (dim as u64) * 2 + dir_idx;
+            let to = mp.neighbor_rank(rank, dim, step);
+            // Faces to send: tiles having an interior neighbor `step` away.
+            let side_send = if step > 0 { Side::High } else { Side::Low };
+            let side_recv = side_send.opposite();
+            let sendable: Vec<usize> = store
+                .tiles
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    let c = t.coord[dim] as i64 + step;
+                    c >= 0 && c < mp.gammas()[dim] as i64
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let receivable: Vec<usize> = store
+                .tiles
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    let c = t.coord[dim] as i64 - step;
+                    c >= 0 && c < mp.gammas()[dim] as i64
+                })
+                .map(|(i, _)| i)
+                .collect();
+
+            let mut payload = Vec::new();
+            for &t in &sendable {
+                payload.extend(store.tiles[t].field(field).pack_face(dim, side_send, width));
+            }
+
+            let received: Vec<f64> = if to == rank {
+                payload
+            } else {
+                comm.send(to, tag, payload);
+                let from = mp.neighbor_rank(rank, dim, -step);
+                comm.recv(from, tag)
+            };
+
+            let mut cursor = 0usize;
+            for &t in &receivable {
+                let n = store.tiles[t].field(field).face_len(dim, width);
+                store.tiles[t].field_mut(field).unpack_ghost(
+                    dim,
+                    side_recv,
+                    width,
+                    &received[cursor..cursor + n],
+                );
+                cursor += n;
+            }
+            assert_eq!(cursor, received.len(), "halo message not fully consumed");
+        }
+    }
+}
+
+/// Allocate this rank's storage for a multipartitioning.
+pub fn allocate_rank_store(
+    rank: u64,
+    mp: &Multipartitioning,
+    grid: &TileGrid,
+    field_defs: &[mp_grid::FieldDef],
+) -> RankStore {
+    let coords = mp.tiles_of(rank);
+    RankStore::allocate(rank, grid, &coords, field_defs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recurrence::{FirstOrderKernel, PrefixSumKernel};
+    use crate::verify::serial_sweep;
+    use mp_core::cost::CostModel;
+    use mp_core::partition::Partitioning;
+    use mp_grid::{ArrayD, FieldDef};
+    use mp_runtime::threaded::run_threaded;
+
+    fn init_value(g: &[usize]) -> f64 {
+        // deterministic, position-dependent
+        (g.iter()
+            .enumerate()
+            .map(|(k, &v)| (k + 1) * (v * 7 + 3) % 23)
+            .sum::<usize>()) as f64
+            - 11.0
+    }
+
+    /// Run a sweep on p ranks and gather the field back into a global array.
+    fn run_distributed_sweep(
+        mp: &Multipartitioning,
+        eta: &[usize],
+        dim: usize,
+        dir: Direction,
+        kernel: &(impl LineSweepKernel + Clone + Send),
+    ) -> ArrayD<f64> {
+        let grid = TileGrid::new(
+            eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let fields = [FieldDef::new("u", 0)];
+        let results = run_threaded(mp.p, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), mp, &grid, &fields);
+            store.init_field(0, init_value);
+            multipart_sweep(comm, &mut store, mp, dim, dir, kernel, 1000);
+            store
+        });
+        let mut global = ArrayD::zeros(eta);
+        for store in &results {
+            store.gather_into(0, &mut global);
+        }
+        global
+    }
+
+    fn serial_reference(
+        eta: &[usize],
+        dim: usize,
+        dir: Direction,
+        kernel: &impl LineSweepKernel,
+    ) -> ArrayD<f64> {
+        let mut global = ArrayD::from_fn(eta, init_value);
+        serial_sweep(&mut [&mut global], dim, dir, kernel);
+        global
+    }
+
+    #[test]
+    fn prefix_sum_matches_serial_p8() {
+        let mp = Multipartitioning::from_partitioning(8, Partitioning::new(vec![4, 4, 2]));
+        let eta = [16usize, 16, 8];
+        let k = PrefixSumKernel::new(0);
+        for dim in 0..3 {
+            for dir in [Direction::Forward, Direction::Backward] {
+                let got = run_distributed_sweep(&mp, &eta, dim, dir, &k);
+                let want = serial_reference(&eta, dim, dir, &k);
+                assert_eq!(
+                    got.max_abs_diff(&want),
+                    0.0,
+                    "dim {dim} {dir:?} not bitwise equal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_order_matches_serial_diagonal_p9() {
+        let mp = Multipartitioning::diagonal(9, 3);
+        let eta = [12usize, 12, 12];
+        let k = FirstOrderKernel::new(0, 0.8);
+        for dim in 0..3 {
+            let got = run_distributed_sweep(&mp, &eta, dim, Direction::Forward, &k);
+            let want = serial_reference(&eta, dim, Direction::Forward, &k);
+            assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn generalized_p6_matches_serial() {
+        // p = 6 is impossible for diagonal 3-D multipartitioning — the
+        // headline capability of the paper.
+        let mp = Multipartitioning::optimal(6, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta = [12usize, 12, 12];
+        let k = PrefixSumKernel::new(0);
+        for dim in 0..3 {
+            for dir in [Direction::Forward, Direction::Backward] {
+                let got = run_distributed_sweep(&mp, &eta, dim, dir, &k);
+                let want = serial_reference(&eta, dim, dir, &k);
+                assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_neighbor_partitioning_works() {
+        // p = 2, b = (4,2,2): moving along dim 0 stays on the same rank
+        // (neighbor offset ≡ 0), exercising the local carry hand-off.
+        let mp = Multipartitioning::from_partitioning(2, Partitioning::new(vec![4, 2, 2]));
+        assert_eq!(mp.neighbor_rank(0, 0, 1), 0, "test premise: self-neighbor");
+        let eta = [8usize, 8, 8];
+        let k = PrefixSumKernel::new(0);
+        for dim in 0..3 {
+            let got = run_distributed_sweep(&mp, &eta, dim, Direction::Forward, &k);
+            let want = serial_reference(&eta, dim, Direction::Forward, &k);
+            assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn ragged_extents_match_serial() {
+        // η not divisible by γ: geometry layer spreads the remainder.
+        let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![2, 2, 2]));
+        let eta = [7usize, 9, 5];
+        let k = PrefixSumKernel::new(0);
+        for dim in 0..3 {
+            let got = run_distributed_sweep(&mp, &eta, dim, Direction::Forward, &k);
+            let want = serial_reference(&eta, dim, Direction::Forward, &k);
+            assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim}");
+        }
+    }
+
+    #[test]
+    fn two_d_multipartitioning() {
+        let mp = Multipartitioning::from_partitioning(3, Partitioning::new(vec![3, 3]));
+        let eta = [9usize, 9];
+        let k = FirstOrderKernel::new(0, -0.5);
+        for dim in 0..2 {
+            for dir in [Direction::Forward, Direction::Backward] {
+                let got = run_distributed_sweep(&mp, &eta, dim, dir, &k);
+                let want = serial_reference(&eta, dim, dir, &k);
+                assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_comm_single_rank_sweep() {
+        // p = 1: every neighbor is self; the executor must run entirely on
+        // local carries through a SerialComm without touching the network.
+        use mp_runtime::comm::SerialComm;
+        let mp = Multipartitioning::from_partitioning(1, Partitioning::new(vec![3, 2, 2]));
+        let eta = [9usize, 8, 8];
+        let grid = TileGrid::new(&eta, &[3, 2, 2]);
+        let k = PrefixSumKernel::new(0);
+        let mut comm = SerialComm;
+        let mut store = allocate_rank_store(0, &mp, &grid, &[FieldDef::new("u", 0)]);
+        store.init_field(0, init_value);
+        for dim in 0..3 {
+            multipart_sweep(&mut comm, &mut store, &mp, dim, Direction::Forward, &k, 0);
+        }
+        let mut global = ArrayD::zeros(&eta);
+        store.gather_into(0, &mut global);
+        let mut want = ArrayD::from_fn(&eta, init_value);
+        for dim in 0..3 {
+            serial_sweep(&mut [&mut want], dim, Direction::Forward, &k);
+        }
+        assert_eq!(global.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold this rank's tiles")]
+    fn mismatched_store_detected() {
+        // Allocate rank 1's tiles of a 2-rank world but sweep with a 1-rank
+        // multipartitioning: the ownership check must fire before any
+        // communication happens.
+        use mp_runtime::comm::SerialComm;
+        let mp2 = Multipartitioning::from_partitioning(2, Partitioning::new(vec![2, 2, 1]));
+        let grid = TileGrid::new(&[4, 4, 4], &[2, 2, 1]);
+        let mut store = allocate_rank_store(1, &mp2, &grid, &[FieldDef::new("u", 0)]);
+        let mp1 = Multipartitioning::from_partitioning(1, Partitioning::new(vec![2, 2, 1]));
+        let k = PrefixSumKernel::new(0);
+        let mut comm = SerialComm;
+        multipart_sweep(&mut comm, &mut store, &mp1, 0, Direction::Forward, &k, 0);
+    }
+
+    #[test]
+    fn wide_halo_exchange_width_2() {
+        // Real SP ships 2-wide halos; the exchange must fill both ghost
+        // layers wherever an interior neighbor exists.
+        let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![4, 4, 1]));
+        let eta = [8usize, 8, 4];
+        let grid = TileGrid::new(&eta, &[4, 4, 1]);
+        let fields = [FieldDef::new("u", 2)];
+        run_threaded(4, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, |g| (g[0] * 100 + g[1] * 10 + g[2]) as f64);
+            exchange_halos(comm, &mut store, &mp, 0, 2, 4_000);
+            for tile in &store.tiles {
+                let arr = tile.field(0);
+                let origin = &tile.region.origin;
+                for dim in 0..2 {
+                    if origin[dim] >= 2 {
+                        for depth in 1..=2isize {
+                            let mut idx = vec![0isize; 3];
+                            idx[dim] = -depth;
+                            let g: Vec<usize> = (0..3)
+                                .map(|k| (origin[k] as isize + idx[k]) as usize)
+                                .collect();
+                            let want = (g[0] * 100 + g[1] * 10 + g[2]) as f64;
+                            assert_eq!(arr.get(&idx), want, "tile {:?}", tile.coord);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn halo_exchange_fills_ghosts() {
+        let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![2, 2, 2]));
+        let eta = [8usize, 8, 8];
+        let grid = TileGrid::new(&eta, &[2, 2, 2]);
+        let fields = [FieldDef::new("u", 1)];
+        run_threaded(4, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, |g| (g[0] * 100 + g[1] * 10 + g[2]) as f64);
+            exchange_halos(comm, &mut store, &mp, 0, 1, 5000);
+            // Every interior-adjacent ghost must equal the global value.
+            for tile in &store.tiles {
+                let arr = tile.field(0);
+                let origin = &tile.region.origin;
+                let ext = arr.interior().to_vec();
+                for dim in 0..3 {
+                    // low ghost plane
+                    if origin[dim] > 0 {
+                        let mut idx = vec![0isize; 3];
+                        // sample a few points on the ghost plane
+                        for a in 0..ext[(dim + 1) % 3] {
+                            idx[dim] = -1;
+                            idx[(dim + 1) % 3] = a as isize;
+                            idx[(dim + 2) % 3] = 0;
+                            let g: Vec<usize> = (0..3)
+                                .map(|k| (origin[k] as isize + idx[k]) as usize)
+                                .collect();
+                            let want = (g[0] * 100 + g[1] * 10 + g[2]) as f64;
+                            assert_eq!(arr.get(&idx), want, "tile {:?} dim {dim}", tile.coord);
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn halo_exchange_generalized_p8() {
+        // Multiple tiles per rank per direction: aggregation path.
+        let mp = Multipartitioning::from_partitioning(8, Partitioning::new(vec![4, 4, 2]));
+        let eta = [8usize, 8, 4];
+        let grid = TileGrid::new(&eta, &[4, 4, 2]);
+        let fields = [FieldDef::new("u", 1)];
+        run_threaded(8, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, |g| (g[0] * 100 + g[1] * 10 + g[2]) as f64 + 1.0);
+            exchange_halos(comm, &mut store, &mp, 0, 1, 9000);
+            for tile in &store.tiles {
+                let arr = tile.field(0);
+                let origin = &tile.region.origin;
+                let end = tile.region.end();
+                // check all 6 ghost face centers where interior
+                for dim in 0..3 {
+                    for (side, offs) in [(0, -1isize), (1, 1)] {
+                        let interior_exists = if side == 0 {
+                            origin[dim] > 0
+                        } else {
+                            end[dim] < eta[dim]
+                        };
+                        if !interior_exists {
+                            continue;
+                        }
+                        let mut idx: Vec<isize> = vec![0; 3];
+                        idx[dim] = if side == 0 {
+                            -1
+                        } else {
+                            arr.interior()[dim] as isize
+                        };
+                        let g: Vec<usize> = (0..3)
+                            .map(|k| {
+                                if k == dim {
+                                    (if side == 0 {
+                                        origin[k] as isize + offs
+                                    } else {
+                                        end[k] as isize
+                                    }) as usize
+                                } else {
+                                    origin[k]
+                                }
+                            })
+                            .collect();
+                        let want = (g[0] * 100 + g[1] * 10 + g[2]) as f64 + 1.0;
+                        assert_eq!(
+                            arr.get(&idx),
+                            want,
+                            "tile {:?} dim {dim} side {side}",
+                            tile.coord
+                        );
+                    }
+                }
+            }
+        });
+    }
+}

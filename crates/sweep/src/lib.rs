@@ -1,0 +1,40 @@
+//! # mp-sweep — the line-sweep engine
+//!
+//! Executes line-sweep computations over arrays distributed with the
+//! multipartitionings of `mp-core`:
+//!
+//! * [`recurrence`] — segmented sweep kernels (prefix sums, first-order
+//!   recurrences) and the [`recurrence::LineSweepKernel`] trait;
+//! * [`thomas`] — tridiagonal solvers: serial Thomas plus the forward
+//!   elimination / back substitution kernels that turn a distributed
+//!   tridiagonal solve into two directional sweeps;
+//! * [`executor`] — the functional multipartitioned sweep executor (phase
+//!   loop, aggregated carry messages, halo exchange);
+//! * [`baselines`] — the two classical alternatives the paper positions
+//!   against: static block unipartitioning with wavefront pipelining, and
+//!   dynamic block partitioning with transposes;
+//! * [`simulate`] — timing drivers that replay the same schedules on the
+//!   discrete-event simulator of `mp-runtime`;
+//! * [`verify`] — serial references for bit-exact validation.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod batch;
+pub mod block;
+pub mod executor;
+pub mod penta;
+pub mod recurrence;
+pub mod simulate;
+pub mod thomas;
+pub mod verify;
+
+#[cfg(test)]
+mod tests_prop;
+
+pub use batch::BatchedKernel;
+pub use block::{block_thomas_solve, BlockCoeffs, BlockTriBackwardKernel, BlockTriForwardKernel};
+pub use executor::{allocate_rank_store, exchange_halos, multipart_sweep};
+pub use penta::{penta_solve, PentaBackwardKernel, PentaForwardKernel};
+pub use recurrence::{FirstOrderKernel, LineSweepKernel, PrefixSumKernel, SegmentCtx};
+pub use thomas::{thomas_solve, ThomasBackwardKernel, ThomasForwardKernel};

@@ -1,0 +1,184 @@
+//! Property tests: segmented solver kernels equal their whole-line direct
+//! counterparts for *random* systems and *random* segmentations — the
+//! invariant that makes distributed sweeps bit-exact.
+
+use crate::penta::{penta_matvec, penta_solve, PentaBackwardKernel, PentaForwardKernel};
+use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use crate::thomas::{thomas_solve, tridiag_matvec, ThomasBackwardKernel, ThomasForwardKernel};
+use mp_core::multipart::Direction;
+use proptest::prelude::*;
+
+/// Split `n` into segments at the given sorted cut fractions.
+fn splits(n: usize, cuts: &[usize]) -> Vec<usize> {
+    let mut bounds = vec![0usize];
+    for &c in cuts {
+        let pos = c % (n + 1);
+        bounds.push(pos);
+    }
+    bounds.push(n);
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+}
+
+fn tridiag(n: usize, vals: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
+    let v = |k: usize| vals[k % vals.len()];
+    let a: Vec<f64> = (0..n)
+        .map(|k| if k == 0 { 0.0 } else { v(k) * 0.45 })
+        .collect();
+    let c: Vec<f64> = (0..n)
+        .map(|k| if k + 1 == n { 0.0 } else { v(k + 7) * 0.45 })
+        .collect();
+    let b: Vec<f64> = (0..n).map(|k| 1.2 + a[k].abs() + c[k].abs()).collect();
+    let d: Vec<f64> = (0..n).map(|k| v(k + 13) * 4.0).collect();
+    (a, b, c, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn thomas_segmented_equals_direct(
+        n in 1usize..120,
+        vals in proptest::collection::vec(-1.0f64..1.0, 8..20),
+        cuts in proptest::collection::vec(0usize..200, 0..5),
+    ) {
+        let (a, b, c, d) = tridiag(n, &vals);
+        let direct = thomas_solve(&a, &b, &c, &d);
+
+        let bounds = splits(n, &cuts);
+        let fwd = ThomasForwardKernel::new(0, 1, 2, 3);
+        let bwd = ThomasBackwardKernel::new(0, 1);
+        let mut cc = c.clone();
+        let mut dd = d.clone();
+        let mut carry = fwd.initial_carry(Direction::Forward);
+        let fctx = SegmentCtx::origin(1, 0, Direction::Forward);
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut seg = vec![
+                a[lo..hi].to_vec(),
+                b[lo..hi].to_vec(),
+                cc[lo..hi].to_vec(),
+                dd[lo..hi].to_vec(),
+            ];
+            fwd.sweep_segment(Direction::Forward, &mut carry, &mut seg, &fctx);
+            cc[lo..hi].copy_from_slice(&seg[2]);
+            dd[lo..hi].copy_from_slice(&seg[3]);
+        }
+        let mut carry = bwd.initial_carry(Direction::Backward);
+        let bctx = SegmentCtx::origin(1, 0, Direction::Backward);
+        for w in bounds.windows(2).rev() {
+            let (lo, hi) = (w[0], w[1]);
+            let mut seg = vec![
+                cc[lo..hi].iter().rev().copied().collect::<Vec<_>>(),
+                dd[lo..hi].iter().rev().copied().collect::<Vec<_>>(),
+            ];
+            bwd.sweep_segment(Direction::Backward, &mut carry, &mut seg, &bctx);
+            for (off, v) in seg[1].iter().rev().enumerate() {
+                dd[lo + off] = *v;
+            }
+        }
+        for (got, want) in dd.iter().zip(direct.iter()) {
+            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        }
+        // And the solution actually solves the system.
+        let r = tridiag_matvec(&a, &b, &c, &dd);
+        for (rv, dv) in r.iter().zip(d.iter()) {
+            prop_assert!((rv - dv).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn penta_segmented_equals_direct(
+        n in 1usize..100,
+        vals in proptest::collection::vec(-1.0f64..1.0, 8..20),
+        cuts in proptest::collection::vec(0usize..200, 0..4),
+    ) {
+        let v = |k: usize| vals[k % vals.len()];
+        let e: Vec<f64> = (0..n).map(|k| if k < 2 { 0.0 } else { v(k) * 0.3 }).collect();
+        let a: Vec<f64> = (0..n).map(|k| if k < 1 { 0.0 } else { v(k + 3) * 0.3 }).collect();
+        let c: Vec<f64> = (0..n)
+            .map(|k| if k + 1 >= n { 0.0 } else { v(k + 5) * 0.3 })
+            .collect();
+        let f: Vec<f64> = (0..n)
+            .map(|k| if k + 2 >= n { 0.0 } else { v(k + 9) * 0.3 })
+            .collect();
+        let d: Vec<f64> = (0..n)
+            .map(|k| 1.5 + e[k].abs() + a[k].abs() + c[k].abs() + f[k].abs())
+            .collect();
+        let b: Vec<f64> = (0..n).map(|k| v(k + 11) * 3.0).collect();
+        let direct = penta_solve(&e, &a, &d, &c, &f, &b);
+
+        let bounds = splits(n, &cuts);
+        let fwd = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
+        let bwd = PentaBackwardKernel::new(0, 1, 2);
+        let mut cc = c.clone();
+        let mut ff = f.clone();
+        let mut bb = b.clone();
+        let mut carry = fwd.initial_carry(Direction::Forward);
+        let fctx = SegmentCtx::origin(1, 0, Direction::Forward);
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut seg = vec![
+                e[lo..hi].to_vec(),
+                a[lo..hi].to_vec(),
+                d[lo..hi].to_vec(),
+                cc[lo..hi].to_vec(),
+                ff[lo..hi].to_vec(),
+                bb[lo..hi].to_vec(),
+            ];
+            fwd.sweep_segment(Direction::Forward, &mut carry, &mut seg, &fctx);
+            cc[lo..hi].copy_from_slice(&seg[3]);
+            ff[lo..hi].copy_from_slice(&seg[4]);
+            bb[lo..hi].copy_from_slice(&seg[5]);
+        }
+        let mut carry = bwd.initial_carry(Direction::Backward);
+        let bctx = SegmentCtx::origin(1, 0, Direction::Backward);
+        for w in bounds.windows(2).rev() {
+            let (lo, hi) = (w[0], w[1]);
+            let mut seg = vec![
+                cc[lo..hi].iter().rev().copied().collect::<Vec<_>>(),
+                ff[lo..hi].iter().rev().copied().collect::<Vec<_>>(),
+                bb[lo..hi].iter().rev().copied().collect::<Vec<_>>(),
+            ];
+            bwd.sweep_segment(Direction::Backward, &mut carry, &mut seg, &bctx);
+            for (off, v) in seg[2].iter().rev().enumerate() {
+                bb[lo + off] = *v;
+            }
+        }
+        for (got, want) in bb.iter().zip(direct.iter()) {
+            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        }
+        let r = penta_matvec(&e, &a, &d, &c, &f, &bb);
+        for (rv, bv) in r.iter().zip(b.iter()) {
+            prop_assert!((rv - bv).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn prefix_sum_any_split_bitwise(
+        line in proptest::collection::vec(-100.0f64..100.0, 1..64),
+        cuts in proptest::collection::vec(0usize..100, 0..4),
+    ) {
+        use crate::recurrence::PrefixSumKernel;
+        let k = PrefixSumKernel::new(0);
+        let ctx = SegmentCtx::origin(1, 0, Direction::Forward);
+        let n = line.len();
+
+        let mut whole = vec![line.clone()];
+        let mut carry = k.initial_carry(Direction::Forward);
+        k.sweep_segment(Direction::Forward, &mut carry, &mut whole, &ctx);
+
+        let bounds = splits(n, &cuts);
+        let mut parts = line.clone();
+        let mut carry2 = k.initial_carry(Direction::Forward);
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut seg = vec![parts[lo..hi].to_vec()];
+            k.sweep_segment(Direction::Forward, &mut carry2, &mut seg, &ctx);
+            parts[lo..hi].copy_from_slice(&seg[0]);
+        }
+        // bitwise: same additions in the same order
+        prop_assert_eq!(parts, whole[0].clone());
+    }
+}

@@ -1,0 +1,88 @@
+//! Interactive-ish exploration of the partitioning space: enumerate all
+//! elementary partitionings for a processor count, score them under the
+//! cost model, and show the chosen optimum with its modular mapping.
+//!
+//! ```text
+//! cargo run --example partition_explorer -- [p] [d] [eta...]
+//! ```
+//!
+//! Defaults: p = 30 (the paper's richest worked example), d = 3, cubic
+//! domain 90³.
+
+use multipartition::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let p: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let d: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let eta: Vec<u64> = if args.len() > 3 {
+        args[3..].iter().map(|s| s.parse().unwrap()).collect()
+    } else {
+        vec![90; d]
+    };
+    assert_eq!(eta.len(), d);
+
+    let model = CostModel::origin2000_like();
+    let lambdas = model.lambdas(p, &eta);
+    println!("p = {p}, domain {eta:?}");
+    println!(
+        "λ = {:?}  (per-phase cost: start-up {:.1e}s + surface term)",
+        lambdas
+            .iter()
+            .map(|l| format!("{l:.3e}"))
+            .collect::<Vec<_>>(),
+        model.k2
+    );
+    println!();
+
+    // Rank all elementary partitionings by objective.
+    let mut scored: Vec<(f64, Vec<u64>)> = elementary_partitionings(p, d)
+        .into_iter()
+        .map(|pt| {
+            let obj = mp_objective(&pt.gammas, &lambdas);
+            (obj, pt.gammas)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    println!("all {} elementary candidates, best first:", scored.len());
+    for (obj, g) in scored.iter().take(12) {
+        let tiles: u64 = g.iter().product();
+        println!(
+            "  γ = {g:?}  objective {obj:.4e}  ({tiles} tiles, {} per processor)",
+            tiles / p
+        );
+    }
+    if scored.len() > 12 {
+        println!("  … {} more", scored.len() - 12);
+    }
+
+    // The winner, with its mapping.
+    let best = optimal_partitioning(p, &lambdas);
+    println!("\nchosen: γ = {:?}", best.partitioning.gammas);
+    let mp = Multipartitioning::from_partitioning(p, best.partitioning);
+    println!("modulus vector m̄ = {:?}", mp.mapping.m);
+    println!("matrix M (rows mod m_i):");
+    for row in &mp.mapping.mat {
+        println!("  {row:?}");
+    }
+    mp.verify().expect("properties verified");
+    println!("balance + neighbor properties verified ✓");
+
+    // Communication partners.
+    println!("\ndirectional-shift partners of rank 0:");
+    for dim in 0..d {
+        println!(
+            "  dim {dim}: +1 → rank {}, −1 → rank {}",
+            mp.neighbor_rank(0, dim, 1),
+            mp.neighbor_rank(0, dim, -1)
+        );
+    }
+}
+
+fn mp_objective(gammas: &[u64], lambdas: &[f64]) -> f64 {
+    gammas
+        .iter()
+        .zip(lambdas.iter())
+        .map(|(&g, &l)| g as f64 * l)
+        .sum()
+}

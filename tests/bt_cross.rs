@@ -1,0 +1,67 @@
+//! Umbrella-level BT integration: diagonal vs generalized mappings drive BT
+//! identically, and BT state survives a checkpoint round trip.
+
+use multipartition::grid::codec::{decode_rank_store, encode_rank_store};
+use multipartition::nasbt::parallel::fields;
+use multipartition::nasbt::{BtProblem, ParallelBt, SerialBt, NCOMP};
+use multipartition::prelude::*;
+
+fn gather_all(results: &[multipartition::grid::RankStore], eta: &[usize; 3]) -> Vec<ArrayD<f64>> {
+    (0..NCOMP)
+        .map(|c| {
+            let mut g = ArrayD::zeros(eta);
+            for store in results {
+                store.gather_into(fields::u(c), &mut g);
+            }
+            g
+        })
+        .collect()
+}
+
+#[test]
+fn bt_diagonal_and_generalized_agree() {
+    let prob = BtProblem::new([8, 8, 8], 0.002);
+    let diag = Multipartitioning::diagonal(4, 3);
+    let gen = Multipartitioning::optimal(4, &[8, 8, 8], &CostModel::origin2000_like());
+
+    let run = |mp: Multipartitioning| {
+        run_threaded(4, |comm| {
+            let mut bt = ParallelBt::new(comm.rank(), prob, mp.clone());
+            bt.run(comm, 2);
+            bt.store
+        })
+    };
+    let a = gather_all(&run(diag), &prob.eta);
+    let b = gather_all(&run(gen), &prob.eta);
+    let mut serial = SerialBt::new(prob);
+    serial.run(2);
+    for c in 0..NCOMP {
+        assert_eq!(
+            a[c].max_abs_diff(&b[c]),
+            0.0,
+            "component {c}: mappings disagree"
+        );
+        assert_eq!(
+            a[c].max_abs_diff(&serial.u[c]),
+            0.0,
+            "component {c} vs serial"
+        );
+    }
+}
+
+#[test]
+fn bt_checkpoint_roundtrip() {
+    // BT's 40-field tiles exercise the codec far harder than SP's 6.
+    let prob = BtProblem::new([6, 6, 6], 0.002);
+    let mp = Multipartitioning::optimal(6, &[6, 6, 6], &CostModel::origin2000_like());
+    let stores = run_threaded(6, |comm| {
+        let mut bt = ParallelBt::new(comm.rank(), prob, mp.clone());
+        bt.run(comm, 1);
+        bt.store
+    });
+    for store in &stores {
+        let bytes = encode_rank_store(store);
+        let back = decode_rank_store(bytes).expect("decode");
+        assert_eq!(&back, store, "rank {} round trip", store.rank);
+    }
+}

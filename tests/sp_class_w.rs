@@ -1,0 +1,47 @@
+//! Larger functional SP runs: NAS class W (36³) on a diagonal-capable count
+//! and a generalized-only count, verified bit-identical against serial.
+//! (Class B at 102³ works the same way but takes minutes in debug builds;
+//! run it manually via `cargo run --release -p mp-bench --bin sp_run -- B 9 1`.)
+
+use multipartition::nassp::parallel::fields;
+use multipartition::prelude::*;
+
+#[test]
+fn class_w_p9_one_iteration() {
+    let class = Class::W;
+    let prob = SpProblem::new(class.eta(), class.dt());
+    let mut serial = SerialSp::new(prob);
+    serial.run(1);
+
+    let mp = Multipartitioning::diagonal(9, 3);
+    let results = run_threaded(9, |comm| {
+        let mut sp = ParallelSp::new(comm.rank(), prob, mp.clone());
+        sp.run(comm, 1);
+        sp.store
+    });
+    let mut global = ArrayD::zeros(&prob.eta);
+    for store in &results {
+        store.gather_into(fields::U, &mut global);
+    }
+    assert_eq!(global.max_abs_diff(&serial.u), 0.0, "class W diverged");
+}
+
+#[test]
+fn class_w_p6_generalized_pentadiagonal() {
+    // Generalized-only count with the real SP system shape.
+    let prob = SpProblem::pentadiagonal(Class::W.eta(), Class::W.dt());
+    let mut serial = SerialSp::new(prob);
+    serial.run(1);
+
+    let mp = Multipartitioning::optimal(6, &[36, 36, 36], &CostModel::origin2000_like());
+    let results = run_threaded(6, |comm| {
+        let mut sp = ParallelSp::new(comm.rank(), prob, mp.clone());
+        sp.run(comm, 1);
+        sp.store
+    });
+    let mut global = ArrayD::zeros(&prob.eta);
+    for store in &results {
+        store.gather_into(fields::U, &mut global);
+    }
+    assert_eq!(global.max_abs_diff(&serial.u), 0.0);
+}

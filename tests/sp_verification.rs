@@ -1,0 +1,95 @@
+//! SP application integration: distributed runs are bit-identical to serial
+//! regardless of the partitioning used, and different partitionings agree
+//! with each other.
+
+use multipartition::nassp::parallel::fields;
+use multipartition::prelude::*;
+
+fn run_with(mp: &Multipartitioning, prob: SpProblem, iters: usize) -> (ArrayD<f64>, f64) {
+    let results = run_threaded(mp.p, |comm| {
+        let mut sp = ParallelSp::new(comm.rank(), prob, mp.clone());
+        sp.run(comm, iters);
+        let norm = sp.u_norm(comm);
+        (sp.store, norm)
+    });
+    let mut global = ArrayD::zeros(&prob.eta);
+    for (store, _) in &results {
+        store.gather_into(fields::U, &mut global);
+    }
+    (global, results[0].1)
+}
+
+#[test]
+fn sp_generalized_many_counts_match_serial() {
+    let prob = SpProblem::new([12, 12, 12], 0.0015);
+    let mut serial = SerialSp::new(prob);
+    serial.run(2);
+    for p in [2u64, 3, 4, 6, 8] {
+        let mp = Multipartitioning::optimal(p, &[12, 12, 12], &CostModel::origin2000_like());
+        let (u, norm) = run_with(&mp, prob, 2);
+        assert_eq!(
+            u.max_abs_diff(&serial.u),
+            0.0,
+            "p={p} γ={:?} diverged",
+            mp.gammas()
+        );
+        assert!((norm - serial.u_norm()).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn sp_diagonal_and_generalized_agree() {
+    // At p = 4 (a perfect square) the diagonal and generalized versions use
+    // the same γ but different mappings — results must still be identical
+    // because tile placement cannot change the arithmetic.
+    let prob = SpProblem::new([8, 8, 8], 0.001);
+    let diag = Multipartitioning::diagonal(4, 3);
+    let gen = Multipartitioning::optimal(4, &[8, 8, 8], &CostModel::origin2000_like());
+    assert_ne!(diag.mapping, gen.mapping, "test premise: mappings differ");
+    let (u_diag, _) = run_with(&diag, prob, 2);
+    let (u_gen, _) = run_with(&gen, prob, 2);
+    assert_eq!(u_diag.max_abs_diff(&u_gen), 0.0);
+}
+
+#[test]
+fn sp_explicit_shapes_match_serial() {
+    // Exercise specific paper shapes, including one with γ_i = 1 (a fully
+    // local dimension) and a "tall" one.
+    let prob = SpProblem::new([12, 12, 12], 0.001);
+    let mut serial = SerialSp::new(prob);
+    serial.run(1);
+    for gammas in [
+        vec![6u64, 6, 1],
+        vec![2, 6, 3],
+        vec![4, 4, 2],
+        vec![12, 12, 1],
+    ] {
+        let p: u64 = match gammas.as_slice() {
+            [6, 6, 1] => 6,
+            [2, 6, 3] => 6,
+            [4, 4, 2] => 8,
+            [12, 12, 1] => 12,
+            _ => unreachable!(),
+        };
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(gammas.clone()));
+        let (u, _) = run_with(&mp, prob, 1);
+        assert_eq!(
+            u.max_abs_diff(&serial.u),
+            0.0,
+            "γ={gammas:?} on p={p} diverged"
+        );
+    }
+}
+
+#[test]
+fn sp_class_s_short_run() {
+    // A real NAS class (S = 12³) for a couple of iterations.
+    let class = Class::S;
+    let prob = SpProblem::new(class.eta(), class.dt());
+    let mut serial = SerialSp::new(prob);
+    serial.run(3);
+    let mp = Multipartitioning::optimal(9, &[12, 12, 12], &CostModel::origin2000_like());
+    let (u, _) = run_with(&mp, prob, 3);
+    assert_eq!(u.max_abs_diff(&serial.u), 0.0);
+    assert!(serial.u_norm().is_finite());
+}
