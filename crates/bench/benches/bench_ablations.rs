@@ -10,7 +10,7 @@
 //! the wall-clock of computing it; the interesting outputs are printed once
 //! per run for inspection.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;

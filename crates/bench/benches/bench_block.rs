@@ -2,7 +2,7 @@
 //! inverses dominate, so this quantifies the per-element cost ratio against
 //! the scalar Thomas solver.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_sweep::block::{block_thomas_solve, mat_inv, Mat, VecN};
 use mp_sweep::thomas::thomas_solve;
 use std::hint::black_box;

@@ -2,7 +2,7 @@
 //! one prime into `d` bins under Lemma 1, and full elementary-partitioning
 //! enumeration (the §3.3 complexity object).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mp_core::partition::{elementary_partitionings, factor_distributions};
 use std::hint::black_box;
 

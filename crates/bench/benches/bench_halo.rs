@@ -1,7 +1,7 @@
 //! Halo pack/unpack throughput — the per-message overhead the neighbor
 //! property amortizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_grid::{HaloArray, Side};
 use std::hint::black_box;
 

@@ -2,7 +2,7 @@
 //! enumeration queries a runtime library performs (`tiles_of`,
 //! `neighbor_proc`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mp_core::modmap::ModularMapping;
 use std::hint::black_box;
 

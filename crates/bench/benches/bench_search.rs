@@ -2,7 +2,7 @@
 //! practicality claim is that exhaustive search over elementary
 //! partitionings is cheap for realistic `p` (up to ~1000).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mp_core::search::{optimal_partitioning, optimal_partitioning_fast};
 use std::hint::black_box;
 

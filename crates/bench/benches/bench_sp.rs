@@ -1,7 +1,7 @@
 //! SP application benches: the real (functional) serial iteration and the
 //! cost of one full simulated Table 1 cell.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_nassp::problem::{SpProblem, SpWorkFactors};
 use mp_nassp::serial::SerialSp;
 use mp_nassp::simulate::{simulate_sp, SpVersion};

@@ -2,7 +2,7 @@
 //! vs the serial reference on the same data, and the simulated-schedule
 //! replay cost (how expensive one simulated SP point is to produce).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_core::cost::CostModel;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::{ArrayD, FieldDef, TileGrid};
@@ -10,7 +10,9 @@ use mp_runtime::comm::Communicator;
 use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_runtime::threaded::run_threaded;
-use mp_sweep::executor::{allocate_rank_store, multipart_sweep};
+use mp_sweep::executor::{
+    allocate_rank_store, multipart_sweep, multipart_sweep_opts, SweepOptions,
+};
 use mp_sweep::recurrence::PrefixSumKernel;
 use mp_sweep::simulate::{simulate_multipart_sweep, MultipartGeometry, SweepWork};
 use mp_sweep::verify::serial_sweep;
@@ -52,6 +54,44 @@ fn bench_sweep(c: &mut Criterion) {
                 })
             })
         });
+    }
+
+    // Execution-strategy sweep at p = 4: per-line vs blocked vs blocked +
+    // intra-rank threads, all with the identical communication schedule.
+    {
+        let p = 4u64;
+        let mp = Multipartitioning::optimal(
+            p,
+            &[n as u64, n as u64, n as u64],
+            &CostModel::origin2000_like(),
+        );
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&eta, &gam);
+        for (label, opts) in [
+            ("bw1_t1", SweepOptions::new(1, 1)),
+            ("bw32_t1", SweepOptions::new(32, 1)),
+            ("bw32_t4", SweepOptions::new(32, 4)),
+        ] {
+            group.bench_with_input(BenchmarkId::new("opts_48_p4", label), &label, |b, _| {
+                b.iter(|| {
+                    run_threaded(p, |comm| {
+                        let mut store =
+                            allocate_rank_store(comm.rank(), &mp, &grid, &[FieldDef::new("u", 0)]);
+                        store.init_field(0, |g| (g[0] + g[1] + g[2]) as f64);
+                        multipart_sweep_opts(
+                            comm,
+                            &mut store,
+                            &mp,
+                            0,
+                            Direction::Forward,
+                            &kernel,
+                            100,
+                            &opts,
+                        );
+                    })
+                })
+            });
+        }
     }
     group.finish();
 

@@ -1,9 +1,9 @@
 //! Line-solver throughput: the serial Thomas algorithm and its segmented
 //! two-kernel form (what the distributed sweeps execute per tile).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_core::multipart::Direction;
-use mp_sweep::recurrence::{LineSweepKernel, SegmentCtx};
+use mp_sweep::recurrence::{per_line_sweep_block, LineSweepKernel, SegmentCtx};
 use mp_sweep::thomas::{thomas_solve_in_place, ThomasBackwardKernel, ThomasForwardKernel};
 use std::hint::black_box;
 
@@ -79,5 +79,57 @@ fn bench_thomas(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_thomas);
+/// Blocked multi-line elimination vs the per-line scalar path on the same
+/// line-minor block buffers — the speedup the blocked executor banks on for
+/// wide tile cross-sections.
+fn bench_thomas_blocked(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thomas_blocked");
+    group.sample_size(30);
+    let nl = 64usize;
+    for &n in &[64usize, 256] {
+        // nl interleaved diagonally dominant systems, line-minor layout.
+        let (a, b0, c0, d0) = system(n);
+        let mut block0 = vec![vec![0.0; n * nl]; 4];
+        for (f, src) in [&a, &b0, &c0, &d0].iter().enumerate() {
+            for k in 0..n {
+                for l in 0..nl {
+                    block0[f][k * nl + l] =
+                        src[k] + 0.001 * l as f64 * if f == 1 { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        let fwd = ThomasForwardKernel::new(0, 1, 2, 3);
+        let ctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Forward))
+            .collect();
+        group.throughput(Throughput::Elements((nl * n) as u64));
+        group.bench_with_input(BenchmarkId::new("per_line", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut block = block0.clone();
+                let mut carries = vec![0.0; nl * 2];
+                per_line_sweep_block(
+                    &fwd,
+                    Direction::Forward,
+                    nl,
+                    n,
+                    &mut carries,
+                    &mut block,
+                    &ctxs,
+                );
+                black_box(carries[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut block = block0.clone();
+                let mut carries = vec![0.0; nl * 2];
+                fwd.sweep_block(Direction::Forward, nl, n, &mut carries, &mut block, &ctxs);
+                black_box(carries[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thomas, bench_thomas_blocked);
 criterion_main!(benches);

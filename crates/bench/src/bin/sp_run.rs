@@ -84,7 +84,7 @@ fn main() {
 
     // Checkpoint round-trip of rank 0.
     let bytes = encode_rank_store(&results[0].0);
-    let restored = decode_rank_store(bytes.clone()).expect("checkpoint decodes");
+    let restored = decode_rank_store(&bytes).expect("checkpoint decodes");
     assert_eq!(restored, results[0].0);
     println!(
         " Checkpoint: rank 0 state = {} bytes, restore round-trip OK",

@@ -14,6 +14,8 @@
 //! | `drop_back` | §6 — processor drop-back (49 vs 50 CPUs) |
 //! | `strategy_compare` | §1/\[18\] — multipartitioning vs wavefront vs transpose |
 
+pub mod harness;
+
 /// Format a floating point speedup like the paper's Table 1 (2 decimals).
 pub fn fmt_speedup(s: Option<f64>) -> String {
     match s {

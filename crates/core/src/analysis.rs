@@ -10,10 +10,9 @@ use crate::cost::CostModel;
 use crate::multipart::{Direction, Multipartitioning};
 use crate::plan::SweepPlan;
 use crate::search::{drop_back_search, optimal_for};
-use serde::{Deserialize, Serialize};
 
 /// Cost breakdown of sweeps along one dimension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepAnalysis {
     /// The swept dimension.
     pub dim: usize,
@@ -28,7 +27,7 @@ pub struct SweepAnalysis {
 }
 
 /// The full report for a configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Analysis {
     /// Processor count analyzed.
     pub p: u64,

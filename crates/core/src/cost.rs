@@ -18,11 +18,10 @@
 //! by the search in [`crate::search`].
 
 use crate::partition::Partitioning;
-use serde::{Deserialize, Serialize};
 
 /// How the per-element communication cost `K3(p)` scales with the number of
 /// processors (footnote 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum BandwidthScaling {
     /// Aggregate network bandwidth grows linearly with `p` (e.g. a fat-tree
     /// or a scalable interconnect like the Origin 2000's):
@@ -33,7 +32,7 @@ pub enum BandwidthScaling {
 }
 
 /// The machine-dependent constants of the §3.1 model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// Sequential compute time per element per sweep (seconds).
     pub k1: f64,

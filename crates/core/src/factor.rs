@@ -10,10 +10,8 @@
 //! line-sweep deployment, and the paper evaluates up to 81), so simple trial
 //! division is more than adequate; it is `O(√n)` as the paper assumes.
 
-use serde::{Deserialize, Serialize};
-
 /// A single prime power `prime^exp` in a factorization.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PrimePower {
     /// The prime base `α_j`.
     pub prime: u64,
@@ -24,7 +22,7 @@ pub struct PrimePower {
 /// The prime factorization of a positive integer, `n = Π primes[j].prime ^ primes[j].exp`.
 ///
 /// Factors are stored in increasing order of prime.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Factorization {
     /// The factored integer.
     pub n: u64,

@@ -16,10 +16,8 @@
 //! Everything here works on `i64` with `i128` intermediates; matrices in
 //! this library are at most `d × d` with `d ≤ 6`, far from overflow.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense integer matrix (row-major, rectangular).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IMat {
     /// Rows.
     pub rows: usize,

@@ -26,7 +26,6 @@
 //! and brute-force property verifiers used throughout the test-suite.
 
 use crate::factor::{gcd, gcd_with_product};
-use serde::{Deserialize, Serialize};
 
 /// Why a requested partitioning cannot be turned into a multipartitioning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +63,7 @@ impl std::fmt::Display for InvalidPartitioning {
 impl std::error::Error for InvalidPartitioning {}
 
 /// A modular tile-to-processor mapping `ī ↦ (M ī) mod m̄`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModularMapping {
     /// The tile-grid shape `b̄` this mapping was built for (`b[i] = γ_i`).
     pub b: Vec<u64>,

@@ -9,13 +9,12 @@ use crate::cost::CostModel;
 use crate::modmap::ModularMapping;
 use crate::partition::Partitioning;
 use crate::search::optimal_for;
-use serde::{Deserialize, Serialize};
 
 /// A tile coordinate in the `γ_1 × … × γ_d` tile grid.
 pub type TileCoord = Vec<u64>;
 
 /// A complete multipartitioning: tile grid shape + modular mapping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Multipartitioning {
     /// Processor count.
     pub p: u64,
@@ -153,7 +152,7 @@ impl Multipartitioning {
 }
 
 /// Sweep direction along a dimension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Increasing coordinate (slab 0 first).
     Forward,

@@ -17,11 +17,10 @@
 //! test-suite to validate it.
 
 use crate::factor::{divides_product, Factorization};
-use serde::{Deserialize, Serialize};
 
 /// A candidate partitioning: `gammas[i]` = number of tiles cut along array
 /// dimension `i`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Partitioning {
     /// Tiles per dimension, `γ_i ≥ 1`.
     pub gammas: Vec<u64>,

@@ -21,11 +21,10 @@
 //!   neighbor processor (verified by brute force in the tests).
 
 use crate::modmap::ModularMapping;
-use serde::{Deserialize, Serialize};
 
 /// A multipartitioning of `k̄ ⊙ b̄'` obtained by paving copies of an inner
 /// mapping for `b̄'`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PavedMapping {
     /// The inner mapping being replicated.
     pub inner: ModularMapping,

@@ -9,10 +9,9 @@
 //! consume these plans.
 
 use crate::multipart::{Direction, Multipartitioning, TileCoord};
-use serde::{Deserialize, Serialize};
 
 /// One processor's work in one phase (slab) of a sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankPhase {
     /// Tiles this rank computes in this phase, in lexicographic order (any
     /// order is legal within a slab — tiles of one slab are independent).
@@ -27,7 +26,7 @@ pub struct RankPhase {
 
 /// A complete schedule for one directional line sweep over a
 /// multipartitioned array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepPlan {
     /// The dimension being swept.
     pub dim: usize,

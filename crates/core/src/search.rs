@@ -17,10 +17,9 @@
 
 use crate::cost::{objective, CostModel};
 use crate::partition::{elementary_partitionings, Partitioning};
-use serde::{Deserialize, Serialize};
 
 /// Result of a partitioning search.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SearchResult {
     /// The winning tile counts per dimension.
     pub partitioning: Partitioning,
@@ -133,7 +132,7 @@ pub fn optimal_partitioning_fast(p: u64, lambdas: &[f64]) -> SearchResult {
 
 /// One row of a drop-back search (§6): the best partitioning at a given
 /// processor count and its *predicted total sweep time* `T(p')`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DropBackCandidate {
     /// Processor count actually used (`p' ≤ p`).
     pub procs: u64,

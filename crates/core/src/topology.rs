@@ -18,10 +18,9 @@
 //!   topology-aware mapping chooser would minimize.
 
 use crate::multipart::Multipartitioning;
-use serde::{Deserialize, Serialize};
 
 /// An interconnect distance model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Topology {
     /// Bidirectional ring of `p` nodes (Johnsson et al.'s target).
     Ring(u64),
@@ -118,7 +117,7 @@ pub fn gray(x: u64) -> u64 {
 /// The processor id's two `d`-bit halves are Gray codes, so stepping `i` or
 /// `j` changes exactly one bit (adjacent hypercube nodes) while stepping `k`
 /// changes one bit in each half (exactly two hops).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GrayCodeMapping {
     /// Tiles per dimension, `q = 2^d`.
     pub q: u64,
@@ -182,7 +181,7 @@ impl GrayCodeMapping {
 
 /// Hop-distance statistics of the directional-shift partners of a mapping
 /// under a topology.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShiftHopStats {
     /// `max_hops[dim]` — worst-case hops of any rank's forward shift
     /// partner along `dim`.

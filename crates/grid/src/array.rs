@@ -2,10 +2,9 @@
 //! line access — the storage substrate for tiles and whole domains.
 
 use crate::shape::{Region, Shape};
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major multi-dimensional array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArrayD<T> {
     shape: Shape,
     data: Vec<T>,

@@ -2,16 +2,16 @@
 //!
 //! Long ADI runs on real machines checkpoint their per-rank state; this
 //! module provides a compact, versioned binary encoding for the storage
-//! types (`ArrayD<f64>`, `HaloArray`, `TileData`, `RankStore`) built on the
-//! `bytes` buffer primitives. The format is self-describing enough to fail
-//! loudly on corruption or version mismatch, and round-trips bit-exactly
-//! (f64 payloads are stored as raw little-endian bits).
+//! types (`ArrayD<f64>`, `HaloArray`, `TileData`, `RankStore`) using plain
+//! `Vec<u8>` buffers and an explicit little-endian layout. The format is
+//! self-describing enough to fail loudly on corruption or version mismatch,
+//! and round-trips bit-exactly (f64 payloads are stored as raw
+//! little-endian bits).
 
 use crate::array::ArrayD;
 use crate::dist::{FieldDef, RankStore, TileData};
 use crate::halo::HaloArray;
 use crate::shape::Region;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Format magic (`"MPCK"`) and version.
 const MAGIC: u32 = 0x4D50_434B;
@@ -43,56 +43,110 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
-    if buf.remaining() < n {
-        Err(CodecError::Truncated)
-    } else {
-        Ok(())
+/// Bounds-checked little-endian cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u16_le(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32_le(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
     }
 }
 
-fn put_usize_vec(buf: &mut BytesMut, v: &[usize]) {
-    buf.put_u16_le(v.len() as u16);
+fn put_u16_le(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32_le(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_le(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize_vec(buf: &mut Vec<u8>, v: &[usize]) {
+    put_u16_le(buf, v.len() as u16);
     for &x in v {
-        buf.put_u32_le(x as u32);
+        put_u32_le(buf, x as u32);
     }
 }
 
-fn get_usize_vec(buf: &mut Bytes) -> Result<Vec<usize>, CodecError> {
-    need(buf, 2)?;
-    let n = buf.get_u16_le() as usize;
-    need(buf, 4 * n)?;
-    Ok((0..n).map(|_| buf.get_u32_le() as usize).collect())
+fn get_usize_vec(r: &mut ByteReader<'_>) -> Result<Vec<usize>, CodecError> {
+    let n = r.u16_le()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32_le()? as usize);
+    }
+    Ok(out)
 }
 
-fn put_f64s(buf: &mut BytesMut, v: &[f64]) {
-    buf.put_u64_le(v.len() as u64);
+fn put_f64s(buf: &mut Vec<u8>, v: &[f64]) {
+    put_u64_le(buf, v.len() as u64);
     buf.reserve(v.len() * 8);
     for &x in v {
-        buf.put_u64_le(x.to_bits());
+        put_u64_le(buf, x.to_bits());
     }
 }
 
-fn get_f64s(buf: &mut Bytes) -> Result<Vec<f64>, CodecError> {
-    need(buf, 8)?;
-    let n = buf.get_u64_le() as usize;
+fn get_f64s(r: &mut ByteReader<'_>) -> Result<Vec<f64>, CodecError> {
+    let n = r.u64_le()? as usize;
     if n > (1 << 40) {
         return Err(CodecError::Corrupt("implausible array length"));
     }
-    need(buf, 8 * n)?;
-    Ok((0..n).map(|_| f64::from_bits(buf.get_u64_le())).collect())
+    if r.remaining() < 8 * n {
+        return Err(CodecError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(f64::from_bits(r.u64_le()?));
+    }
+    Ok(out)
 }
 
 /// Encode a dense array.
-pub fn encode_array(a: &ArrayD<f64>, buf: &mut BytesMut) {
+pub fn encode_array(a: &ArrayD<f64>, buf: &mut Vec<u8>) {
     put_usize_vec(buf, a.dims());
     put_f64s(buf, a.as_slice());
 }
 
 /// Decode a dense array.
-pub fn decode_array(buf: &mut Bytes) -> Result<ArrayD<f64>, CodecError> {
-    let dims = get_usize_vec(buf)?;
-    let data = get_f64s(buf)?;
+pub fn decode_array(r: &mut ByteReader<'_>) -> Result<ArrayD<f64>, CodecError> {
+    let dims = get_usize_vec(r)?;
+    let data = get_f64s(r)?;
     let expect: usize = dims.iter().product();
     if dims.is_empty() || dims.contains(&0) || data.len() != expect {
         return Err(CodecError::Corrupt("array shape/data mismatch"));
@@ -101,9 +155,9 @@ pub fn decode_array(buf: &mut Bytes) -> Result<ArrayD<f64>, CodecError> {
 }
 
 /// Encode a halo array (interior + ghosts, bit-exact).
-pub fn encode_halo(h: &HaloArray, buf: &mut BytesMut) {
+pub fn encode_halo(h: &HaloArray, buf: &mut Vec<u8>) {
     put_usize_vec(buf, h.interior());
-    buf.put_u16_le(h.halo() as u16);
+    put_u16_le(buf, h.halo() as u16);
     // Store the padded backing data via the interior accessor extension.
     let padded: Vec<usize> = h.interior().iter().map(|&e| e + 2 * h.halo()).collect();
     let mut flat = Vec::with_capacity(padded.iter().product());
@@ -116,11 +170,10 @@ pub fn encode_halo(h: &HaloArray, buf: &mut BytesMut) {
 }
 
 /// Decode a halo array.
-pub fn decode_halo(buf: &mut Bytes) -> Result<HaloArray, CodecError> {
-    let interior = get_usize_vec(buf)?;
-    need(buf, 2)?;
-    let halo = buf.get_u16_le() as usize;
-    let flat = get_f64s(buf)?;
+pub fn decode_halo(r: &mut ByteReader<'_>) -> Result<HaloArray, CodecError> {
+    let interior = get_usize_vec(r)?;
+    let halo = r.u16_le()? as usize;
+    let flat = get_f64s(r)?;
     if interior.is_empty() || interior.contains(&0) {
         return Err(CodecError::Corrupt(
             "halo interior extents must be positive",
@@ -145,24 +198,24 @@ pub fn decode_halo(buf: &mut Bytes) -> Result<HaloArray, CodecError> {
 /// let grid = TileGrid::new(&[4, 4], &[2, 2]);
 /// let store = RankStore::allocate(0, &grid, &[vec![0, 1]], &[FieldDef::new("u", 1)]);
 /// let bytes = encode_rank_store(&store);
-/// assert_eq!(decode_rank_store(bytes).unwrap(), store);
+/// assert_eq!(decode_rank_store(&bytes).unwrap(), store);
 /// ```
 /// Encode a full rank checkpoint.
-pub fn encode_rank_store(store: &RankStore) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u64_le(store.rank);
+pub fn encode_rank_store(store: &RankStore) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32_le(&mut buf, MAGIC);
+    put_u16_le(&mut buf, VERSION);
+    put_u64_le(&mut buf, store.rank);
     // Field definitions.
-    buf.put_u16_le(store.field_defs.len() as u16);
+    put_u16_le(&mut buf, store.field_defs.len() as u16);
     for fd in &store.field_defs {
         let name = fd.name.as_bytes();
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name);
-        buf.put_u16_le(fd.halo as u16);
+        put_u16_le(&mut buf, name.len() as u16);
+        buf.extend_from_slice(name);
+        put_u16_le(&mut buf, fd.halo as u16);
     }
     // Tiles.
-    buf.put_u32_le(store.tiles.len() as u32);
+    put_u32_le(&mut buf, store.tiles.len() as u32);
     for tile in &store.tiles {
         let coord_us: Vec<usize> = tile.coord.iter().map(|&c| c as usize).collect();
         put_usize_vec(&mut buf, &coord_us);
@@ -172,44 +225,40 @@ pub fn encode_rank_store(store: &RankStore) -> Bytes {
             encode_halo(f, &mut buf);
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decode a full rank checkpoint.
-pub fn decode_rank_store(mut buf: Bytes) -> Result<RankStore, CodecError> {
-    need(&buf, 4 + 2 + 8)?;
-    if buf.get_u32_le() != MAGIC {
+pub fn decode_rank_store(buf: &[u8]) -> Result<RankStore, CodecError> {
+    let r = &mut ByteReader::new(buf);
+    if r.u32_le()? != MAGIC {
         return Err(CodecError::BadMagic);
     }
-    let version = buf.get_u16_le();
+    let version = r.u16_le()?;
     if version != VERSION {
         return Err(CodecError::BadVersion(version));
     }
-    let rank = buf.get_u64_le();
-    need(&buf, 2)?;
-    let nfields = buf.get_u16_le() as usize;
+    let rank = r.u64_le()?;
+    let nfields = r.u16_le()? as usize;
     let mut field_defs = Vec::with_capacity(nfields);
     for _ in 0..nfields {
-        need(&buf, 2)?;
-        let len = buf.get_u16_le() as usize;
-        need(&buf, len + 2)?;
-        let name_bytes = buf.copy_to_bytes(len);
-        let name = std::str::from_utf8(&name_bytes)
+        let len = r.u16_le()? as usize;
+        let name_bytes = r.take(len)?;
+        let name = std::str::from_utf8(name_bytes)
             .map_err(|_| CodecError::Corrupt("field name not UTF-8"))?
             .to_string();
-        let halo = buf.get_u16_le() as usize;
+        let halo = r.u16_le()? as usize;
         field_defs.push(FieldDef { name, halo });
     }
-    need(&buf, 4)?;
-    let ntiles = buf.get_u32_le() as usize;
+    let ntiles = r.u32_le()? as usize;
     if ntiles > 1 << 24 {
         return Err(CodecError::Corrupt("implausible tile count"));
     }
     let mut tiles = Vec::with_capacity(ntiles);
     for _ in 0..ntiles {
-        let coord_us = get_usize_vec(&mut buf)?;
-        let origin = get_usize_vec(&mut buf)?;
-        let extent = get_usize_vec(&mut buf)?;
+        let coord_us = get_usize_vec(r)?;
+        let origin = get_usize_vec(r)?;
+        let extent = get_usize_vec(r)?;
         if extent.is_empty() || extent.contains(&0) {
             return Err(CodecError::Corrupt("zero tile extent"));
         }
@@ -219,7 +268,7 @@ pub fn decode_rank_store(mut buf: Bytes) -> Result<RankStore, CodecError> {
         let region = Region::new(origin, extent);
         let mut fields = Vec::with_capacity(nfields);
         for fd in &field_defs {
-            let h = decode_halo(&mut buf)?;
+            let h = decode_halo(r)?;
             if h.interior() != region.extent.as_slice() || h.halo() != fd.halo {
                 return Err(CodecError::Corrupt("field shape disagrees with tile"));
             }
@@ -258,12 +307,12 @@ mod tests {
     #[test]
     fn array_roundtrip() {
         let a = ArrayD::from_fn(&[3, 4, 5], |g| (g[0] + 10 * g[1] + 100 * g[2]) as f64 + 0.5);
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         encode_array(&a, &mut buf);
-        let mut bytes = buf.freeze();
-        let b = decode_array(&mut bytes).unwrap();
+        let mut r = ByteReader::new(&buf);
+        let b = decode_array(&mut r).unwrap();
         assert_eq!(a.max_abs_diff(&b), 0.0);
-        assert_eq!(bytes.remaining(), 0, "all bytes consumed");
+        assert_eq!(r.remaining(), 0, "all bytes consumed");
     }
 
     #[test]
@@ -272,9 +321,9 @@ mod tests {
             &[5],
             vec![f64::NEG_INFINITY, -0.0, f64::MIN_POSITIVE, f64::MAX, 1e-300],
         );
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         encode_array(&a, &mut buf);
-        let b = decode_array(&mut buf.freeze()).unwrap();
+        let b = decode_array(&mut ByteReader::new(&buf)).unwrap();
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits(), "bit-exactness");
         }
@@ -286,9 +335,9 @@ mod tests {
         h.set(&[-2, -2], 7.0);
         h.set(&[4, 2], -1.5);
         h.set_i(&[1, 1], 9.0);
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         encode_halo(&h, &mut buf);
-        let h2 = decode_halo(&mut buf.freeze()).unwrap();
+        let h2 = decode_halo(&mut ByteReader::new(&buf)).unwrap();
         assert_eq!(h2.get(&[-2, -2]), 7.0);
         assert_eq!(h2.get(&[4, 2]), -1.5);
         assert_eq!(h2.get_i(&[1, 1]), 9.0);
@@ -299,28 +348,25 @@ mod tests {
     fn rank_store_roundtrip() {
         let store = sample_store();
         let bytes = encode_rank_store(&store);
-        let back = decode_rank_store(bytes).unwrap();
+        let back = decode_rank_store(&bytes).unwrap();
         assert_eq!(back, store);
     }
 
     #[test]
     fn rejects_bad_magic() {
         let store = sample_store();
-        let mut raw = encode_rank_store(&store).to_vec();
+        let mut raw = encode_rank_store(&store);
         raw[0] ^= 0xFF;
-        assert_eq!(
-            decode_rank_store(Bytes::from(raw)),
-            Err(CodecError::BadMagic)
-        );
+        assert_eq!(decode_rank_store(&raw), Err(CodecError::BadMagic));
     }
 
     #[test]
     fn rejects_bad_version() {
         let store = sample_store();
-        let mut raw = encode_rank_store(&store).to_vec();
+        let mut raw = encode_rank_store(&store);
         raw[4] = 99;
         assert!(matches!(
-            decode_rank_store(Bytes::from(raw)),
+            decode_rank_store(&raw),
             Err(CodecError::BadVersion(_))
         ));
     }
@@ -330,9 +376,9 @@ mod tests {
         // Chopping the buffer at ANY prefix length must produce an error,
         // never a panic or a silently wrong result.
         let store = sample_store();
-        let raw = encode_rank_store(&store).to_vec();
+        let raw = encode_rank_store(&store);
         for cut in 0..raw.len() {
-            let r = decode_rank_store(Bytes::from(raw[..cut].to_vec()));
+            let r = decode_rank_store(&raw[..cut]);
             assert!(r.is_err(), "prefix of {cut} bytes decoded successfully");
         }
     }

@@ -8,10 +8,9 @@
 use crate::halo::HaloArray;
 use crate::shape::Region;
 use crate::tile::TileGrid;
-use serde::{Deserialize, Serialize};
 
 /// Declares one field stored on every tile.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldDef {
     /// Human-readable field name (e.g. `"u"`, `"rhs"`).
     pub name: String,
@@ -31,7 +30,7 @@ impl FieldDef {
 
 /// Storage for one tile: coordinates, its element region, and one
 /// [`HaloArray`] per declared field.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TileData {
     /// Tile-grid coordinate.
     pub coord: Vec<u64>,
@@ -67,7 +66,7 @@ impl TileData {
 }
 
 /// Everything one rank stores: its tiles and the shared field declarations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankStore {
     /// This rank's id.
     pub rank: u64,

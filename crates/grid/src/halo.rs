@@ -8,10 +8,9 @@
 
 use crate::array::ArrayD;
 use crate::shape::{Region, Side};
-use serde::{Deserialize, Serialize};
 
 /// A dense array with `halo` ghost layers on every side of every dimension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HaloArray {
     /// Interior extents (without ghosts).
     interior: Vec<usize>,
@@ -175,6 +174,20 @@ impl HaloArray {
         (offset, stride, self.interior[axis])
     }
 
+    /// Row-major strides of the padded backing storage (one per dimension).
+    /// Together with [`HaloArray::interior_origin_offset`] this lets callers
+    /// compute line offsets without the per-call allocation of
+    /// [`HaloArray::interior_line`].
+    pub fn strides(&self) -> &[usize] {
+        self.data.shape().strides()
+    }
+
+    /// Storage offset of the interior origin `(0, …, 0)`: interior point
+    /// `base` lives at `interior_origin_offset() + Σ base[k]·strides()[k]`.
+    pub fn interior_origin_offset(&self) -> usize {
+        self.strides().iter().map(|&s| s * self.halo).sum()
+    }
+
     /// Raw backing storage (row-major over the padded extents); use with
     /// [`HaloArray::interior_line`].
     pub fn raw(&self) -> &[f64] {
@@ -291,6 +304,23 @@ mod tests {
                     "axis {axis} k {k}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn strides_and_origin_offset_agree_with_interior_line() {
+        let a = HaloArray::zeros(&[3, 4, 5], 2);
+        for axis in 0..3 {
+            let base = [1usize, 2, 3];
+            let (off, stride, _) = a.interior_line(axis, &base);
+            let mut manual = a.interior_origin_offset();
+            for (k, &b) in base.iter().enumerate() {
+                if k != axis {
+                    manual += b * a.strides()[k];
+                }
+            }
+            assert_eq!(off, manual, "axis {axis}");
+            assert_eq!(stride, a.strides()[axis]);
         }
     }
 

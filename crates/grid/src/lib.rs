@@ -16,6 +16,7 @@ pub mod array;
 pub mod codec;
 pub mod dist;
 pub mod halo;
+pub mod lines;
 pub mod shape;
 pub mod tile;
 pub mod view;
@@ -24,6 +25,7 @@ pub use array::ArrayD;
 pub use codec::{decode_rank_store, encode_rank_store, CodecError};
 pub use dist::{FieldDef, RankStore, TileData};
 pub use halo::HaloArray;
+pub use lines::{gather_line, scatter_line};
 pub use shape::{Region, Shape, Side};
 pub use tile::TileGrid;
 pub use view::{ArrayView, ArrayViewMut};

@@ -1,0 +1,242 @@
+//! Line-block gather/scatter: transposing strided line cross-sections into
+//! contiguous, line-minor block buffers.
+//!
+//! A blocked sweep processes `nlanes` lines of a tile at once. Each line is
+//! a strided walk through the tile's raw storage; the block buffer lays the
+//! lines out *line-minor* (element `k` of lane `l` at `k·nlanes + l`), so a
+//! kernel's inner loop over lanes is unit-stride and auto-vectorizable.
+//! These primitives perform the transpose in both directions, one line at a
+//! time, with an optional reversal for backward sweeps (element 0 of the
+//! block is the line's last storage element).
+//!
+//! The `*_raw` variants take raw pointers so a parallel executor can let
+//! several workers touch *disjoint lines* of the same array without
+//! materializing overlapping `&mut` slices (which would be UB). They check
+//! the same bounds as the safe wrappers; the caller is responsible only for
+//! pointer validity and element-level disjointness.
+
+/// Copy the strided line at `offset`/`stride` in `src` into lane `lane` of
+/// the line-minor block buffer `block` (which holds `block.len() / nlanes`
+/// elements per lane). With `reversed`, the line is read back-to-front so
+/// block element 0 is the line's highest-index storage element.
+///
+/// # Panics
+/// Panics if `lane >= nlanes`, `block.len()` is not a multiple of `nlanes`,
+/// or the line overruns `src`.
+pub fn gather_line(
+    src: &[f64],
+    offset: usize,
+    stride: usize,
+    reversed: bool,
+    block: &mut [f64],
+    lane: usize,
+    nlanes: usize,
+) {
+    // SAFETY: the pointer spans exactly the `src` slice.
+    unsafe {
+        gather_line_raw(
+            src.as_ptr(),
+            src.len(),
+            offset,
+            stride,
+            reversed,
+            block,
+            lane,
+            nlanes,
+        )
+    }
+}
+
+/// Inverse of [`gather_line`]: copy lane `lane` of `block` back onto the
+/// strided line at `offset`/`stride` in `dst`.
+///
+/// # Panics
+/// Same conditions as [`gather_line`].
+pub fn scatter_line(
+    dst: &mut [f64],
+    offset: usize,
+    stride: usize,
+    reversed: bool,
+    block: &[f64],
+    lane: usize,
+    nlanes: usize,
+) {
+    // SAFETY: the pointer spans exactly the `dst` slice.
+    unsafe {
+        scatter_line_raw(
+            dst.as_mut_ptr(),
+            dst.len(),
+            offset,
+            stride,
+            reversed,
+            block,
+            lane,
+            nlanes,
+        )
+    }
+}
+
+#[inline]
+fn check_geometry(
+    buf_len: usize,
+    block_len: usize,
+    offset: usize,
+    stride: usize,
+    lane: usize,
+    nlanes: usize,
+) -> usize {
+    assert!(nlanes > 0, "block needs at least one lane");
+    assert!(lane < nlanes, "lane {lane} out of {nlanes}");
+    assert_eq!(
+        block_len % nlanes,
+        0,
+        "block length not a multiple of lane count"
+    );
+    let seg_len = block_len / nlanes;
+    if seg_len > 0 {
+        let last = offset + (seg_len - 1) * stride;
+        assert!(
+            last < buf_len,
+            "line (offset {offset}, stride {stride}, len {seg_len}) overruns buffer of {buf_len}"
+        );
+    }
+    seg_len
+}
+
+/// Raw-pointer [`gather_line`]: `src` must be valid for reads of `src_len`
+/// elements.
+///
+/// # Safety
+/// `src..src+src_len` must be a live allocation, and no other thread may be
+/// *writing* any of the elements this line addresses. Bounds are asserted.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn gather_line_raw(
+    src: *const f64,
+    src_len: usize,
+    offset: usize,
+    stride: usize,
+    reversed: bool,
+    block: &mut [f64],
+    lane: usize,
+    nlanes: usize,
+) {
+    let seg_len = check_geometry(src_len, block.len(), offset, stride, lane, nlanes);
+    if seg_len == 0 {
+        return;
+    }
+    let lanes = block[lane..].iter_mut().step_by(nlanes);
+    if reversed {
+        let last = offset + (seg_len - 1) * stride;
+        for (k, slot) in lanes.enumerate() {
+            *slot = *src.add(last - k * stride);
+        }
+    } else {
+        for (k, slot) in lanes.enumerate() {
+            *slot = *src.add(offset + k * stride);
+        }
+    }
+}
+
+/// Raw-pointer [`scatter_line`]: `dst` must be valid for writes of `dst_len`
+/// elements.
+///
+/// # Safety
+/// `dst..dst+dst_len` must be a live allocation, and no other thread may be
+/// *accessing* any of the elements this line addresses. Bounds are asserted.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn scatter_line_raw(
+    dst: *mut f64,
+    dst_len: usize,
+    offset: usize,
+    stride: usize,
+    reversed: bool,
+    block: &[f64],
+    lane: usize,
+    nlanes: usize,
+) {
+    let seg_len = check_geometry(dst_len, block.len(), offset, stride, lane, nlanes);
+    if seg_len == 0 {
+        return;
+    }
+    let lanes = block[lane..].iter().step_by(nlanes);
+    if reversed {
+        let last = offset + (seg_len - 1) * stride;
+        for (k, &v) in lanes.enumerate() {
+            *dst.add(last - k * stride) = v;
+        }
+    } else {
+        for (k, &v) in lanes.enumerate() {
+            *dst.add(offset + k * stride) = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_scatter_roundtrip_strided() {
+        // 3 lines of length 4, stride 5, interleaved in a 20-element buffer.
+        let src: Vec<f64> = (0..20).map(|v| v as f64).collect();
+        let offsets = [0usize, 1, 2];
+        let mut block = vec![0.0; 4 * 3];
+        for (lane, &off) in offsets.iter().enumerate() {
+            gather_line(&src, off, 5, false, &mut block, lane, 3);
+        }
+        // line-minor layout: element k of lane l at k*3 + l
+        for k in 0..4 {
+            for (lane, &off) in offsets.iter().enumerate() {
+                assert_eq!(block[k * 3 + lane], src[off + k * 5]);
+            }
+        }
+        let mut dst = vec![-1.0; 20];
+        for (lane, &off) in offsets.iter().enumerate() {
+            scatter_line(&mut dst, off, 5, false, &block, lane, 3);
+        }
+        for (lane, &off) in offsets.iter().enumerate() {
+            for k in 0..4 {
+                assert_eq!(dst[off + k * 5], src[off + k * 5], "lane {lane} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn reversed_gather_reads_back_to_front() {
+        let src: Vec<f64> = (0..10).map(|v| v as f64 * 2.0).collect();
+        let mut block = vec![0.0; 5];
+        gather_line(&src, 0, 2, true, &mut block, 0, 1);
+        assert_eq!(block, vec![16.0, 12.0, 8.0, 4.0, 0.0]);
+        let mut dst = vec![0.0; 10];
+        scatter_line(&mut dst, 0, 2, true, &block, 0, 1);
+        for k in 0..5 {
+            assert_eq!(dst[2 * k], src[2 * k]);
+        }
+    }
+
+    #[test]
+    fn empty_block_is_a_noop() {
+        let src = [1.0, 2.0];
+        let mut block: Vec<f64> = vec![];
+        gather_line(&src, 0, 1, false, &mut block, 0, 2);
+        let mut dst = [0.0, 0.0];
+        scatter_line(&mut dst, 0, 1, false, &block, 1, 2);
+        assert_eq!(dst, [0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns buffer")]
+    fn overrun_detected() {
+        let src = [1.0; 8];
+        let mut block = vec![0.0; 4];
+        gather_line(&src, 2, 3, false, &mut block, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane 2 out of 2")]
+    fn bad_lane_detected() {
+        let src = [1.0; 4];
+        let mut block = vec![0.0; 4];
+        gather_line(&src, 0, 1, false, &mut block, 2, 2);
+    }
+}

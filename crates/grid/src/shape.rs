@@ -1,10 +1,8 @@
 //! Shapes, strides and index arithmetic for dense row-major arrays.
 
-use serde::{Deserialize, Serialize};
-
 /// The shape of a dense `d`-dimensional array (row-major storage: the last
 /// dimension is contiguous).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Shape {
     dims: Vec<usize>,
     strides: Vec<usize>,
@@ -104,7 +102,7 @@ impl Shape {
 
 /// A rectangular region inside a larger array: `origin ≤ idx < origin + extent`
 /// component-wise.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Region {
     /// Lower corner (inclusive).
     pub origin: Vec<usize>,
@@ -183,7 +181,7 @@ impl Region {
 }
 
 /// Which end of a dimension a face or neighbor is on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// The low-coordinate end.
     Low,

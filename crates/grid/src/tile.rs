@@ -8,10 +8,9 @@
 //! ragged cuts too.
 
 use crate::shape::Region;
-use serde::{Deserialize, Serialize};
 
 /// Geometry of a tile grid over a global domain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TileGrid {
     /// Global extents `η`.
     pub eta: Vec<usize>,

@@ -1,37 +1,37 @@
-//! Property tests for the storage substrate: codec round trips and fuzzed
-//! corruption, tile-grid coverage, view/pack agreement, halo line access.
+//! Randomized property tests for the storage substrate: codec round trips
+//! and fuzzed corruption, tile-grid coverage, view/pack agreement, halo line
+//! access.
 
-use bytes::{Bytes, BytesMut};
-use mp_grid::codec::{decode_array, decode_rank_store, encode_array, encode_rank_store};
+use mp_grid::codec::{
+    decode_array, decode_rank_store, encode_array, encode_rank_store, ByteReader,
+};
 use mp_grid::{ArrayD, FieldDef, HaloArray, RankStore, Region, TileGrid};
-use proptest::prelude::*;
+use mp_testkit::{cases, Rng};
 
-fn small_dims() -> impl Strategy<Value = Vec<usize>> {
-    proptest::collection::vec(1usize..6, 1..4)
+fn small_dims(rng: &mut Rng) -> Vec<usize> {
+    let d = rng.usize_in(1, 3);
+    (0..d).map(|_| rng.usize_in(1, 5)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn array_codec_roundtrip(dims in small_dims(), seed in 0u64..1000) {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+#[test]
+fn array_codec_roundtrip() {
+    cases(0xc0de, 64, |rng| {
+        let dims = small_dims(rng);
         let a = ArrayD::from_fn(&dims, |_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            f64::from_bits(state & 0x7FEF_FFFF_FFFF_FFFF) // finite values
+            f64::from_bits(rng.next_u64() & 0x7FEF_FFFF_FFFF_FFFF) // finite values
         });
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         encode_array(&a, &mut buf);
-        let b = decode_array(&mut buf.freeze()).unwrap();
+        let b = decode_array(&mut ByteReader::new(&buf)).unwrap();
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            prop_assert_eq!(x.to_bits(), y.to_bits());
+            assert_eq!(x.to_bits(), y.to_bits());
         }
-    }
+    });
+}
 
-    #[test]
-    fn rank_store_codec_fuzzed_truncation(cut_fraction in 0.0f64..1.0) {
+#[test]
+fn rank_store_codec_fuzzed_truncation() {
+    cases(0x7241, 64, |rng| {
         let grid = TileGrid::new(&[6, 6], &[2, 3]);
         let store = RankStore::allocate(
             1,
@@ -39,55 +39,61 @@ proptest! {
             &[vec![0, 0], vec![1, 2]],
             &[FieldDef::new("u", 1)],
         );
-        let raw = encode_rank_store(&store).to_vec();
-        let cut = ((raw.len() as f64) * cut_fraction) as usize;
-        let r = decode_rank_store(Bytes::from(raw[..cut].to_vec()));
+        let raw = encode_rank_store(&store);
+        let cut = rng.usize_in(0, raw.len());
+        let r = decode_rank_store(&raw[..cut]);
         if cut < raw.len() {
-            prop_assert!(r.is_err(), "truncated decode must fail (cut {cut}/{})", raw.len());
+            assert!(
+                r.is_err(),
+                "truncated decode must fail (cut {cut}/{})",
+                raw.len()
+            );
         } else {
-            prop_assert_eq!(r.unwrap(), store);
+            assert_eq!(r.unwrap(), store);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rank_store_codec_bitflip_never_panics(
-        byte in 0usize..4096,
-        bit in 0u8..8,
-    ) {
+#[test]
+fn rank_store_codec_bitflip_never_panics() {
+    cases(0xb17f, 64, |rng| {
         let grid = TileGrid::new(&[4, 4], &[2, 2]);
         let store = RankStore::allocate(0, &grid, &[vec![1, 1]], &[FieldDef::new("u", 0)]);
-        let mut raw = encode_rank_store(&store).to_vec();
-        let idx = byte % raw.len();
-        raw[idx] ^= 1 << bit;
+        let mut raw = encode_rank_store(&store);
+        let idx = rng.usize_in(0, raw.len() - 1);
+        raw[idx] ^= 1 << rng.usize_in(0, 7);
         // Any outcome is fine except a panic; if it decodes, basic shape
         // invariants must still hold.
-        if let Ok(back) = decode_rank_store(Bytes::from(raw)) {
+        if let Ok(back) = decode_rank_store(&raw) {
             for t in &back.tiles {
-                prop_assert_eq!(t.fields.len(), back.field_defs.len());
+                assert_eq!(t.fields.len(), back.field_defs.len());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn view_matches_pack(
-        e0 in 3usize..8, e1 in 3usize..8,
-        o0 in 0usize..2, o1 in 0usize..2,
-        w0 in 1usize..3, w1 in 1usize..3,
-    ) {
-        prop_assume!(o0 + w0 <= e0 && o1 + w1 <= e1);
+#[test]
+fn view_matches_pack() {
+    cases(0x51ce, 64, |rng| {
+        let (e0, e1) = (rng.usize_in(3, 7), rng.usize_in(3, 7));
+        let (o0, o1) = (rng.usize_in(0, 1), rng.usize_in(0, 1));
+        let (w0, w1) = (rng.usize_in(1, 2), rng.usize_in(1, 2));
+        if o0 + w0 > e0 || o1 + w1 > e1 {
+            return;
+        }
         let a = ArrayD::from_fn(&[e0, e1], |g| (g[0] * 31 + g[1] * 7) as f64);
         let region = Region::new(vec![o0, o1], vec![w0, w1]);
         let via_view = a.slice(&region).to_owned();
         let via_pack = a.pack(&region);
-        prop_assert_eq!(via_view.as_slice(), &via_pack[..]);
-    }
+        assert_eq!(via_view.as_slice(), &via_pack[..]);
+    });
+}
 
-    #[test]
-    fn tile_grid_ragged_3d_partition(
-        e in proptest::collection::vec(1usize..12, 3..4),
-        g in proptest::collection::vec(1usize..5, 3..4),
-    ) {
-        prop_assume!(e.iter().zip(g.iter()).all(|(&e, &g)| g <= e));
+#[test]
+fn tile_grid_ragged_3d_partition() {
+    cases(0x7113, 64, |rng| {
+        let e: Vec<usize> = (0..3).map(|_| rng.usize_in(1, 11)).collect();
+        let g: Vec<usize> = e.iter().map(|&e| rng.usize_in(1, e.min(4))).collect();
         let grid = TileGrid::new(&e, &g);
         let mut count = vec![0u32; e.iter().product()];
         for a in 0..g[0] {
@@ -99,16 +105,17 @@ proptest! {
                 }
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1), "gaps or overlaps");
-    }
+        assert!(count.iter().all(|&c| c == 1), "gaps or overlaps");
+    });
+}
 
-    #[test]
-    fn halo_line_accessor_agrees(
-        ext in proptest::collection::vec(2usize..6, 2..4),
-        halo in 0usize..3,
-        axis_pick in 0usize..8,
-    ) {
-        let axis = axis_pick % ext.len();
+#[test]
+fn halo_line_accessor_agrees() {
+    cases(0x4a10, 64, |rng| {
+        let d = rng.usize_in(2, 3);
+        let ext: Vec<usize> = (0..d).map(|_| rng.usize_in(2, 5)).collect();
+        let halo = rng.usize_in(0, 2);
+        let axis = rng.usize_in(0, ext.len() - 1);
         let mut h = HaloArray::zeros(&ext, halo);
         let mut c = 0.0;
         let base: Vec<usize> = ext.iter().map(|&e| (e - 1) / 2).collect();
@@ -128,11 +135,11 @@ proptest! {
         }
         fill(&mut h, &shape, &mut Vec::new(), 0, &mut c);
         let (off, stride, len) = h.interior_line(axis, &base);
-        prop_assert_eq!(len, ext[axis]);
+        assert_eq!(len, ext[axis]);
         for k in 0..len {
             let mut idx = base.clone();
             idx[axis] = k;
-            prop_assert_eq!(h.raw()[off + k * stride], h.get_i(&idx));
+            assert_eq!(h.raw()[off + k * stride], h.get_i(&idx));
         }
-    }
+    });
 }

@@ -19,10 +19,8 @@
 //! single total, and every `MULTI` hyperplane is distributed among all of
 //! them.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-dimension distribution format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistFormat {
     /// Multipartitioned (the paper's generalized multipartitioning).
     Multi,
@@ -44,7 +42,7 @@ impl DistFormat {
 }
 
 /// `PROCESSORS name(p)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessorsDecl {
     /// Arrangement name.
     pub name: String,
@@ -55,7 +53,7 @@ pub struct ProcessorsDecl {
 }
 
 /// `TEMPLATE name(e1, …, ed)`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TemplateDecl {
     /// Template name.
     pub name: String,
@@ -66,7 +64,7 @@ pub struct TemplateDecl {
 }
 
 /// `ALIGN array WITH template`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlignDecl {
     /// Array name.
     pub array: String,
@@ -77,7 +75,7 @@ pub struct AlignDecl {
 }
 
 /// `DISTRIBUTE template(fmt, …, fmt) ONTO procs`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistributeDecl {
     /// Template being distributed.
     pub template: String,
@@ -90,7 +88,7 @@ pub struct DistributeDecl {
 }
 
 /// A parsed directive program.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     /// Processor arrangements.
     pub processors: Vec<ProcessorsDecl>,

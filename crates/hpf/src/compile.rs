@@ -12,7 +12,6 @@ use crate::ast::{DistFormat, Program};
 use mp_core::cost::CostModel;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_core::plan::SweepPlan;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A semantic error with the offending source line.
@@ -40,7 +39,7 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, CompileError> {
 }
 
 /// How a compiled template is laid out across processors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Layout {
     /// Generalized multipartitioning over the `MULTI` dimensions.
     Multipartitioned {
@@ -61,7 +60,7 @@ pub enum Layout {
 }
 
 /// A compiled template.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledTemplate {
     /// Template extents.
     pub extents: Vec<u64>,
@@ -72,7 +71,7 @@ pub struct CompiledTemplate {
 }
 
 /// The result of compiling a directive program.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Compiled {
     /// Total processors.
     pub p: u64,

@@ -1,69 +1,72 @@
-//! Property tests: render ∘ parse round trips, and compiled layouts are
+//! Randomized tests: render ∘ parse round trips, and compiled layouts are
 //! always structurally sound for randomly generated valid programs.
 
 use mp_hpf::ast::{AlignDecl, DistFormat, DistributeDecl, ProcessorsDecl, Program, TemplateDecl};
 use mp_hpf::{compile, parse, Layout};
-use proptest::prelude::*;
+use mp_testkit::{cases, Rng};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_]{0,6}".prop_map(|s| s.to_uppercase())
+fn ident(rng: &mut Rng) -> String {
+    const HEAD: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const TAIL: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+    let mut s = String::new();
+    s.push(*rng.pick(HEAD) as char);
+    for _ in 0..rng.usize_in(0, 6) {
+        s.push(*rng.pick(TAIL) as char);
+    }
+    s
 }
 
 /// A random syntactically valid program with one processors decl, one
 /// template, a few aligns, one distribute.
-fn program() -> impl Strategy<Value = Program> {
-    (
-        ident(),
-        2u64..30,
-        ident(),
-        proptest::collection::vec(8u64..64, 2..4),
-        proptest::collection::vec(ident(), 0..3),
-        proptest::collection::vec(0u8..3, 2..4),
-    )
-        .prop_filter("distinct names", |(pname, _, tname, ..)| pname != tname)
-        .prop_map(|(pname, count, tname, extents, arrays, fmt_codes)| {
-            let d = extents.len();
-            let mut formats: Vec<DistFormat> = fmt_codes
-                .into_iter()
-                .take(d)
-                .map(|c| match c {
-                    0 => DistFormat::Multi,
-                    1 => DistFormat::Block,
-                    _ => DistFormat::Collapsed,
-                })
-                .collect();
-            formats.resize(d, DistFormat::Collapsed);
-            let mut prog = Program {
-                processors: vec![ProcessorsDecl {
-                    name: pname.clone(),
-                    count,
-                    line: 0,
-                }],
-                templates: vec![TemplateDecl {
-                    name: tname.clone(),
-                    extents,
-                    line: 0,
-                }],
-                aligns: Vec::new(),
-                distributes: vec![DistributeDecl {
-                    template: tname.clone(),
-                    formats,
-                    onto: pname,
-                    line: 0,
-                }],
-            };
-            let mut seen = std::collections::BTreeSet::new();
-            for a in arrays {
-                if a != prog.templates[0].name && seen.insert(a.clone()) {
-                    prog.aligns.push(AlignDecl {
-                        array: a,
-                        template: tname.clone(),
-                        line: 0,
-                    });
-                }
-            }
-            prog
+fn program(rng: &mut Rng) -> Program {
+    let pname = ident(rng);
+    let count = rng.u64_in(2, 29);
+    let tname = loop {
+        let t = ident(rng);
+        if t != pname {
+            break t;
+        }
+    };
+    let d = rng.usize_in(2, 3);
+    let extents: Vec<u64> = (0..d).map(|_| rng.u64_in(8, 63)).collect();
+    let arrays: Vec<String> = (0..rng.usize_in(0, 2)).map(|_| ident(rng)).collect();
+    let formats: Vec<DistFormat> = (0..d)
+        .map(|_| match rng.usize_in(0, 2) {
+            0 => DistFormat::Multi,
+            1 => DistFormat::Block,
+            _ => DistFormat::Collapsed,
         })
+        .collect();
+    let mut prog = Program {
+        processors: vec![ProcessorsDecl {
+            name: pname.clone(),
+            count,
+            line: 0,
+        }],
+        templates: vec![TemplateDecl {
+            name: tname.clone(),
+            extents,
+            line: 0,
+        }],
+        aligns: Vec::new(),
+        distributes: vec![DistributeDecl {
+            template: tname.clone(),
+            formats,
+            onto: pname,
+            line: 0,
+        }],
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for a in arrays {
+        if a != prog.templates[0].name && seen.insert(a.clone()) {
+            prog.aligns.push(AlignDecl {
+                array: a,
+                template: tname.clone(),
+                line: 0,
+            });
+        }
+    }
+    prog
 }
 
 /// Strip line numbers so rendered/parsed programs compare equal.
@@ -83,31 +86,33 @@ fn normalize(mut p: Program) -> Program {
     p
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn render_parse_roundtrip(prog in program()) {
+#[test]
+fn render_parse_roundtrip() {
+    cases(0x48b1, 128, |rng| {
+        let prog = program(rng);
         let text = prog.render();
         let back = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
-        prop_assert_eq!(normalize(back), normalize(prog));
-    }
+        assert_eq!(normalize(back), normalize(prog));
+    });
+}
 
-    #[test]
-    fn compile_never_panics_and_layouts_are_sound(prog in program()) {
+#[test]
+fn compile_never_panics_and_layouts_are_sound() {
+    cases(0x48b2, 128, |rng| {
+        let prog = program(rng);
         // Compilation may legitimately reject (single MULTI, mixed formats,
         // over-cut, multi-BLOCK) but must never panic, and accepted MULTI
         // layouts must verify.
         if let Ok(c) = compile(&prog) {
             for t in c.templates.values() {
                 if let Layout::Multipartitioned { mp, multi_dims } = &t.layout {
-                    prop_assert!(multi_dims.len() >= 2);
-                    prop_assert!(mp.partitioning.is_valid(mp.p));
+                    assert!(multi_dims.len() >= 2);
+                    assert!(mp.partitioning.is_valid(mp.p));
                     if mp.partitioning.total_tiles() <= 20_000 {
-                        prop_assert!(mp.verify().is_ok());
+                        assert!(mp.verify().is_ok());
                     }
                 }
             }
         }
-    }
+    });
 }

@@ -11,13 +11,12 @@
 //! reproducing it here.
 
 use mp_sweep::block::{BlockCoeffs, Mat};
-use serde::{Deserialize, Serialize};
 
 /// Number of coupled components (the five flow variables).
 pub const NCOMP: usize = 5;
 
 /// Problem-wide constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BtProblem {
     /// Grid extents.
     pub eta: [usize; 3],

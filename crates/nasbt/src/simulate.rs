@@ -10,14 +10,13 @@ use mp_runtime::sim::SimNet;
 use mp_sweep::simulate::{
     simulate_halo_exchange, simulate_multipart_sweep, MultipartGeometry, SweepWork,
 };
-use serde::{Deserialize, Serialize};
 
 /// Per-line carry of a BT block sweep: a 5×5 matrix plus a 5-vector.
 pub const BT_CARRY_PER_LINE: u64 = (NCOMP * NCOMP + NCOMP) as u64;
 
 /// Per-element work factors of a BT iteration (block operations are ~N³
 /// per element vs SP's O(1)).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BtWorkFactors {
     /// Stencil phase.
     pub rhs: f64,
@@ -41,7 +40,7 @@ impl Default for BtWorkFactors {
 }
 
 /// Result of a simulated BT run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BtSimResult {
     /// Processor count.
     pub p: u64,

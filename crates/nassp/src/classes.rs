@@ -5,10 +5,8 @@
 //! simplified SP keeps the class sizes (and a `Custom` escape hatch for
 //! small test grids).
 
-use serde::{Deserialize, Serialize};
-
 /// SP problem class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Class {
     /// Sample: 12³, 100 iterations.
     S,

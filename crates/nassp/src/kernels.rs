@@ -78,6 +78,52 @@ impl LineSweepKernel for SpPentaForwardKernel {
         carry[4] = p2.1;
         carry[5] = p2.2;
     }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Forward);
+        debug_assert_eq!(carries.len(), 6 * nlines);
+        if nlines == 0 {
+            return;
+        }
+        // Coefficient generation dominates, so iterate line-outer over the
+        // line-minor layout: one reusable position vector per block instead
+        // of the fallback's per-line buffer copies.
+        let (cf, bb) = block.split_at_mut(2);
+        let bb = &mut bb[0];
+        let mut g = vec![0usize; ctxs[0].global_start.len()];
+        for l in 0..nlines {
+            let ctx = &ctxs[l];
+            let cl = &mut carries[6 * l..6 * l + 6];
+            let mut p1 = (cl[0], cl[1], cl[2]);
+            let mut p2 = (cl[3], cl[4], cl[5]);
+            g.copy_from_slice(&ctx.global_start);
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                g[ctx.axis] = ctx.axis_coord(k);
+                let (e, a, d, c, f) = self.prob.penta_coefficients(&g, ctx.axis);
+                let row = eliminate_row((e, a, d, c, f, bb[r]), p1, p2);
+                cf[0][r] = row.0;
+                cf[1][r] = row.1;
+                bb[r] = row.2;
+                p2 = p1;
+                p1 = row;
+            }
+            cl[0] = p1.0;
+            cl[1] = p1.1;
+            cl[2] = p1.2;
+            cl[3] = p2.0;
+            cl[4] = p2.1;
+            cl[5] = p2.2;
+        }
+    }
 }
 
 /// Tridiagonal forward elimination with generated coefficients (the
@@ -135,6 +181,43 @@ impl LineSweepKernel for SpTriForwardKernel {
         }
         carry[0] = cp;
         carry[1] = dp;
+    }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Forward);
+        debug_assert_eq!(carries.len(), 2 * nlines);
+        if nlines == 0 {
+            return;
+        }
+        let (cc, dd) = block.split_at_mut(1);
+        let (cc, dd) = (&mut cc[0], &mut dd[0]);
+        let mut g = vec![0usize; ctxs[0].global_start.len()];
+        for l in 0..nlines {
+            let ctx = &ctxs[l];
+            let (mut cp, mut dp) = (carries[2 * l], carries[2 * l + 1]);
+            g.copy_from_slice(&ctx.global_start);
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                g[ctx.axis] = ctx.axis_coord(k);
+                let (a, b, c) = self.prob.coefficients(&g, ctx.axis);
+                let denom = b - a * cp;
+                assert!(denom != 0.0, "zero pivot");
+                cp = c / denom;
+                dp = (dd[r] - a * dp) / denom;
+                cc[r] = cp;
+                dd[r] = dp;
+            }
+            carries[2 * l] = cp;
+            carries[2 * l + 1] = dp;
+        }
     }
 }
 
@@ -247,5 +330,79 @@ mod tests {
         );
 
         assert_eq!(rhs_gen.max_abs_diff(&rhs_stored), 0.0);
+    }
+
+    #[test]
+    fn blocked_sp_kernels_match_per_line_bitwise() {
+        // Position-dependent kernels: every line of a block has a different
+        // SegmentCtx, so the blocked path must thread per-line coefficients
+        // exactly like the per-line fallback does.
+        use mp_sweep::recurrence::{per_line_sweep_block, SegmentCtx};
+        let prob = SpProblem::pentadiagonal([6, 11, 7], 0.01);
+        let nlines = 5;
+        let seg_len = 8;
+        let axis = 1;
+        let ctxs: Vec<SegmentCtx> = (0..nlines)
+            .map(|l| SegmentCtx::new(vec![l, 2, l + 1], axis, Direction::Forward))
+            .collect();
+        let vals = |s: usize| {
+            (0..seg_len * nlines)
+                .map(|k| ((k * 17 + s * 31) % 13) as f64 * 0.4 - 2.0)
+                .collect::<Vec<f64>>()
+        };
+
+        let penta = SpPentaForwardKernel::new(prob, 0, 1, 2);
+        let blk0 = vec![vals(0), vals(1), vals(2)];
+        let carry0 = vec![0.0; nlines * penta.carry_len()];
+        let mut got_blk = blk0.clone();
+        let mut got_carry = carry0.clone();
+        penta.sweep_block(
+            Direction::Forward,
+            nlines,
+            seg_len,
+            &mut got_carry,
+            &mut got_blk,
+            &ctxs,
+        );
+        let mut want_blk = blk0;
+        let mut want_carry = carry0;
+        per_line_sweep_block(
+            &penta,
+            Direction::Forward,
+            nlines,
+            seg_len,
+            &mut want_carry,
+            &mut want_blk,
+            &ctxs,
+        );
+        assert_eq!(got_carry, want_carry);
+        assert_eq!(got_blk, want_blk);
+
+        let tri = SpTriForwardKernel::new(SpProblem::new([6, 11, 7], 0.01), 0, 1);
+        let blk0 = vec![vals(3), vals(4)];
+        let carry0 = vec![0.0; nlines * tri.carry_len()];
+        let mut got_blk = blk0.clone();
+        let mut got_carry = carry0.clone();
+        tri.sweep_block(
+            Direction::Forward,
+            nlines,
+            seg_len,
+            &mut got_carry,
+            &mut got_blk,
+            &ctxs,
+        );
+        let mut want_blk = blk0;
+        let mut want_carry = carry0;
+        per_line_sweep_block(
+            &tri,
+            Direction::Forward,
+            nlines,
+            seg_len,
+            &mut want_carry,
+            &mut want_blk,
+            &ctxs,
+        );
+        assert_eq!(got_carry, want_carry);
+        assert_eq!(got_blk, want_blk);
     }
 }

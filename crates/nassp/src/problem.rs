@@ -16,10 +16,8 @@
 //! distributed ranks can build their local coefficient tiles without
 //! communication, exactly as SP builds its systems from local state.
 
-use serde::{Deserialize, Serialize};
-
 /// Which line-system shape the implicit solves use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverKind {
     /// Three-point coupling per line (2 carries per direction) — the
     /// simplified default.
@@ -30,7 +28,7 @@ pub enum SolverKind {
 }
 
 /// Problem-wide constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpProblem {
     /// Grid extents.
     pub eta: [usize; 3],
@@ -131,7 +129,7 @@ impl SpProblem {
 /// Per-element relative work factors of each SP phase, used by the
 /// performance simulation (counts of flops-per-element, normalized so one
 /// unit equals the machine's `elem_compute`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpWorkFactors {
     /// `compute_rhs` stencil (7-point Laplacian + forcing).
     pub rhs: f64,

@@ -16,7 +16,6 @@ use mp_runtime::sim::SimNet;
 use mp_sweep::simulate::{
     simulate_halo_exchange, simulate_multipart_sweep, MultipartGeometry, SweepWork,
 };
-use serde::{Deserialize, Serialize};
 
 /// Real NAS SP evolves **five** solution components (ρ, ρu, ρv, ρw, E);
 /// every boundary hyperplane and every per-line solver carry ships five
@@ -35,7 +34,7 @@ pub const SP_CARRY_PER_LINE: u64 = 2 * SP_COMPONENTS;
 pub const SP_HALO_ELEMS_PER_FACE_CELL: u64 = 2 * SP_COMPONENTS;
 
 /// Which partitioning strategy the simulated run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpVersion {
     /// Diagonal 3-D multipartitioning — the hand-coded NASA version of
     /// Table 1. Only valid when `p` is a perfect square.
@@ -46,7 +45,7 @@ pub enum SpVersion {
 }
 
 /// Outcome of a simulated SP run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpSimResult {
     /// Processor count.
     pub p: u64,
@@ -171,7 +170,7 @@ pub fn serial_sp_seconds(
 }
 
 /// One row of the Table 1 reproduction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// CPU count.
     pub p: u64,

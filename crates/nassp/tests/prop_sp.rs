@@ -1,5 +1,5 @@
-//! Property tests for the SP application: distributed == serial for random
-//! grids, processor counts, and solver kinds.
+//! Randomized tests for the SP application: distributed == serial for
+//! random grids, processor counts, and solver kinds.
 
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
@@ -9,32 +9,26 @@ use mp_nassp::problem::{SolverKind, SpProblem};
 use mp_nassp::serial::SerialSp;
 use mp_runtime::threaded::run_threaded;
 use mp_runtime::Communicator;
-use proptest::prelude::*;
+use mp_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn distributed_equals_serial_random_configs(
-        n0 in 6usize..11,
-        n1 in 6usize..11,
-        n2 in 6usize..11,
-        p in 2u64..7,
-        penta in proptest::bool::ANY,
-        dt_millis in 1u64..5,
-    ) {
+#[test]
+fn distributed_equals_serial_random_configs() {
+    cases(0x5b01, 12, |rng| {
+        let n0 = rng.usize_in(6, 10);
+        let n1 = rng.usize_in(6, 10);
+        let n2 = rng.usize_in(6, 10);
+        let p = rng.u64_in(2, 6);
+        let dt_millis = rng.u64_in(1, 4);
         let mut prob = SpProblem::new([n0, n1, n2], dt_millis as f64 * 1e-3);
-        if penta {
+        if rng.bool() {
             prob.solver = SolverKind::Pentadiagonal;
         }
         let eta = [n0 as u64, n1 as u64, n2 as u64];
         let mp = Multipartitioning::optimal(p, &eta, &CostModel::origin2000_like());
         // Skip configurations that over-cut this (small) grid.
-        prop_assume!(mp
-            .gammas()
-            .iter()
-            .zip(eta.iter())
-            .all(|(&g, &e)| g <= e));
+        if !mp.gammas().iter().zip(eta.iter()).all(|(&g, &e)| g <= e) {
+            return;
+        }
 
         let mut serial = SerialSp::new(prob);
         serial.run(1);
@@ -48,23 +42,23 @@ proptest! {
         for store in &results {
             store.gather_into(fields::U, &mut global);
         }
-        prop_assert_eq!(global.max_abs_diff(&serial.u), 0.0);
-        prop_assert!(serial.u_norm().is_finite());
-    }
+        assert_eq!(global.max_abs_diff(&serial.u), 0.0);
+        assert!(serial.u_norm().is_finite());
+    });
+}
 
-    #[test]
-    fn serial_norm_is_stable_over_iterations(
-        n in 6usize..10,
-        penta in proptest::bool::ANY,
-    ) {
+#[test]
+fn serial_norm_is_stable_over_iterations() {
+    cases(0x5b02, 12, |rng| {
+        let n = rng.usize_in(6, 9);
         let mut prob = SpProblem::new([n, n, n], 1e-3);
-        if penta {
+        if rng.bool() {
             prob.solver = SolverKind::Pentadiagonal;
         }
         let mut sp = SerialSp::new(prob);
         sp.run(4);
         let norm = sp.u_norm();
-        prop_assert!(norm.is_finite());
-        prop_assert!(norm < 1e4, "norm {norm} exploded");
-    }
+        assert!(norm.is_finite());
+        assert!(norm < 1e4, "norm {norm} exploded");
+    });
 }

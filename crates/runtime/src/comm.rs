@@ -32,6 +32,19 @@ pub trait Communicator {
     /// payload.
     fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64>;
 
+    /// Take an empty buffer to assemble the next `send` payload in,
+    /// drawing from the endpoint's recycle pool when it keeps one. The
+    /// returned buffer is empty but may carry capacity from an earlier
+    /// recycled message. Default: a fresh allocation.
+    fn take_send_buffer(&mut self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Hand a consumed payload back to the endpoint so a later
+    /// [`Communicator::take_send_buffer`] can reuse its allocation.
+    /// Default: drop it.
+    fn recycle(&mut self, _buf: Vec<f64>) {}
+
     /// Synchronize all ranks.
     fn barrier(&mut self) {
         // Dissemination barrier on top of send/recv: ⌈log2 p⌉ rounds.

@@ -7,10 +7,9 @@
 //! machine's bandwidth regime (footnote 1 of the paper).
 
 use mp_core::cost::{BandwidthScaling, CostModel};
-use serde::{Deserialize, Serialize};
 
 /// Simulator machine model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineModel {
     /// Seconds of compute per array element per sweep pass (the paper's K1).
     pub elem_compute: f64,

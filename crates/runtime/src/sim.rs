@@ -23,11 +23,10 @@
 //! produced from `mp-core` plans.
 
 use crate::machine::MachineModel;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
 /// Aggregate statistics of a simulated run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Point-to-point messages delivered.
     pub messages: u64,
@@ -38,7 +37,7 @@ pub struct SimStats {
 }
 
 /// Per-rank time accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RankTimes {
     /// Seconds spent computing.
     pub compute: f64,
@@ -50,7 +49,7 @@ pub struct RankTimes {
 
 /// One recorded interval of simulated activity (tracing must be enabled
 /// with [`SimNet::enable_trace`]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SimEvent {
     /// Local computation.
     Compute {

@@ -1,5 +1,5 @@
-//! In-process threaded backend: one OS thread per rank, crossbeam channels
-//! for transport.
+//! In-process threaded backend: one OS thread per rank, `std::sync::mpsc`
+//! channels for transport.
 //!
 //! This backend is for *functional* execution — proving that the
 //! multipartitioned sweeps compute exactly what a serial run computes. (On
@@ -7,8 +7,8 @@
 //! come from the discrete-event [`crate::sim`] backend instead.)
 
 use crate::comm::{Communicator, Tag};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A tagged message in flight.
 #[derive(Debug)]
@@ -18,6 +18,11 @@ struct Envelope {
     payload: Vec<f64>,
 }
 
+/// Most buffers a rank keeps around for payload reuse. One steady-state
+/// sweep holds at most a couple of messages in flight per rank, so a small
+/// pool captures all the reuse without pinning memory after a burst.
+const RECYCLE_POOL_CAP: usize = 8;
+
 /// Per-rank endpoint for the threaded backend.
 pub struct ThreadedComm {
     rank: u64,
@@ -26,6 +31,9 @@ pub struct ThreadedComm {
     inbox: Receiver<Envelope>,
     /// Messages that arrived before anyone asked for them.
     stash: HashMap<(u64, Tag), VecDeque<Vec<f64>>>,
+    /// Consumed payloads waiting to back a future send
+    /// ([`Communicator::take_send_buffer`]).
+    pool: Vec<Vec<f64>>,
     /// Counters for observability.
     pub sent_messages: u64,
     /// Total elements sent.
@@ -75,6 +83,22 @@ impl Communicator for ThreadedComm {
                 .push_back(env.payload);
         }
     }
+
+    fn take_send_buffer(&mut self) -> Vec<f64> {
+        match self.pool.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn recycle(&mut self, buf: Vec<f64>) {
+        if self.pool.len() < RECYCLE_POOL_CAP && buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
 }
 
 /// Run `f` on `p` ranks, each on its own thread, and collect the per-rank
@@ -105,7 +129,7 @@ where
     let mut senders = Vec::with_capacity(p as usize);
     let mut receivers = Vec::with_capacity(p as usize);
     for _ in 0..p {
-        let (s, r) = unbounded();
+        let (s, r) = channel();
         senders.push(s);
         receivers.push(r);
     }
@@ -124,6 +148,7 @@ where
                         senders,
                         inbox,
                         stash: HashMap::new(),
+                        pool: Vec::new(),
                         sent_messages: 0,
                         sent_elements: 0,
                     };
@@ -296,6 +321,40 @@ mod tests {
             comm.rank() + comm.size()
         });
         assert_eq!(res, vec![1]);
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_and_counted() {
+        let res = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                let mut total = 0u64;
+                for k in 0..4 {
+                    let mut buf = comm.take_send_buffer();
+                    assert!(buf.is_empty());
+                    // After the first round-trip the pooled buffer's
+                    // allocation comes back to us.
+                    if k > 0 {
+                        assert!(buf.capacity() >= 3);
+                    }
+                    buf.extend_from_slice(&[k as f64, 1.0, 2.0]);
+                    comm.send(1, k, buf);
+                    let echo = comm.recv(1, 100 + k);
+                    assert_eq!(echo[0], k as f64);
+                    comm.recycle(echo);
+                    total += 1;
+                }
+                assert_eq!(comm.sent_messages, total);
+                assert_eq!(comm.sent_elements, 3 * total);
+                0.0
+            } else {
+                for k in 0..4 {
+                    let msg = comm.recv(0, k);
+                    comm.send(0, 100 + k, msg);
+                }
+                0.0
+            }
+        });
+        assert_eq!(res.len(), 2);
     }
 
     #[test]

@@ -1,28 +1,24 @@
-//! Property tests for the threaded communicator: arbitrary message
+//! Randomized tests for the threaded communicator: arbitrary message
 //! matrices with arbitrary tags must be delivered completely and in
 //! per-(sender, tag) FIFO order, no matter how receives are ordered.
 
 use mp_runtime::threaded::run_threaded;
 use mp_runtime::Communicator;
-use proptest::prelude::*;
+use mp_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every rank sends `counts[to]` messages to each peer, payload =
-    /// [from, seq]; each receiver drains peers in an arbitrary (reversed /
-    /// rotated) order and must observe exact sequences.
-    #[test]
-    fn message_matrix_delivery(
-        p in 2u64..6,
-        counts in proptest::collection::vec(0usize..5, 6 * 6),
-        reverse_recv in proptest::bool::ANY,
-        tag in 0u64..3,
-    ) {
+/// Every rank sends `counts[to]` messages to each peer, payload =
+/// [from, seq]; each receiver drains peers in an arbitrary (reversed /
+/// rotated) order and must observe exact sequences.
+#[test]
+fn message_matrix_delivery() {
+    cases(0xc401, 24, |rng| {
+        let p = rng.u64_in(2, 5);
         let n = p as usize;
         let counts_mat: Vec<Vec<usize>> = (0..n)
-            .map(|i| (0..n).map(|j| counts[i * 6 + j]).collect())
+            .map(|_| (0..n).map(|_| rng.usize_in(0, 4)).collect())
             .collect();
+        let reverse_recv = rng.bool();
+        let tag = rng.u64_in(0, 2);
         let cm = counts_mat.clone();
         run_threaded(p, move |comm| {
             let me = comm.rank() as usize;
@@ -47,12 +43,15 @@ proptest! {
                 }
             }
         });
-    }
+    });
+}
 
-    /// Interleaving two tags from one sender preserves each tag's order
-    /// independently.
-    #[test]
-    fn two_tag_interleave(k in 1usize..8) {
+/// Interleaving two tags from one sender preserves each tag's order
+/// independently.
+#[test]
+fn two_tag_interleave() {
+    cases(0xc402, 24, |rng| {
+        let k = rng.usize_in(1, 7);
         run_threaded(2, move |comm| {
             if comm.rank() == 0 {
                 for seq in 0..k {
@@ -70,11 +69,15 @@ proptest! {
                 }
             }
         });
-    }
+    });
+}
 
-    /// allreduce_sum is exact for integer-valued payloads of any width.
-    #[test]
-    fn allreduce_sums_exactly(p in 1u64..6, width in 1usize..6) {
+/// allreduce_sum is exact for integer-valued payloads of any width.
+#[test]
+fn allreduce_sums_exactly() {
+    cases(0xc403, 24, |rng| {
+        let p = rng.u64_in(1, 5);
+        let width = rng.usize_in(1, 5);
         let results = run_threaded(p, move |comm| {
             let me = comm.rank() as f64;
             let vals: Vec<f64> = (0..width).map(|k| me * (k as f64 + 1.0)).collect();
@@ -83,8 +86,8 @@ proptest! {
         let total: f64 = (0..p).map(|r| r as f64).sum();
         for r in results {
             for (k, v) in r.iter().enumerate() {
-                prop_assert_eq!(*v, total * (k as f64 + 1.0));
+                assert_eq!(*v, total * (k as f64 + 1.0));
             }
         }
-    }
+    });
 }

@@ -78,6 +78,42 @@ impl<K: LineSweepKernel> LineSweepKernel for BatchedKernel<K> {
             seg_rest = sr;
         }
     }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        ctxs: &[SegmentCtx],
+    ) {
+        // The batch's line-major carry interleaves the members' carries per
+        // line; each member's blocked path wants its own carries contiguous.
+        // De-interleave into one scratch buffer, reused across members.
+        let total = self.carry_len();
+        debug_assert_eq!(carries.len(), nlines * total);
+        let max_clen = self.members.iter().map(|k| k.carry_len()).max().unwrap();
+        let mut scratch = vec![0.0; nlines * max_clen];
+        let mut off = 0;
+        let mut block_rest = block;
+        for k in &self.members {
+            let clen = k.carry_len();
+            let (b, br) = block_rest.split_at_mut(k.fields().len());
+            let sc = &mut scratch[..nlines * clen];
+            for l in 0..nlines {
+                sc[l * clen..(l + 1) * clen]
+                    .copy_from_slice(&carries[l * total + off..l * total + off + clen]);
+            }
+            k.sweep_block(dir, nlines, seg_len, sc, b, ctxs);
+            for l in 0..nlines {
+                carries[l * total + off..l * total + off + clen]
+                    .copy_from_slice(&sc[l * clen..(l + 1) * clen]);
+            }
+            off += clen;
+            block_rest = br;
+        }
+    }
 }
 
 #[cfg(test)]

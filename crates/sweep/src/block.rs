@@ -302,6 +302,72 @@ impl<const N: usize, S: BlockCoeffs<N>> LineSweepKernel for BlockTriForwardKerne
             carry[N * N + i] = dp[i];
         }
     }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Forward);
+        let clen = N * N + N;
+        debug_assert_eq!(carries.len(), nlines * clen);
+        // Per-element work here is a 5×5 inverse — lanes can't be usefully
+        // vectorized, so iterate line-outer over the line-minor layout
+        // (stride `nlines`), which still skips the fallback's copies.
+        for l in 0..nlines {
+            let ctx = &ctxs[l];
+            let carry = &mut carries[l * clen..(l + 1) * clen];
+            let mut cp: Mat<N> = [[0.0; N]; N];
+            let mut dp: VecN<N> = [0.0; N];
+            for i in 0..N {
+                for j in 0..N {
+                    cp[i][j] = carry[i * N + j];
+                }
+                dp[i] = carry[N * N + i];
+            }
+            let first_global = ctx.global_start[ctx.axis] == 0;
+            let mut g = ctx.global_start.clone();
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                g[ctx.axis] = ctx.axis_coord(k);
+                let (a, b, c) = self.coeffs.blocks(&g, ctx.axis);
+                let at_line_start = first_global && k == 0;
+                let (denom, rhs) = {
+                    let mut d: VecN<N> = [0.0; N];
+                    for comp in 0..N {
+                        d[comp] = block[N * N + comp][r];
+                    }
+                    if at_line_start {
+                        (b, d)
+                    } else {
+                        (
+                            mat_sub(&b, &mat_mul(&a, &cp)),
+                            vec_sub(&d, &mat_vec(&a, &dp)),
+                        )
+                    }
+                };
+                let inv = mat_inv(&denom);
+                cp = mat_mul(&inv, &c);
+                dp = mat_vec(&inv, &rhs);
+                for i in 0..N {
+                    for j in 0..N {
+                        block[i * N + j][r] = cp[i][j];
+                    }
+                    block[N * N + i][r] = dp[i];
+                }
+            }
+            for i in 0..N {
+                for j in 0..N {
+                    carry[i * N + j] = cp[i][j];
+                }
+                carry[N * N + i] = dp[i];
+            }
+        }
+    }
 }
 
 /// Block back substitution over the same field layout. Carry: `N + 1`
@@ -368,6 +434,49 @@ impl<const N: usize> LineSweepKernel for BlockTriBackwardKernel<N> {
         }
         carry[..N].copy_from_slice(&x_next);
         carry[N] = 1.0;
+    }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Backward);
+        let clen = N + 1;
+        debug_assert_eq!(carries.len(), nlines * clen);
+        for l in 0..nlines {
+            let carry = &mut carries[l * clen..(l + 1) * clen];
+            let mut x_next: VecN<N> = [0.0; N];
+            x_next[..N].copy_from_slice(&carry[..N]);
+            let mut valid = carry[N] != 0.0;
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                let mut cp: Mat<N> = [[0.0; N]; N];
+                let mut dp: VecN<N> = [0.0; N];
+                for i in 0..N {
+                    for j in 0..N {
+                        cp[i][j] = block[i * N + j][r];
+                    }
+                    dp[i] = block[N * N + i][r];
+                }
+                let x = if valid {
+                    vec_sub(&dp, &mat_vec(&cp, &x_next))
+                } else {
+                    dp
+                };
+                for i in 0..N {
+                    block[N * N + i][r] = x[i];
+                }
+                x_next = x;
+                valid = true;
+            }
+            carry[..N].copy_from_slice(&x_next);
+            carry[N] = 1.0;
+        }
     }
 }
 
@@ -609,5 +718,87 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn blocked_block_tri_matches_per_line_bitwise() {
+        // The custom sweep_block paths must equal the per-line fallback
+        // bit-for-bit, with per-line contexts at different global positions.
+        use crate::recurrence::per_line_sweep_block;
+        let nlines = 4;
+        let seg_len = 6;
+        let scratch_idx: Vec<usize> = (0..9).collect();
+        let rhs_idx: Vec<usize> = (9..12).collect();
+        let fwd = BlockTriForwardKernel::<3, _>::new(TestCoeffs, &scratch_idx, &rhs_idx);
+        let bwd = BlockTriBackwardKernel::<3>::new(&scratch_idx, &rhs_idx);
+
+        let mut next = rng(17);
+        let mk_block = |next: &mut dyn FnMut() -> f64| -> Vec<Vec<f64>> {
+            (0..12)
+                .map(|_| (0..seg_len * nlines).map(|_| next()).collect())
+                .collect()
+        };
+
+        // Forward: lines start at different cross-section positions.
+        let fctxs: Vec<SegmentCtx> = (0..nlines)
+            .map(|l| SegmentCtx::new(vec![0, l, l + 1], 0, Direction::Forward))
+            .collect();
+        let blk0 = mk_block(&mut next);
+        let carry0: Vec<f64> = (0..nlines * fwd.carry_len())
+            .map(|_| next() * 0.1)
+            .collect();
+        let mut got_blk = blk0.clone();
+        let mut got_carry = carry0.clone();
+        fwd.sweep_block(
+            Direction::Forward,
+            nlines,
+            seg_len,
+            &mut got_carry,
+            &mut got_blk,
+            &fctxs,
+        );
+        let mut want_blk = blk0.clone();
+        let mut want_carry = carry0.clone();
+        per_line_sweep_block(
+            &fwd,
+            Direction::Forward,
+            nlines,
+            seg_len,
+            &mut want_carry,
+            &mut want_blk,
+            &fctxs,
+        );
+        assert_eq!(got_carry, want_carry);
+        assert_eq!(got_blk, want_blk);
+
+        // Backward over the forward result.
+        let bctxs: Vec<SegmentCtx> = (0..nlines)
+            .map(|l| SegmentCtx::new(vec![seg_len - 1, l, l + 1], 0, Direction::Backward))
+            .collect();
+        let bcarry0: Vec<f64> = (0..nlines * bwd.carry_len())
+            .map(|_| next() * 0.1)
+            .collect();
+        let mut got_carry = bcarry0.clone();
+        let mut want_blk = got_blk.clone();
+        bwd.sweep_block(
+            Direction::Backward,
+            nlines,
+            seg_len,
+            &mut got_carry,
+            &mut got_blk,
+            &bctxs,
+        );
+        let mut want_carry = bcarry0;
+        per_line_sweep_block(
+            &bwd,
+            Direction::Backward,
+            nlines,
+            seg_len,
+            &mut want_carry,
+            &mut want_blk,
+            &bctxs,
+        );
+        assert_eq!(got_carry, want_carry);
+        assert_eq!(got_blk, want_blk);
     }
 }

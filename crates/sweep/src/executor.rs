@@ -14,82 +14,267 @@
 //! both sides enumerate lines in the same order and no per-line addressing
 //! is needed on the wire.
 //!
+//! Execution within a phase is **blocked**: each tile's lines are processed
+//! in blocks of [`SweepOptions::block_width`], gathered into contiguous
+//! line-minor buffers so kernels can run an auto-vectorizable inner loop
+//! across lines ([`LineSweepKernel::sweep_block`]). Because the line-major
+//! carry layout *is* the wire layout, the incoming message is copied into
+//! the outgoing buffer once and evolved in place — the communication
+//! schedule (message count, payload sizes, byte order) is identical to
+//! per-line execution. Blocks are independent, so they can additionally be
+//! spread over [`SweepOptions::threads`] worker threads; all scratch
+//! buffers are reused across the γ phases, so steady-state phases allocate
+//! nothing.
+//!
 //! Also provides the halo exchange used by stencil phases (e.g. SP's
 //! `compute_rhs`), with the same per-direction aggregation.
 
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
 use mp_core::multipart::{Direction, Multipartitioning};
-use mp_grid::shape::{Shape, Side};
+use mp_grid::lines::{gather_line_raw, scatter_line_raw};
+use mp_grid::shape::Side;
 use mp_grid::{RankStore, TileGrid};
 use mp_runtime::comm::{Communicator, Tag};
 
-/// Read one line segment of `field` inside tile `t` of `store`, ordered in
-/// sweep direction (element 0 first).
-fn read_segment(
-    store: &RankStore,
-    t: usize,
-    field: usize,
-    dim: usize,
-    base: &[usize],
+/// Tuning knobs for [`multipart_sweep_opts`]. The defaults reproduce the
+/// byte-identical communication schedule of [`multipart_sweep`] — options
+/// only change *how* each phase's compute is organized, never what goes on
+/// the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Lines per block: each tile's cross-section is processed in chunks of
+    /// this many lines, packed line-minor so kernel inner loops are unit
+    /// stride. `1` degenerates to per-line execution (same results —
+    /// blocked kernels are bit-identical per line at any width).
+    pub block_width: usize,
+    /// Worker threads per rank for block execution within a phase. `1`
+    /// runs inline on the calling thread.
+    pub threads: usize,
+}
+
+impl SweepOptions {
+    /// Options with an explicit block width and thread count.
+    pub fn new(block_width: usize, threads: usize) -> Self {
+        SweepOptions {
+            block_width: block_width.max(1),
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for SweepOptions {
+    /// Block width 32; thread count from the `MP_SWEEP_THREADS` environment
+    /// variable when set to a positive integer, else 1.
+    fn default() -> Self {
+        let threads = std::env::var("MP_SWEEP_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        SweepOptions::new(32, threads)
+    }
+}
+
+/// A raw view of one buffer, shareable across the worker threads of one
+/// phase. Workers only dereference it through the element-disjoint
+/// line/carry accessors below, never as a whole slice.
+#[derive(Clone, Copy)]
+struct RawParts {
+    ptr: *mut f64,
+    len: usize,
+}
+
+// SAFETY: all access goes through `gather_line_raw` / `scatter_line_raw` /
+// per-job carry ranges, which touch element sets that are disjoint between
+// concurrently running jobs (lines partition a tile's interior; carry
+// ranges are disjoint by construction).
+unsafe impl Send for RawParts {}
+unsafe impl Sync for RawParts {}
+
+/// Per-(tile, field) addressing for one phase: where the field's storage
+/// lives and how to turn a line base into an element offset.
+struct FieldMeta {
+    parts: RawParts,
+    /// Offset of the interior origin in the raw buffer.
+    base_off: usize,
+    /// Stride along the swept dimension.
+    stride_dim: usize,
+}
+
+/// One unit of work: a contiguous run of lines of one slab tile.
+struct BlockJob {
+    /// Slot into the phase's per-tile metadata (0-based within the slab).
+    tile: usize,
+    /// First line (row-major cross-section index) of the block.
+    line0: usize,
+    /// Lines in this block.
+    nlines: usize,
+    /// Start of the block's carries in the outgoing message.
+    carry_off: usize,
+}
+
+/// Per-worker reusable buffers — everything a block needs that is not
+/// shared, so workers never contend and phases never allocate in steady
+/// state.
+struct WorkerScratch {
+    /// One line-minor block buffer per kernel field.
+    bufs: Vec<Vec<f64>>,
+    /// Per-line contexts, mutated in place.
+    ctxs: Vec<SegmentCtx>,
+    /// Per-(line, field) element offsets, flattened `l * nfields + f`.
+    offsets: Vec<usize>,
+    /// Mixed-radix odometer over the reduced cross-section extents.
+    base: Vec<usize>,
+}
+
+/// Everything shared read-only (or element-disjointly) by the workers of
+/// one phase.
+struct SharedPhase<'a, K: ?Sized> {
+    jobs: &'a [BlockJob],
+    fms: &'a [FieldMeta],
+    /// Per-(tile, field) strides, flattened `(tile * nfields + f) * d + k`.
+    fm_strides: &'a [usize],
+    /// Per-tile global origins, flattened `tile * d + k`.
+    origins: &'a [usize],
+    /// Per-tile cross-section extents (swept dim forced to 1), same layout.
+    red_exts: &'a [usize],
+    /// Per-tile segment length along the swept dimension.
+    seg_lens: &'a [usize],
+    /// The outgoing carry message, evolved in place.
+    out: RawParts,
+    kernel: &'a K,
     dir: Direction,
-    out: &mut Vec<f64>,
+    dim: usize,
+    d: usize,
+    nfields: usize,
+    clen: usize,
+}
+
+/// Run one block job: decode its line bases, gather the lines into the
+/// worker's block buffers, sweep, and scatter back. The block's carries
+/// live directly in the outgoing message.
+fn run_block<K: LineSweepKernel + ?Sized>(
+    sh: &SharedPhase<'_, K>,
+    job: &BlockJob,
+    w: &mut WorkerScratch,
 ) {
-    let arr = store.tiles[t].field(field);
-    let (off, stride, n) = arr.interior_line(dim, base);
-    let raw = arr.raw();
-    out.clear();
-    out.reserve(n);
-    match dir {
-        Direction::Forward => {
-            for k in 0..n {
-                out.push(raw[off + k * stride]);
+    let WorkerScratch {
+        bufs,
+        ctxs,
+        offsets,
+        base,
+    } = w;
+    let d = sh.d;
+    let nf = sh.nfields;
+    let t = job.tile;
+    let nl = job.nlines;
+    let seg_len = sh.seg_lens[t];
+    let red = &sh.red_exts[t * d..(t + 1) * d];
+    let origin = &sh.origins[t * d..(t + 1) * d];
+    let reversed = sh.dir == Direction::Backward;
+    let step = sh.dir.step();
+
+    // Decode line0 into a cross-section base (row-major, last axis fastest;
+    // the swept axis has reduced extent 1 so its component stays 0).
+    base.resize(d, 0);
+    let mut rem = job.line0;
+    for k in (0..d).rev() {
+        base[k] = rem % red[k];
+        rem /= red[k];
+    }
+    debug_assert_eq!(rem, 0, "line0 outside tile cross-section");
+
+    if ctxs.len() < nl {
+        let proto = SegmentCtx::new(vec![0; d], sh.dim, sh.dir);
+        ctxs.resize(nl, proto);
+    }
+    offsets.resize(nl * nf, 0);
+    for l in 0..nl {
+        for f in 0..nf {
+            let fm = &sh.fms[t * nf + f];
+            let strides = &sh.fm_strides[(t * nf + f) * d..(t * nf + f + 1) * d];
+            offsets[l * nf + f] = fm.base_off
+                + base
+                    .iter()
+                    .zip(strides.iter())
+                    .map(|(&b, &s)| b * s)
+                    .sum::<usize>();
+        }
+        let ctx = &mut ctxs[l];
+        ctx.axis = sh.dim;
+        ctx.step = step;
+        ctx.global_start.clear();
+        ctx.global_start
+            .extend(base.iter().zip(origin.iter()).map(|(&b, &o)| b + o));
+        ctx.global_start[sh.dim] = if reversed {
+            origin[sh.dim] + seg_len - 1
+        } else {
+            origin[sh.dim]
+        };
+        if l + 1 < nl {
+            for k in (0..d).rev() {
+                base[k] += 1;
+                if base[k] < red[k] {
+                    break;
+                }
+                base[k] = 0;
             }
         }
-        Direction::Backward => {
-            for k in (0..n).rev() {
-                out.push(raw[off + k * stride]);
+    }
+
+    // Gather lines into line-minor block buffers.
+    for (f, buf) in bufs.iter_mut().enumerate() {
+        buf.resize(seg_len * nl, 0.0);
+        let fm = &sh.fms[t * nf + f];
+        for l in 0..nl {
+            // SAFETY: bounds asserted inside; concurrently running jobs
+            // address disjoint lines (see `RawParts`).
+            unsafe {
+                gather_line_raw(
+                    fm.parts.ptr as *const f64,
+                    fm.parts.len,
+                    offsets[l * nf + f],
+                    fm.stride_dim,
+                    reversed,
+                    buf,
+                    l,
+                    nl,
+                );
+            }
+        }
+    }
+
+    // The block's carries are a sub-range of the outgoing message.
+    debug_assert!(job.carry_off + nl * sh.clen <= sh.out.len);
+    // SAFETY: jobs' carry ranges are disjoint and `out` is not resized
+    // while jobs run.
+    let carries =
+        unsafe { std::slice::from_raw_parts_mut(sh.out.ptr.add(job.carry_off), nl * sh.clen) };
+
+    sh.kernel
+        .sweep_block(sh.dir, nl, seg_len, carries, bufs, &ctxs[..nl]);
+
+    for (f, buf) in bufs.iter().enumerate() {
+        let fm = &sh.fms[t * nf + f];
+        for l in 0..nl {
+            // SAFETY: as for the gather above.
+            unsafe {
+                scatter_line_raw(
+                    fm.parts.ptr,
+                    fm.parts.len,
+                    offsets[l * nf + f],
+                    fm.stride_dim,
+                    reversed,
+                    buf,
+                    l,
+                    nl,
+                );
             }
         }
     }
 }
 
-/// Inverse of [`read_segment`].
-fn write_segment(
-    store: &mut RankStore,
-    t: usize,
-    field: usize,
-    dim: usize,
-    base: &[usize],
-    dir: Direction,
-    vals: &[f64],
-) {
-    let arr = store.tiles[t].field_mut(field);
-    let (off, stride, n) = arr.interior_line(dim, base);
-    assert_eq!(vals.len(), n);
-    let raw = arr.raw_mut();
-    match dir {
-        Direction::Forward => {
-            for (k, &v) in vals.iter().enumerate() {
-                raw[off + k * stride] = v;
-            }
-        }
-        Direction::Backward => {
-            for (k, &v) in vals.iter().enumerate() {
-                raw[off + (n - 1 - k) * stride] = v;
-            }
-        }
-    }
-}
-
-/// Enumerate the line bases of a tile's cross-section ⟂ `dim` in row-major
-/// order (the `dim` component of each base is 0).
-fn for_each_line_base(extents: &[usize], dim: usize, mut f: impl FnMut(&[usize])) {
-    let mut reduced = extents.to_vec();
-    reduced[dim] = 1;
-    Shape::new(&reduced).for_each_index(|idx| f(idx));
-}
-
-/// Execute one multipartitioned line sweep.
+/// Execute one multipartitioned line sweep with default [`SweepOptions`].
 ///
 /// * `comm` — this rank's endpoint (threaded backend or serial).
 /// * `store` — this rank's tiles; must have been allocated for exactly the
@@ -110,6 +295,32 @@ pub fn multipart_sweep<C: Communicator, K: LineSweepKernel>(
     kernel: &K,
     tag_base: Tag,
 ) {
+    multipart_sweep_opts(
+        comm,
+        store,
+        mp,
+        dim,
+        dir,
+        kernel,
+        tag_base,
+        &SweepOptions::default(),
+    );
+}
+
+/// [`multipart_sweep`] with explicit execution options. Results and the
+/// communication schedule are identical for every option setting; options
+/// trade only intra-rank execution strategy (block width, worker threads).
+#[allow(clippy::too_many_arguments)]
+pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
+    comm: &mut C,
+    store: &mut RankStore,
+    mp: &Multipartitioning,
+    dim: usize,
+    dir: Direction,
+    kernel: &K,
+    tag_base: Tag,
+    opts: &SweepOptions,
+) {
     let rank = comm.rank();
     let gamma = mp.gammas()[dim];
     let step = dir.step();
@@ -118,12 +329,33 @@ pub fn multipart_sweep<C: Communicator, K: LineSweepKernel>(
         Direction::Backward => (0..gamma).rev().collect(),
     };
     let clen = kernel.carry_len();
+    let d = mp.dims();
+    let nfields = kernel.fields().len();
+    let bw = opts.block_width.max(1);
     let upstream = mp.neighbor_rank(rank, dim, -step);
     let downstream = mp.neighbor_rank(rank, dim, step);
 
     // Local carry hand-off when the downstream neighbor is this rank itself.
     let mut local_carry: Vec<f64> = Vec::new();
-    let mut seg_bufs: Vec<Vec<f64>> = vec![Vec::new(); kernel.fields().len()];
+    // Locally recycled message buffers (used when the comm has no pool, or
+    // for the self-neighbor path that bypasses it).
+    let mut spare: Vec<Vec<f64>> = Vec::new();
+
+    // Per-phase metadata, reused (capacity-wise) across all phases.
+    let mut origins: Vec<usize> = Vec::new();
+    let mut red_exts: Vec<usize> = Vec::new();
+    let mut seg_lens: Vec<usize> = Vec::new();
+    let mut fms: Vec<FieldMeta> = Vec::new();
+    let mut fm_strides: Vec<usize> = Vec::new();
+    let mut jobs: Vec<BlockJob> = Vec::new();
+    let mut workers: Vec<WorkerScratch> = (0..opts.threads.max(1))
+        .map(|_| WorkerScratch {
+            bufs: vec![Vec::new(); nfields],
+            ctxs: Vec::new(),
+            offsets: Vec::new(),
+            base: Vec::new(),
+        })
+        .collect();
 
     for (phase, &slab) in slab_order.iter().enumerate() {
         // 1. Obtain incoming carries for this phase.
@@ -135,71 +367,158 @@ pub fn multipart_sweep<C: Communicator, K: LineSweepKernel>(
             Some(comm.recv(upstream, tag_base + phase as u64))
         };
 
-        // 2. Compute this slab's tiles, collecting outgoing carries.
-        let my_tiles: Vec<usize> = store
-            .tiles
-            .iter()
-            .enumerate()
-            .filter(|(_, t)| t.coord[dim] == slab)
-            .map(|(i, _)| i)
-            .collect();
+        // 2. Collect this slab's tile metadata.
+        origins.clear();
+        red_exts.clear();
+        seg_lens.clear();
+        fms.clear();
+        fm_strides.clear();
+        let mut ntiles = 0usize;
+        let mut total_lines = 0usize;
+        for tile in store.tiles.iter_mut() {
+            if tile.coord[dim] != slab {
+                continue;
+            }
+            ntiles += 1;
+            origins.extend_from_slice(&tile.region.origin);
+            {
+                let ext = tile.field(kernel.fields()[0]).interior();
+                seg_lens.push(ext[dim]);
+                let ro = red_exts.len();
+                red_exts.extend_from_slice(ext);
+                red_exts[ro + dim] = 1;
+                total_lines += red_exts[ro..].iter().product::<usize>();
+            }
+            for &f in kernel.fields() {
+                let arr = tile.field_mut(f);
+                fm_strides.extend_from_slice(arr.strides());
+                let base_off = arr.interior_origin_offset();
+                let stride_dim = arr.strides()[dim];
+                let raw = arr.raw_mut();
+                fms.push(FieldMeta {
+                    parts: RawParts {
+                        ptr: raw.as_mut_ptr(),
+                        len: raw.len(),
+                    },
+                    base_off,
+                    stride_dim,
+                });
+            }
+        }
         assert_eq!(
-            my_tiles.len() as u64,
+            ntiles as u64,
             mp.tiles_per_proc_per_slab(dim),
             "rank {rank}: store does not hold this rank's tiles for slab {slab} \
              (was it allocated with allocate_rank_store for this multipartitioning?)"
         );
 
-        let mut outgoing: Vec<f64> = Vec::new();
-        let mut cursor = 0usize;
-        for &t in &my_tiles {
-            let extents = store.tiles[t].field(kernel.fields()[0]).interior().to_vec();
-            let origin = store.tiles[t].region.origin.clone();
-            let bases: Vec<Vec<usize>> = {
-                let mut v = Vec::new();
-                for_each_line_base(&extents, dim, |b| v.push(b.to_vec()));
-                v
-            };
-            for base in &bases {
-                let mut carry = match &incoming {
-                    None => kernel.initial_carry(dir),
-                    Some(buf) => {
-                        let c = buf[cursor..cursor + clen].to_vec();
-                        cursor += clen;
-                        c
-                    }
-                };
-                for (s, &f) in kernel.fields().iter().enumerate() {
-                    read_segment(store, t, f, dim, base, dir, &mut seg_bufs[s]);
-                }
-                let mut gstart: Vec<usize> = base
-                    .iter()
-                    .zip(origin.iter())
-                    .map(|(&b, &o)| b + o)
-                    .collect();
-                gstart[dim] = match dir {
-                    Direction::Forward => origin[dim],
-                    Direction::Backward => origin[dim] + extents[dim] - 1,
-                };
-                let ctx = SegmentCtx::new(gstart, dim, dir);
-                kernel.sweep_segment(dir, &mut carry, &mut seg_bufs, &ctx);
-                for (s, &f) in kernel.fields().iter().enumerate() {
-                    write_segment(store, t, f, dim, base, dir, &seg_bufs[s]);
-                }
-                outgoing.extend_from_slice(&carry);
+        // 3. Prepare the outgoing message: the incoming carries (or initial
+        //    ones at the domain boundary), which the kernels then evolve in
+        //    place — the line-major carry layout IS the wire layout.
+        let mut outgoing = comm.take_send_buffer();
+        if outgoing.capacity() == 0 {
+            if let Some(buf) = spare.pop() {
+                outgoing = buf;
             }
         }
-        if let Some(buf) = &incoming {
-            assert_eq!(cursor, buf.len(), "carry message not fully consumed");
+        outgoing.clear();
+        outgoing.resize(total_lines * clen, 0.0);
+        match incoming {
+            None => {
+                if clen > 0 {
+                    let init = kernel.initial_carry(dir);
+                    assert_eq!(init.len(), clen, "initial carry length mismatch");
+                    for c in outgoing.chunks_exact_mut(clen) {
+                        c.copy_from_slice(&init);
+                    }
+                }
+            }
+            Some(buf) => {
+                assert_eq!(
+                    buf.len(),
+                    outgoing.len(),
+                    "carry message not fully consumed"
+                );
+                outgoing.copy_from_slice(&buf);
+                if upstream == rank {
+                    spare.push(buf);
+                } else {
+                    comm.recycle(buf);
+                }
+            }
         }
 
-        // 3. Ship carries downstream (unless this was the last phase).
+        // 4. Carve the slab's lines into block jobs.
+        jobs.clear();
+        let mut line_base = 0usize;
+        for t in 0..ntiles {
+            let nl_t: usize = red_exts[t * d..(t + 1) * d].iter().product();
+            let mut l0 = 0usize;
+            while l0 < nl_t {
+                let nl = bw.min(nl_t - l0);
+                jobs.push(BlockJob {
+                    tile: t,
+                    line0: l0,
+                    nlines: nl,
+                    carry_off: (line_base + l0) * clen,
+                });
+                l0 += nl;
+            }
+            line_base += nl_t;
+        }
+
+        // 5. Run the jobs — inline, or spread over worker threads in
+        //    contiguous ranges (jobs touch disjoint lines and disjoint
+        //    carry ranges, so they are independent).
+        let njobs = jobs.len();
+        let nthreads = opts.threads.max(1).min(njobs.max(1));
+        let shared = SharedPhase {
+            jobs: &jobs,
+            fms: &fms,
+            fm_strides: &fm_strides,
+            origins: &origins,
+            red_exts: &red_exts,
+            seg_lens: &seg_lens,
+            out: RawParts {
+                ptr: outgoing.as_mut_ptr(),
+                len: outgoing.len(),
+            },
+            kernel,
+            dir,
+            dim,
+            d,
+            nfields,
+            clen,
+        };
+        if nthreads <= 1 {
+            let w = &mut workers[0];
+            for job in shared.jobs {
+                run_block(&shared, job, w);
+            }
+        } else {
+            let shared = &shared;
+            std::thread::scope(|s| {
+                for (wi, w) in workers[..nthreads].iter_mut().enumerate() {
+                    s.spawn(move || {
+                        let lo = wi * njobs / nthreads;
+                        let hi = (wi + 1) * njobs / nthreads;
+                        for job in &shared.jobs[lo..hi] {
+                            run_block(shared, job, w);
+                        }
+                    });
+                }
+            });
+        }
+
+        // 6. Ship carries downstream (unless this was the last phase).
         if phase + 1 < slab_order.len() {
             if downstream == rank {
                 local_carry = outgoing;
             } else {
                 comm.send(downstream, tag_base + phase as u64 + 1, outgoing);
             }
+        } else {
+            comm.recycle(outgoing);
         }
     }
 }
@@ -316,6 +635,19 @@ mod tests {
         dir: Direction,
         kernel: &(impl LineSweepKernel + Clone + Send),
     ) -> ArrayD<f64> {
+        run_distributed_sweep_opts(mp, eta, dim, dir, kernel, &SweepOptions::default()).0
+    }
+
+    /// As [`run_distributed_sweep`], but with explicit options, also
+    /// returning the total messages and elements sent across all ranks.
+    fn run_distributed_sweep_opts(
+        mp: &Multipartitioning,
+        eta: &[usize],
+        dim: usize,
+        dir: Direction,
+        kernel: &(impl LineSweepKernel + Clone + Send),
+        opts: &SweepOptions,
+    ) -> (ArrayD<f64>, u64, u64) {
         let grid = TileGrid::new(
             eta,
             &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
@@ -324,14 +656,18 @@ mod tests {
         let results = run_threaded(mp.p, |comm| {
             let mut store = allocate_rank_store(comm.rank(), mp, &grid, &fields);
             store.init_field(0, init_value);
-            multipart_sweep(comm, &mut store, mp, dim, dir, kernel, 1000);
-            store
+            multipart_sweep_opts(comm, &mut store, mp, dim, dir, kernel, 1000, opts);
+            (store, comm.sent_messages, comm.sent_elements)
         });
         let mut global = ArrayD::zeros(eta);
-        for store in &results {
+        let mut msgs = 0;
+        let mut elems = 0;
+        for (store, m, e) in &results {
             store.gather_into(0, &mut global);
+            msgs += m;
+            elems += e;
         }
-        global
+        (global, msgs, elems)
     }
 
     fn serial_reference(
@@ -392,6 +728,41 @@ mod tests {
     }
 
     #[test]
+    fn blocked_options_preserve_results_and_messages() {
+        // The ISSUE acceptance assert: any (block_width, threads) setting
+        // yields bitwise-identical fields AND an identical communication
+        // schedule — same message count, same total payload elements.
+        let mp = Multipartitioning::optimal(6, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta = [12usize, 13, 11];
+        let k = FirstOrderKernel::new(0, 0.8);
+        for dim in 0..3 {
+            for dir in [Direction::Forward, Direction::Backward] {
+                let want = serial_reference(&eta, dim, dir, &k);
+                let (base, base_msgs, base_elems) =
+                    run_distributed_sweep_opts(&mp, &eta, dim, dir, &k, &SweepOptions::new(1, 1));
+                assert_eq!(base.max_abs_diff(&want), 0.0, "bw=1 dim {dim} {dir:?}");
+                assert!(base_msgs > 0, "premise: the sweep communicates");
+                for opts in [
+                    SweepOptions::new(5, 1),
+                    SweepOptions::new(32, 1),
+                    SweepOptions::new(32, 3),
+                    SweepOptions::new(1000, 2),
+                ] {
+                    let (got, msgs, elems) =
+                        run_distributed_sweep_opts(&mp, &eta, dim, dir, &k, &opts);
+                    assert_eq!(
+                        got.max_abs_diff(&want),
+                        0.0,
+                        "{opts:?} dim {dim} {dir:?} not bitwise equal"
+                    );
+                    assert_eq!(msgs, base_msgs, "{opts:?} changed the message count");
+                    assert_eq!(elems, base_elems, "{opts:?} changed the payload sizes");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn self_neighbor_partitioning_works() {
         // p = 2, b = (4,2,2): moving along dim 0 stays on the same rank
         // (neighbor offset ≡ 0), exercising the local carry hand-off.
@@ -408,14 +779,18 @@ mod tests {
 
     #[test]
     fn ragged_extents_match_serial() {
-        // η not divisible by γ: geometry layer spreads the remainder.
+        // η not divisible by γ: geometry layer spreads the remainder. Run
+        // threaded + blocked to cover uneven block tails.
         let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![2, 2, 2]));
         let eta = [7usize, 9, 5];
         let k = PrefixSumKernel::new(0);
         for dim in 0..3 {
-            let got = run_distributed_sweep(&mp, &eta, dim, Direction::Forward, &k);
-            let want = serial_reference(&eta, dim, Direction::Forward, &k);
-            assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim}");
+            for opts in [SweepOptions::new(32, 1), SweepOptions::new(7, 2)] {
+                let (got, _, _) =
+                    run_distributed_sweep_opts(&mp, &eta, dim, Direction::Forward, &k, &opts);
+                let want = serial_reference(&eta, dim, Direction::Forward, &k);
+                assert_eq!(got.max_abs_diff(&want), 0.0, "dim {dim} {opts:?}");
+            }
         }
     }
 

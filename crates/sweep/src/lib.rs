@@ -34,7 +34,11 @@ mod tests_prop;
 
 pub use batch::BatchedKernel;
 pub use block::{block_thomas_solve, BlockCoeffs, BlockTriBackwardKernel, BlockTriForwardKernel};
-pub use executor::{allocate_rank_store, exchange_halos, multipart_sweep};
+pub use executor::{
+    allocate_rank_store, exchange_halos, multipart_sweep, multipart_sweep_opts, SweepOptions,
+};
 pub use penta::{penta_solve, PentaBackwardKernel, PentaForwardKernel};
-pub use recurrence::{FirstOrderKernel, LineSweepKernel, PrefixSumKernel, SegmentCtx};
+pub use recurrence::{
+    per_line_sweep_block, FirstOrderKernel, LineSweepKernel, PrefixSumKernel, SegmentCtx,
+};
 pub use thomas::{thomas_solve, ThomasBackwardKernel, ThomasForwardKernel};

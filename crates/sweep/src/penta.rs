@@ -189,6 +189,47 @@ impl LineSweepKernel for PentaForwardKernel {
         carry[4] = p2.1;
         carry[5] = p2.2;
     }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Forward);
+        debug_assert_eq!(carries.len(), 6 * nlines);
+        let (ead, cfb) = block.split_at_mut(3);
+        for k in 0..seg_len {
+            let r = k * nlines;
+            for l in 0..nlines {
+                let cl = &mut carries[6 * l..6 * l + 6];
+                let row = eliminate_row(
+                    (
+                        ead[0][r + l],
+                        ead[1][r + l],
+                        ead[2][r + l],
+                        cfb[0][r + l],
+                        cfb[1][r + l],
+                        cfb[2][r + l],
+                    ),
+                    (cl[0], cl[1], cl[2]),
+                    (cl[3], cl[4], cl[5]),
+                );
+                cfb[0][r + l] = row.0;
+                cfb[1][r + l] = row.1;
+                cfb[2][r + l] = row.2;
+                cl[3] = cl[0];
+                cl[4] = cl[1];
+                cl[5] = cl[2];
+                cl[0] = row.0;
+                cl[1] = row.1;
+                cl[2] = row.2;
+            }
+        }
+    }
 }
 
 /// Back-substitution kernel over `[c, f, b]` (holding `C`, `F`, `B` from a
@@ -247,6 +288,39 @@ impl LineSweepKernel for PentaBackwardKernel {
         carry[0] = x1;
         carry[1] = x2;
         carry[2] = count;
+    }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Backward);
+        debug_assert_eq!(carries.len(), 3 * nlines);
+        let (cf, bb) = block.split_at_mut(2);
+        let bb = &mut bb[0];
+        for k in 0..seg_len {
+            let r = k * nlines;
+            for l in 0..nlines {
+                let cl = &mut carries[3 * l..3 * l + 3];
+                let b = bb[r + l];
+                let x = match cl[2] as u32 {
+                    0 => b,
+                    1 => b - cf[0][r + l] * cl[0],
+                    _ => b - cf[0][r + l] * cl[0] - cf[1][r + l] * cl[1],
+                };
+                bb[r + l] = x;
+                cl[1] = cl[0];
+                cl[0] = x;
+                if cl[2] < 2.0 {
+                    cl[2] += 1.0;
+                }
+            }
+        }
     }
 }
 

@@ -88,6 +88,74 @@ pub trait LineSweepKernel: Sync {
         seg: &mut [Vec<f64>],
         ctx: &SegmentCtx,
     );
+
+    /// Process a **block** of `nlines` same-length segments at once.
+    ///
+    /// Layouts:
+    /// * `block[f]` holds field `fields()[f]` for all lines, **line-minor**:
+    ///   element `k` of line `l` at `block[f][k·nlines + l]` (each buffer has
+    ///   `seg_len·nlines` elements, every line already in sweep order);
+    /// * `carries` is **line-major**: line `l`'s carry at
+    ///   `carries[l·carry_len() .. (l+1)·carry_len()]` — exactly the order in
+    ///   which the executor packs carries onto the wire, so blocked execution
+    ///   can evolve the outgoing message in place;
+    /// * `ctxs[l]` locates line `l` (lines of one block generally start at
+    ///   different global positions).
+    ///
+    /// Implementations must perform, per line, the *same arithmetic in the
+    /// same order* as `sweep_segment` would — blocked results are required
+    /// to be bit-identical to per-line ones at any block width. The default
+    /// implementation guarantees this by gathering each line and delegating
+    /// to [`LineSweepKernel::sweep_segment`]; override it with an inner loop
+    /// across lines (unit stride in the line-minor layout) to vectorize.
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        ctxs: &[SegmentCtx],
+    ) {
+        per_line_sweep_block(self, dir, nlines, seg_len, carries, block, ctxs);
+    }
+}
+
+/// Reference implementation of [`LineSweepKernel::sweep_block`]: peel each
+/// line out of the line-minor block, run `sweep_segment`, and write it back.
+/// Kernels with custom blocked paths are tested against this.
+pub fn per_line_sweep_block<K: LineSweepKernel + ?Sized>(
+    kernel: &K,
+    dir: Direction,
+    nlines: usize,
+    seg_len: usize,
+    carries: &mut [f64],
+    block: &mut [Vec<f64>],
+    ctxs: &[SegmentCtx],
+) {
+    let clen = kernel.carry_len();
+    debug_assert_eq!(carries.len(), nlines * clen);
+    debug_assert_eq!(ctxs.len(), nlines);
+    let mut seg: Vec<Vec<f64>> = vec![vec![0.0; seg_len]; block.len()];
+    for l in 0..nlines {
+        for (s, b) in seg.iter_mut().zip(block.iter()) {
+            debug_assert_eq!(b.len(), seg_len * nlines);
+            for (k, v) in s.iter_mut().enumerate() {
+                *v = b[k * nlines + l];
+            }
+        }
+        kernel.sweep_segment(
+            dir,
+            &mut carries[l * clen..(l + 1) * clen],
+            &mut seg,
+            &ctxs[l],
+        );
+        for (s, b) in seg.iter().zip(block.iter_mut()) {
+            for (k, v) in s.iter().enumerate() {
+                b[k * nlines + l] = *v;
+            }
+        }
+    }
 }
 
 /// Running prefix sum along the line: `x[k] += x[k−1]` (forward) or
@@ -130,6 +198,26 @@ impl LineSweepKernel for PrefixSumKernel {
             *v = acc;
         }
         carry[0] = acc;
+    }
+
+    fn sweep_block(
+        &self,
+        _dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        debug_assert_eq!(carries.len(), nlines);
+        let buf = &mut block[0];
+        for k in 0..seg_len {
+            let row = &mut buf[k * nlines..(k + 1) * nlines];
+            for (acc, v) in carries.iter_mut().zip(row.iter_mut()) {
+                *acc += *v;
+                *v = *acc;
+            }
+        }
     }
 }
 
@@ -175,6 +263,26 @@ impl LineSweepKernel for FirstOrderKernel {
             prev = *v;
         }
         carry[0] = prev;
+    }
+
+    fn sweep_block(
+        &self,
+        _dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        debug_assert_eq!(carries.len(), nlines);
+        let buf = &mut block[0];
+        for k in 0..seg_len {
+            let row = &mut buf[k * nlines..(k + 1) * nlines];
+            for (prev, v) in carries.iter_mut().zip(row.iter_mut()) {
+                *v += self.a * *prev;
+                *prev = *v;
+            }
+        }
     }
 }
 
@@ -230,6 +338,96 @@ mod tests {
         k.sweep_segment(Direction::Forward, &mut carry, &mut seg, &ctx0());
         assert_eq!(seg[0], vec![1.0, 0.5, 0.25]);
         assert_eq!(carry, vec![0.25]);
+    }
+
+    /// A kernel with no `sweep_block` override, to pin the default fallback.
+    struct FallbackPrefix;
+    impl LineSweepKernel for FallbackPrefix {
+        fn fields(&self) -> &[usize] {
+            &[0]
+        }
+        fn carry_len(&self) -> usize {
+            1
+        }
+        fn initial_carry(&self, _dir: Direction) -> Vec<f64> {
+            vec![0.0]
+        }
+        fn sweep_segment(
+            &self,
+            dir: Direction,
+            carry: &mut [f64],
+            seg: &mut [Vec<f64>],
+            ctx: &SegmentCtx,
+        ) {
+            PrefixSumKernel::new(0).sweep_segment(dir, carry, seg, ctx);
+        }
+    }
+
+    /// Pack per-line data into a line-minor block buffer.
+    fn pack_block(lines: &[Vec<f64>]) -> Vec<f64> {
+        let nl = lines.len();
+        let n = lines[0].len();
+        let mut out = vec![0.0; n * nl];
+        for (l, line) in lines.iter().enumerate() {
+            for (k, &v) in line.iter().enumerate() {
+                out[k * nl + l] = v;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_overrides_match_default_fallback_bitwise() {
+        // Both the default per-line fallback and the hand-blocked overrides
+        // must equal sequential per-line sweeps exactly.
+        let nl = 5;
+        let n = 9;
+        let lines: Vec<Vec<f64>> = (0..nl)
+            .map(|l| {
+                (0..n)
+                    .map(|k| ((l * 31 + k * 7) % 13) as f64 - 6.0)
+                    .collect()
+            })
+            .collect();
+        let ctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Forward))
+            .collect();
+
+        for use_fallback in [false, true] {
+            let prefix = PrefixSumKernel::new(0);
+            let mut carries = vec![0.25; nl];
+            let mut block = vec![pack_block(&lines)];
+            if use_fallback {
+                let k = FallbackPrefix;
+                k.sweep_block(Direction::Forward, nl, n, &mut carries, &mut block, &ctxs);
+            } else {
+                prefix.sweep_block(Direction::Forward, nl, n, &mut carries, &mut block, &ctxs);
+            }
+            for l in 0..nl {
+                let mut carry = vec![0.25];
+                let mut seg = vec![lines[l].clone()];
+                prefix.sweep_segment(Direction::Forward, &mut carry, &mut seg, &ctxs[l]);
+                assert_eq!(carries[l], carry[0], "carry, line {l}");
+                for k in 0..n {
+                    assert_eq!(block[0][k * nl + l], seg[0][k], "line {l} elem {k}");
+                }
+            }
+        }
+
+        // Same check for the first-order kernel's override.
+        let fo = FirstOrderKernel::new(0, 0.75);
+        let mut carries = vec![1.5; nl];
+        let mut block = vec![pack_block(&lines)];
+        fo.sweep_block(Direction::Forward, nl, n, &mut carries, &mut block, &ctxs);
+        for l in 0..nl {
+            let mut carry = vec![1.5];
+            let mut seg = vec![lines[l].clone()];
+            fo.sweep_segment(Direction::Forward, &mut carry, &mut seg, &ctxs[l]);
+            assert_eq!(carries[l], carry[0], "carry, line {l}");
+            for k in 0..n {
+                assert_eq!(block[0][k * nl + l], seg[0][k], "line {l} elem {k}");
+            }
+        }
     }
 
     #[test]

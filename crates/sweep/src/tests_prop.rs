@@ -1,21 +1,19 @@
-//! Property tests: segmented solver kernels equal their whole-line direct
-//! counterparts for *random* systems and *random* segmentations — the
-//! invariant that makes distributed sweeps bit-exact.
+//! Randomized property tests: segmented solver kernels equal their
+//! whole-line direct counterparts for *random* systems and *random*
+//! segmentations — the invariant that makes distributed sweeps bit-exact.
 
 use crate::penta::{penta_matvec, penta_solve, PentaBackwardKernel, PentaForwardKernel};
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
 use crate::thomas::{thomas_solve, tridiag_matvec, ThomasBackwardKernel, ThomasForwardKernel};
 use mp_core::multipart::Direction;
-use proptest::prelude::*;
+use mp_testkit::{cases, Rng};
 
-/// Split `n` into segments at the given sorted cut fractions.
-fn splits(n: usize, cuts: &[usize]) -> Vec<usize> {
-    let mut bounds = vec![0usize];
-    for &c in cuts {
-        let pos = c % (n + 1);
-        bounds.push(pos);
+/// Split `n` into segment bounds at random interior cut points.
+fn splits(rng: &mut Rng, n: usize, max_cuts: usize) -> Vec<usize> {
+    let mut bounds = vec![0usize, n];
+    for _ in 0..rng.usize_in(0, max_cuts) {
+        bounds.push(rng.usize_in(0, n));
     }
-    bounds.push(n);
     bounds.sort_unstable();
     bounds.dedup();
     bounds
@@ -34,19 +32,16 @@ fn tridiag(n: usize, vals: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>) {
     (a, b, c, d)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn thomas_segmented_equals_direct(
-        n in 1usize..120,
-        vals in proptest::collection::vec(-1.0f64..1.0, 8..20),
-        cuts in proptest::collection::vec(0usize..200, 0..5),
-    ) {
+#[test]
+fn thomas_segmented_equals_direct() {
+    cases(0x7501, 64, |rng| {
+        let n = rng.usize_in(1, 119);
+        let nvals = rng.usize_in(8, 19);
+        let vals = rng.f64_vec(nvals, -1.0, 1.0);
         let (a, b, c, d) = tridiag(n, &vals);
         let direct = thomas_solve(&a, &b, &c, &d);
 
-        let bounds = splits(n, &cuts);
+        let bounds = splits(rng, n, 4);
         let fwd = ThomasForwardKernel::new(0, 1, 2, 3);
         let bwd = ThomasBackwardKernel::new(0, 1);
         let mut cc = c.clone();
@@ -79,24 +74,29 @@ proptest! {
             }
         }
         for (got, want) in dd.iter().zip(direct.iter()) {
-            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
         }
         // And the solution actually solves the system.
         let r = tridiag_matvec(&a, &b, &c, &dd);
         for (rv, dv) in r.iter().zip(d.iter()) {
-            prop_assert!((rv - dv).abs() < 1e-7);
+            assert!((rv - dv).abs() < 1e-7);
         }
-    }
+    });
+}
 
-    #[test]
-    fn penta_segmented_equals_direct(
-        n in 1usize..100,
-        vals in proptest::collection::vec(-1.0f64..1.0, 8..20),
-        cuts in proptest::collection::vec(0usize..200, 0..4),
-    ) {
+#[test]
+fn penta_segmented_equals_direct() {
+    cases(0x7502, 64, |rng| {
+        let n = rng.usize_in(1, 99);
+        let nvals = rng.usize_in(8, 19);
+        let vals = rng.f64_vec(nvals, -1.0, 1.0);
         let v = |k: usize| vals[k % vals.len()];
-        let e: Vec<f64> = (0..n).map(|k| if k < 2 { 0.0 } else { v(k) * 0.3 }).collect();
-        let a: Vec<f64> = (0..n).map(|k| if k < 1 { 0.0 } else { v(k + 3) * 0.3 }).collect();
+        let e: Vec<f64> = (0..n)
+            .map(|k| if k < 2 { 0.0 } else { v(k) * 0.3 })
+            .collect();
+        let a: Vec<f64> = (0..n)
+            .map(|k| if k < 1 { 0.0 } else { v(k + 3) * 0.3 })
+            .collect();
         let c: Vec<f64> = (0..n)
             .map(|k| if k + 1 >= n { 0.0 } else { v(k + 5) * 0.3 })
             .collect();
@@ -109,7 +109,7 @@ proptest! {
         let b: Vec<f64> = (0..n).map(|k| v(k + 11) * 3.0).collect();
         let direct = penta_solve(&e, &a, &d, &c, &f, &b);
 
-        let bounds = splits(n, &cuts);
+        let bounds = splits(rng, n, 3);
         let fwd = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
         let bwd = PentaBackwardKernel::new(0, 1, 2);
         let mut cc = c.clone();
@@ -147,20 +147,284 @@ proptest! {
             }
         }
         for (got, want) in bb.iter().zip(direct.iter()) {
-            prop_assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
         }
         let r = penta_matvec(&e, &a, &d, &c, &f, &bb);
         for (rv, bv) in r.iter().zip(b.iter()) {
-            prop_assert!((rv - bv).abs() < 1e-7);
+            assert!((rv - bv).abs() < 1e-7);
+        }
+    });
+}
+
+/// Pack per-line buffers into one line-minor block buffer (element `k` of
+/// line `l` at `k·nlines + l`).
+fn pack_lines(lines: &[Vec<f64>]) -> Vec<f64> {
+    let nl = lines.len();
+    let n = lines[0].len();
+    let mut out = vec![0.0; n * nl];
+    for (l, line) in lines.iter().enumerate() {
+        for (k, &v) in line.iter().enumerate() {
+            out[k * nl + l] = v;
         }
     }
+    out
+}
 
-    #[test]
-    fn prefix_sum_any_split_bitwise(
-        line in proptest::collection::vec(-100.0f64..100.0, 1..64),
-        cuts in proptest::collection::vec(0usize..100, 0..4),
-    ) {
+/// Run `kernel.sweep_block` and the per-line reference on identical copies
+/// of random data; results must be bitwise equal.
+fn assert_blocked_matches_reference<K: LineSweepKernel>(
+    kernel: &K,
+    dir: Direction,
+    nlines: usize,
+    seg_len: usize,
+    carries: &[f64],
+    block: &[Vec<f64>],
+    ctxs: &[SegmentCtx],
+) {
+    let mut got_c = carries.to_vec();
+    let mut got_b = block.to_vec();
+    kernel.sweep_block(dir, nlines, seg_len, &mut got_c, &mut got_b, ctxs);
+    let mut want_c = carries.to_vec();
+    let mut want_b = block.to_vec();
+    crate::recurrence::per_line_sweep_block(
+        kernel,
+        dir,
+        nlines,
+        seg_len,
+        &mut want_c,
+        &mut want_b,
+        ctxs,
+    );
+    assert_eq!(
+        got_c, want_c,
+        "carries diverge at nlines={nlines} n={seg_len}"
+    );
+    assert_eq!(
+        got_b, want_b,
+        "block diverges at nlines={nlines} n={seg_len}"
+    );
+}
+
+#[test]
+fn blocked_thomas_penta_match_per_line_reference() {
+    cases(0x7504, 48, |rng| {
+        let nl = rng.usize_in(1, 12);
+        let n = rng.usize_in(1, 24);
+        let ctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Forward))
+            .collect();
+        let bctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Backward))
+            .collect();
+
+        // Per-line diagonally dominant tridiagonal systems.
+        let mut la = Vec::new();
+        let mut lb = Vec::new();
+        let mut lc = Vec::new();
+        let mut ld = Vec::new();
+        for _ in 0..nl {
+            let nvals = rng.usize_in(8, 19);
+            let vals = rng.f64_vec(nvals, -1.0, 1.0);
+            let (a, b, c, d) = tridiag(n, &vals);
+            la.push(a);
+            lb.push(b);
+            lc.push(c);
+            ld.push(d);
+        }
+        let fwd = ThomasForwardKernel::new(0, 1, 2, 3);
+        let mut carries = Vec::with_capacity(nl * 2);
+        for _ in 0..nl {
+            carries.push(rng.f64_in(-0.4, 0.4));
+            carries.push(rng.f64_in(-2.0, 2.0));
+        }
+        let block = vec![
+            pack_lines(&la),
+            pack_lines(&lb),
+            pack_lines(&lc),
+            pack_lines(&ld),
+        ];
+        assert_blocked_matches_reference(&fwd, Direction::Forward, nl, n, &carries, &block, &ctxs);
+
+        let bwd = ThomasBackwardKernel::new(0, 1);
+        let mut carries = Vec::with_capacity(nl * 2);
+        for _ in 0..nl {
+            carries.push(rng.f64_in(-2.0, 2.0));
+            carries.push(if rng.bool() { 1.0 } else { 0.0 });
+        }
+        let block = vec![pack_lines(&lc), pack_lines(&ld)];
+        assert_blocked_matches_reference(
+            &bwd,
+            Direction::Backward,
+            nl,
+            n,
+            &carries,
+            &block,
+            &bctxs,
+        );
+
+        // Pentadiagonal: random small off-diagonals, dominant diagonal.
+        let mut lines: Vec<Vec<Vec<f64>>> = vec![Vec::new(); 6];
+        for _ in 0..nl {
+            let e = rng.f64_vec(n, -0.3, 0.3);
+            let a = rng.f64_vec(n, -0.3, 0.3);
+            let c = rng.f64_vec(n, -0.3, 0.3);
+            let f = rng.f64_vec(n, -0.3, 0.3);
+            let d: Vec<f64> = (0..n)
+                .map(|k| 1.5 + e[k].abs() + a[k].abs() + c[k].abs() + f[k].abs())
+                .collect();
+            let b = rng.f64_vec(n, -3.0, 3.0);
+            for (slot, v) in lines.iter_mut().zip([e, a, d, c, f, b]) {
+                slot.push(v);
+            }
+        }
+        let fwd = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
+        let mut carries = Vec::with_capacity(nl * 6);
+        for _ in 0..nl {
+            for _ in 0..2 {
+                carries.push(rng.f64_in(-0.3, 0.3));
+                carries.push(rng.f64_in(-0.3, 0.3));
+                carries.push(rng.f64_in(-2.0, 2.0));
+            }
+        }
+        let block: Vec<Vec<f64>> = lines.iter().map(|ls| pack_lines(ls)).collect();
+        assert_blocked_matches_reference(&fwd, Direction::Forward, nl, n, &carries, &block, &ctxs);
+
+        let bwd = PentaBackwardKernel::new(0, 1, 2);
+        let mut carries = Vec::with_capacity(nl * 3);
+        for _ in 0..nl {
+            carries.push(rng.f64_in(-2.0, 2.0));
+            carries.push(rng.f64_in(-2.0, 2.0));
+            carries.push(rng.usize_in(0, 2) as f64);
+        }
+        let block = vec![
+            pack_lines(&lines[3]),
+            pack_lines(&lines[4]),
+            pack_lines(&lines[5]),
+        ];
+        assert_blocked_matches_reference(
+            &bwd,
+            Direction::Backward,
+            nl,
+            n,
+            &carries,
+            &block,
+            &bctxs,
+        );
+    });
+}
+
+#[test]
+fn blocked_batched_kernel_matches_per_line_reference() {
+    cases(0x7505, 48, |rng| {
+        use crate::batch::BatchedKernel;
+        use crate::recurrence::FirstOrderKernel;
+        let nl = rng.usize_in(1, 10);
+        let n = rng.usize_in(1, 20);
+        let nmembers = rng.usize_in(1, 4);
+        let members: Vec<FirstOrderKernel> = (0..nmembers)
+            .map(|f| {
+                let a = rng.f64_in(-0.9, 0.9);
+                FirstOrderKernel::new(f, a)
+            })
+            .collect();
+        let batch = BatchedKernel::new(members);
+        let block: Vec<Vec<f64>> = (0..nmembers)
+            .map(|_| rng.f64_vec(n * nl, -10.0, 10.0))
+            .collect();
+        let carries = rng.f64_vec(nl * batch.carry_len(), -5.0, 5.0);
+        let ctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Forward))
+            .collect();
+        assert_blocked_matches_reference(
+            &batch,
+            Direction::Forward,
+            nl,
+            n,
+            &carries,
+            &block,
+            &ctxs,
+        );
+    });
+}
+
+#[test]
+fn random_executor_configs_match_serial() {
+    // End-to-end property: random domain shapes, rank counts, block widths
+    // and thread counts all produce the serial result bitwise, with the
+    // same message count and payload volume as per-line execution.
+    use crate::executor::{allocate_rank_store, multipart_sweep_opts, SweepOptions};
+    use crate::recurrence::FirstOrderKernel;
+    use crate::verify::serial_sweep;
+    use mp_core::cost::CostModel;
+    use mp_core::multipart::Multipartitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::run_threaded;
+
+    cases(0x7506, 10, |rng| {
+        let p = rng.u64_in(2, 8);
+        let dim = rng.usize_in(0, 2);
+        let dir = if rng.bool() {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        };
+        let a = rng.f64_in(-0.9, 0.9);
+        let k = FirstOrderKernel::new(0, a);
+        let mp = Multipartitioning::optimal(p, &[12, 12, 12], &CostModel::origin2000_like());
+        // Each extent at least its tile count (else tiles would be empty),
+        // plus random slack so extents are ragged.
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| g as usize + rng.usize_in(0, 9))
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let init = |g: &[usize]| ((g[0] * 5 + g[1] * 3 + g[2] * 7) % 11) as f64 - 5.0;
+
+        let mut want = ArrayD::from_fn(&eta, init);
+        serial_sweep(&mut [&mut want], dim, dir, &k);
+
+        let mut baseline: Option<(u64, u64)> = None;
+        let per_line = SweepOptions::new(1, 1);
+        let blocked = SweepOptions::new(rng.usize_in(1, 64), rng.usize_in(1, 4));
+        for opts in [&per_line, &blocked] {
+            let fields = [FieldDef::new("u", 0)];
+            let results = run_threaded(p, |comm| {
+                let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+                store.init_field(0, init);
+                multipart_sweep_opts(comm, &mut store, &mp, dim, dir, &k, 77, opts);
+                (store, comm.sent_messages, comm.sent_elements)
+            });
+            let mut global = ArrayD::zeros(&eta);
+            let (mut msgs, mut elems) = (0u64, 0u64);
+            for (store, m, e) in &results {
+                store.gather_into(0, &mut global);
+                msgs += m;
+                elems += e;
+            }
+            assert_eq!(
+                global.max_abs_diff(&want),
+                0.0,
+                "p={p} eta={eta:?} dim={dim} {dir:?} {opts:?}"
+            );
+            match baseline {
+                None => baseline = Some((msgs, elems)),
+                Some(b) => assert_eq!((msgs, elems), b, "schedule changed: {opts:?}"),
+            }
+        }
+    });
+}
+
+#[test]
+fn prefix_sum_any_split_bitwise() {
+    cases(0x7503, 64, |rng| {
         use crate::recurrence::PrefixSumKernel;
+        let len = rng.usize_in(1, 63);
+        let line = rng.f64_vec(len, -100.0, 100.0);
         let k = PrefixSumKernel::new(0);
         let ctx = SegmentCtx::origin(1, 0, Direction::Forward);
         let n = line.len();
@@ -169,7 +433,7 @@ proptest! {
         let mut carry = k.initial_carry(Direction::Forward);
         k.sweep_segment(Direction::Forward, &mut carry, &mut whole, &ctx);
 
-        let bounds = splits(n, &cuts);
+        let bounds = splits(rng, n, 3);
         let mut parts = line.clone();
         let mut carry2 = k.initial_carry(Direction::Forward);
         for w in bounds.windows(2) {
@@ -179,6 +443,6 @@ proptest! {
             parts[lo..hi].copy_from_slice(&seg[0]);
         }
         // bitwise: same additions in the same order
-        prop_assert_eq!(parts, whole[0].clone());
-    }
+        assert_eq!(parts, whole[0]);
+    });
 }

@@ -139,6 +139,37 @@ impl LineSweepKernel for ThomasForwardKernel {
         carry[0] = cp;
         carry[1] = dp;
     }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Forward, "elimination runs forward");
+        debug_assert_eq!(carries.len(), 2 * nlines);
+        let (ab, cd) = block.split_at_mut(2);
+        let (aa, bb) = (&ab[0], &ab[1]);
+        let (cc, dd) = cd.split_at_mut(1);
+        let (cc, dd) = (&mut cc[0], &mut dd[0]);
+        for k in 0..seg_len {
+            let r = k * nlines;
+            for l in 0..nlines {
+                let ak = aa[r + l];
+                let denom = bb[r + l] - ak * carries[2 * l];
+                assert!(denom != 0.0, "zero pivot");
+                let cp = cc[r + l] / denom;
+                let dp = (dd[r + l] - ak * carries[2 * l + 1]) / denom;
+                cc[r + l] = cp;
+                dd[r + l] = dp;
+                carries[2 * l] = cp;
+                carries[2 * l + 1] = dp;
+            }
+        }
+    }
 }
 
 /// Back-substitution sweep kernel over fields `[c, d]` (which must hold `c'`
@@ -197,6 +228,35 @@ impl LineSweepKernel for ThomasBackwardKernel {
         }
         carry[0] = x_next;
         carry[1] = valid;
+    }
+
+    fn sweep_block(
+        &self,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [Vec<f64>],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Backward, "substitution runs backward");
+        debug_assert_eq!(carries.len(), 2 * nlines);
+        let (cc, dd) = block.split_at_mut(1);
+        let (cc, dd) = (&cc[0], &mut dd[0]);
+        for k in 0..seg_len {
+            let r = k * nlines;
+            for l in 0..nlines {
+                let dk = dd[r + l];
+                let xk = if carries[2 * l + 1] != 0.0 {
+                    dk - cc[r + l] * carries[2 * l]
+                } else {
+                    dk
+                };
+                dd[r + l] = xk;
+                carries[2 * l] = xk;
+                carries[2 * l + 1] = 1.0;
+            }
+        }
     }
 }
 

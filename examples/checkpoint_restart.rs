@@ -29,7 +29,7 @@ fn main() {
     let checkpoints: Vec<Vec<u8>> = run_threaded(p, |comm| {
         let mut sp = ParallelSp::new(comm.rank(), prob, mp.clone());
         sp.run(comm, 2);
-        encode_rank_store(&sp.store).to_vec()
+        encode_rank_store(&sp.store)
     });
     let total_bytes: usize = checkpoints.iter().map(Vec::len).sum();
     println!(
@@ -39,8 +39,7 @@ fn main() {
 
     // Phase 2: restore from the checkpoints and continue 2 more iterations.
     let restarted = run_threaded(p, |comm| {
-        let store =
-            decode_rank_store(checkpoints[comm.rank() as usize].clone().into()).expect("restore");
+        let store = decode_rank_store(&checkpoints[comm.rank() as usize]).expect("restore");
         let mut sp = ParallelSp::new(comm.rank(), prob, mp.clone());
         sp.store = store; // resume from the snapshot
         sp.run(comm, 2);

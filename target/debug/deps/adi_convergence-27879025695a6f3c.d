@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adi_convergence-27879025695a6f3c.d: tests/adi_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadi_convergence-27879025695a6f3c.rmeta: tests/adi_convergence.rs Cargo.toml
+
+tests/adi_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

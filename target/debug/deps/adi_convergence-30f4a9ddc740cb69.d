@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adi_convergence-30f4a9ddc740cb69.d: tests/adi_convergence.rs
+
+/root/repo/target/debug/deps/adi_convergence-30f4a9ddc740cb69: tests/adi_convergence.rs
+
+tests/adi_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analytic_vs_simulated-317d72dc23496be8.d: tests/analytic_vs_simulated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalytic_vs_simulated-317d72dc23496be8.rmeta: tests/analytic_vs_simulated.rs Cargo.toml
+
+tests/analytic_vs_simulated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analytic_vs_simulated-a8755ea34b74be97.d: tests/analytic_vs_simulated.rs
+
+/root/repo/target/debug/deps/analytic_vs_simulated-a8755ea34b74be97: tests/analytic_vs_simulated.rs
+
+tests/analytic_vs_simulated.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ablations-30b8d2efbcce2ef4.d: crates/bench/benches/bench_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ablations-30b8d2efbcce2ef4.rmeta: crates/bench/benches/bench_ablations.rs Cargo.toml
+
+crates/bench/benches/bench_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

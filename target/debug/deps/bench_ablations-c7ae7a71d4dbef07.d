@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_ablations-c7ae7a71d4dbef07.d: crates/bench/benches/bench_ablations.rs
+
+/root/repo/target/debug/deps/bench_ablations-c7ae7a71d4dbef07: crates/bench/benches/bench_ablations.rs
+
+crates/bench/benches/bench_ablations.rs:

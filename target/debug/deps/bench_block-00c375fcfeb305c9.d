@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_block-00c375fcfeb305c9.d: crates/bench/benches/bench_block.rs
+
+/root/repo/target/debug/deps/bench_block-00c375fcfeb305c9: crates/bench/benches/bench_block.rs
+
+crates/bench/benches/bench_block.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_block-ed2a55c1e7a67ff2.d: crates/bench/benches/bench_block.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_block-ed2a55c1e7a67ff2.rmeta: crates/bench/benches/bench_block.rs Cargo.toml
+
+crates/bench/benches/bench_block.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

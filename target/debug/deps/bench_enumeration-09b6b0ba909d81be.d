@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_enumeration-09b6b0ba909d81be.d: crates/bench/benches/bench_enumeration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_enumeration-09b6b0ba909d81be.rmeta: crates/bench/benches/bench_enumeration.rs Cargo.toml
+
+crates/bench/benches/bench_enumeration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_enumeration-c455334723a0eca6.d: crates/bench/benches/bench_enumeration.rs
+
+/root/repo/target/debug/deps/bench_enumeration-c455334723a0eca6: crates/bench/benches/bench_enumeration.rs
+
+crates/bench/benches/bench_enumeration.rs:

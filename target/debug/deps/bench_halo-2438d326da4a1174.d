@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_halo-2438d326da4a1174.d: crates/bench/benches/bench_halo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_halo-2438d326da4a1174.rmeta: crates/bench/benches/bench_halo.rs Cargo.toml
+
+crates/bench/benches/bench_halo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_halo-25eb9d64fa65952d.d: crates/bench/benches/bench_halo.rs
+
+/root/repo/target/debug/deps/bench_halo-25eb9d64fa65952d: crates/bench/benches/bench_halo.rs
+
+crates/bench/benches/bench_halo.rs:

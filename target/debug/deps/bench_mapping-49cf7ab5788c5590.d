@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_mapping-49cf7ab5788c5590.d: crates/bench/benches/bench_mapping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_mapping-49cf7ab5788c5590.rmeta: crates/bench/benches/bench_mapping.rs Cargo.toml
+
+crates/bench/benches/bench_mapping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_mapping-893c573fa1688887.d: crates/bench/benches/bench_mapping.rs
+
+/root/repo/target/debug/deps/bench_mapping-893c573fa1688887: crates/bench/benches/bench_mapping.rs
+
+crates/bench/benches/bench_mapping.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_search-c1b0c6781fb31575.d: crates/bench/benches/bench_search.rs
+
+/root/repo/target/debug/deps/bench_search-c1b0c6781fb31575: crates/bench/benches/bench_search.rs
+
+crates/bench/benches/bench_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sp-1a1a6cb1f721afd5.d: crates/bench/benches/bench_sp.rs
+
+/root/repo/target/debug/deps/bench_sp-1a1a6cb1f721afd5: crates/bench/benches/bench_sp.rs
+
+crates/bench/benches/bench_sp.rs:

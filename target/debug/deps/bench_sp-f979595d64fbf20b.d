@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sp-f979595d64fbf20b.d: crates/bench/benches/bench_sp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sp-f979595d64fbf20b.rmeta: crates/bench/benches/bench_sp.rs Cargo.toml
+
+crates/bench/benches/bench_sp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

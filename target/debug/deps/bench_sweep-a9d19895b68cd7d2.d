@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sweep-a9d19895b68cd7d2.d: crates/bench/benches/bench_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sweep-a9d19895b68cd7d2.rmeta: crates/bench/benches/bench_sweep.rs Cargo.toml
+
+crates/bench/benches/bench_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sweep-f606e689844ca670.d: crates/bench/benches/bench_sweep.rs
+
+/root/repo/target/debug/deps/bench_sweep-f606e689844ca670: crates/bench/benches/bench_sweep.rs
+
+crates/bench/benches/bench_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_thomas-2e522b4c6392daf9.d: crates/bench/benches/bench_thomas.rs
+
+/root/repo/target/debug/deps/bench_thomas-2e522b4c6392daf9: crates/bench/benches/bench_thomas.rs
+
+crates/bench/benches/bench_thomas.rs:

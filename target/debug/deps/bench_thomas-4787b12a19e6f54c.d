@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_thomas-4787b12a19e6f54c.d: crates/bench/benches/bench_thomas.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_thomas-4787b12a19e6f54c.rmeta: crates/bench/benches/bench_thomas.rs Cargo.toml
+
+crates/bench/benches/bench_thomas.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bt_cross-68d877e418feb790.d: tests/bt_cross.rs
+
+/root/repo/target/debug/deps/bt_cross-68d877e418feb790: tests/bt_cross.rs
+
+tests/bt_cross.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bt_cross-c672e18857ab073e.d: tests/bt_cross.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbt_cross-c672e18857ab073e.rmeta: tests/bt_cross.rs Cargo.toml
+
+tests/bt_cross.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

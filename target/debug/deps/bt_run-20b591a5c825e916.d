@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bt_run-20b591a5c825e916.d: crates/bench/src/bin/bt_run.rs
+
+/root/repo/target/debug/deps/bt_run-20b591a5c825e916: crates/bench/src/bin/bt_run.rs
+
+crates/bench/src/bin/bt_run.rs:

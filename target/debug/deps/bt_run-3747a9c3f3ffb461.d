@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bt_run-3747a9c3f3ffb461.d: crates/bench/src/bin/bt_run.rs
+
+/root/repo/target/debug/deps/bt_run-3747a9c3f3ffb461: crates/bench/src/bin/bt_run.rs
+
+crates/bench/src/bin/bt_run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bt_run-fb8036e64da1d417.d: crates/bench/src/bin/bt_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbt_run-fb8036e64da1d417.rmeta: crates/bench/src/bin/bt_run.rs Cargo.toml
+
+crates/bench/src/bin/bt_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bt_table-24aad088ba65f2a4.d: crates/bench/src/bin/bt_table.rs
+
+/root/repo/target/debug/deps/bt_table-24aad088ba65f2a4: crates/bench/src/bin/bt_table.rs
+
+crates/bench/src/bin/bt_table.rs:

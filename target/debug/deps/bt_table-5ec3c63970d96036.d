@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bt_table-5ec3c63970d96036.d: crates/bench/src/bin/bt_table.rs
+
+/root/repo/target/debug/deps/bt_table-5ec3c63970d96036: crates/bench/src/bin/bt_table.rs
+
+crates/bench/src/bin/bt_table.rs:

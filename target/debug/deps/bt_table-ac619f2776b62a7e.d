@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bt_table-ac619f2776b62a7e.d: crates/bench/src/bin/bt_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbt_table-ac619f2776b62a7e.rmeta: crates/bench/src/bin/bt_table.rs Cargo.toml
+
+crates/bench/src/bin/bt_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

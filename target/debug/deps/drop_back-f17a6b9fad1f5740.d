@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/drop_back-f17a6b9fad1f5740.d: crates/bench/src/bin/drop_back.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdrop_back-f17a6b9fad1f5740.rmeta: crates/bench/src/bin/drop_back.rs Cargo.toml
+
+crates/bench/src/bin/drop_back.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

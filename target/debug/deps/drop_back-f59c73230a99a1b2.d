@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drop_back-f59c73230a99a1b2.d: crates/bench/src/bin/drop_back.rs
+
+/root/repo/target/debug/deps/drop_back-f59c73230a99a1b2: crates/bench/src/bin/drop_back.rs
+
+crates/bench/src/bin/drop_back.rs:

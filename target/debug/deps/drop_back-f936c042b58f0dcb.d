@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/drop_back-f936c042b58f0dcb.d: crates/bench/src/bin/drop_back.rs
+
+/root/repo/target/debug/deps/drop_back-f936c042b58f0dcb: crates/bench/src/bin/drop_back.rs
+
+crates/bench/src/bin/drop_back.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/elementary-17c1ec8dac7c5d28.d: crates/bench/src/bin/elementary.rs
+
+/root/repo/target/debug/deps/elementary-17c1ec8dac7c5d28: crates/bench/src/bin/elementary.rs
+
+crates/bench/src/bin/elementary.rs:

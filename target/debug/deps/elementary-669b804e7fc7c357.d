@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/elementary-669b804e7fc7c357.d: crates/bench/src/bin/elementary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelementary-669b804e7fc7c357.rmeta: crates/bench/src/bin/elementary.rs Cargo.toml
+
+crates/bench/src/bin/elementary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

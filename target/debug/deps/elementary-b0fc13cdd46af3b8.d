@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/elementary-b0fc13cdd46af3b8.d: crates/bench/src/bin/elementary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelementary-b0fc13cdd46af3b8.rmeta: crates/bench/src/bin/elementary.rs Cargo.toml
+
+crates/bench/src/bin/elementary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

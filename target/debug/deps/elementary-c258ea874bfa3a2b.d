@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/elementary-c258ea874bfa3a2b.d: crates/bench/src/bin/elementary.rs
+
+/root/repo/target/debug/deps/elementary-c258ea874bfa3a2b: crates/bench/src/bin/elementary.rs
+
+crates/bench/src/bin/elementary.rs:

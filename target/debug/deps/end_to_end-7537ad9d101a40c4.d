@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7537ad9d101a40c4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7537ad9d101a40c4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/enum_complexity-2b44ae1f98b1bb49.d: crates/bench/src/bin/enum_complexity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenum_complexity-2b44ae1f98b1bb49.rmeta: crates/bench/src/bin/enum_complexity.rs Cargo.toml
+
+crates/bench/src/bin/enum_complexity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enum_complexity-aad47f5408a033bd.d: crates/bench/src/bin/enum_complexity.rs
+
+/root/repo/target/debug/deps/enum_complexity-aad47f5408a033bd: crates/bench/src/bin/enum_complexity.rs
+
+crates/bench/src/bin/enum_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/enum_complexity-bc85781c2f273bd0.d: crates/bench/src/bin/enum_complexity.rs
+
+/root/repo/target/debug/deps/enum_complexity-bc85781c2f273bd0: crates/bench/src/bin/enum_complexity.rs
+
+crates/bench/src/bin/enum_complexity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-bdeb1078570e559d.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-bdeb1078570e559d: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

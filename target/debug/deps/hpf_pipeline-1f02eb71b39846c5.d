@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hpf_pipeline-1f02eb71b39846c5.d: tests/hpf_pipeline.rs
+
+/root/repo/target/debug/deps/hpf_pipeline-1f02eb71b39846c5: tests/hpf_pipeline.rs
+
+tests/hpf_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hpf_pipeline-d366516e9262e59f.d: tests/hpf_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhpf_pipeline-d366516e9262e59f.rmeta: tests/hpf_pipeline.rs Cargo.toml
+
+tests/hpf_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_check-25add6870008bfe4.d: crates/bench/src/bin/mapping_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_check-25add6870008bfe4.rmeta: crates/bench/src/bin/mapping_check.rs Cargo.toml
+
+crates/bench/src/bin/mapping_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

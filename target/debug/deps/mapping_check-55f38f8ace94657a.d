@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_check-55f38f8ace94657a.d: crates/bench/src/bin/mapping_check.rs
+
+/root/repo/target/debug/deps/mapping_check-55f38f8ace94657a: crates/bench/src/bin/mapping_check.rs
+
+crates/bench/src/bin/mapping_check.rs:

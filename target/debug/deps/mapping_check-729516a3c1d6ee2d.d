@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_check-729516a3c1d6ee2d.d: crates/bench/src/bin/mapping_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_check-729516a3c1d6ee2d.rmeta: crates/bench/src/bin/mapping_check.rs Cargo.toml
+
+crates/bench/src/bin/mapping_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_check-dce00ab50d94c40d.d: crates/bench/src/bin/mapping_check.rs
+
+/root/repo/target/debug/deps/mapping_check-dce00ab50d94c40d: crates/bench/src/bin/mapping_check.rs
+
+crates/bench/src/bin/mapping_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_families-5b179ef011139ad2.d: tests/mapping_families.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_families-5b179ef011139ad2.rmeta: tests/mapping_families.rs Cargo.toml
+
+tests/mapping_families.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_families-6973d240128bb748.d: tests/mapping_families.rs
+
+/root/repo/target/debug/deps/mapping_families-6973d240128bb748: tests/mapping_families.rs
+
+tests/mapping_families.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mp_bench-92b2e8d3720b09e7.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libmp_bench-92b2e8d3720b09e7.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

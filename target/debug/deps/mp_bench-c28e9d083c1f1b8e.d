@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/mp_bench-c28e9d083c1f1b8e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/mp_bench-c28e9d083c1f1b8e: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

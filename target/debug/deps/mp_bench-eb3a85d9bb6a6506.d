@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mp_bench-eb3a85d9bb6a6506.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libmp_bench-eb3a85d9bb6a6506.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libmp_bench-eb3a85d9bb6a6506.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

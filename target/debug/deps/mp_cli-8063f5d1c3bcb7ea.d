@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_cli-8063f5d1c3bcb7ea.d: crates/cli/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_cli-8063f5d1c3bcb7ea.rmeta: crates/cli/src/lib.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mp_cli-b6444c0051429632.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmp_cli-b6444c0051429632.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

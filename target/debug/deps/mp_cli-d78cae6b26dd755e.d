@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mp_cli-d78cae6b26dd755e.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmp_cli-d78cae6b26dd755e.rlib: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/libmp_cli-d78cae6b26dd755e.rmeta: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mp_cli-f583ca1dc55450e5.d: crates/cli/src/lib.rs
+
+/root/repo/target/debug/deps/mp_cli-f583ca1dc55450e5: crates/cli/src/lib.rs
+
+crates/cli/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/mp_core-1a3ff9ec959eab8a.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cost.rs crates/core/src/factor.rs crates/core/src/hermite.rs crates/core/src/latin.rs crates/core/src/modmap.rs crates/core/src/multipart.rs crates/core/src/partition.rs crates/core/src/paving.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libmp_core-1a3ff9ec959eab8a.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cost.rs crates/core/src/factor.rs crates/core/src/hermite.rs crates/core/src/latin.rs crates/core/src/modmap.rs crates/core/src/multipart.rs crates/core/src/partition.rs crates/core/src/paving.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/topology.rs
+
+/root/repo/target/debug/deps/libmp_core-1a3ff9ec959eab8a.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cost.rs crates/core/src/factor.rs crates/core/src/hermite.rs crates/core/src/latin.rs crates/core/src/modmap.rs crates/core/src/multipart.rs crates/core/src/partition.rs crates/core/src/paving.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/topology.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cost.rs:
+crates/core/src/factor.rs:
+crates/core/src/hermite.rs:
+crates/core/src/latin.rs:
+crates/core/src/modmap.rs:
+crates/core/src/multipart.rs:
+crates/core/src/partition.rs:
+crates/core/src/paving.rs:
+crates/core/src/plan.rs:
+crates/core/src/search.rs:
+crates/core/src/topology.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/mp_core-70a8c2941a9332f8.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cost.rs crates/core/src/factor.rs crates/core/src/hermite.rs crates/core/src/latin.rs crates/core/src/modmap.rs crates/core/src/multipart.rs crates/core/src/partition.rs crates/core/src/paving.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_core-70a8c2941a9332f8.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cost.rs crates/core/src/factor.rs crates/core/src/hermite.rs crates/core/src/latin.rs crates/core/src/modmap.rs crates/core/src/multipart.rs crates/core/src/partition.rs crates/core/src/paving.rs crates/core/src/plan.rs crates/core/src/search.rs crates/core/src/topology.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cost.rs:
+crates/core/src/factor.rs:
+crates/core/src/hermite.rs:
+crates/core/src/latin.rs:
+crates/core/src/modmap.rs:
+crates/core/src/multipart.rs:
+crates/core/src/partition.rs:
+crates/core/src/paving.rs:
+crates/core/src/plan.rs:
+crates/core/src/search.rs:
+crates/core/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

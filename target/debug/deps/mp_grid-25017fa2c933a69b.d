@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_grid-25017fa2c933a69b.d: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+/root/repo/target/debug/deps/libmp_grid-25017fa2c933a69b.rmeta: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/array.rs:
+crates/grid/src/codec.rs:
+crates/grid/src/dist.rs:
+crates/grid/src/halo.rs:
+crates/grid/src/lines.rs:
+crates/grid/src/shape.rs:
+crates/grid/src/tile.rs:
+crates/grid/src/view.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/mp_grid-38bc7da1408cb64c.d: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_grid-38bc7da1408cb64c.rmeta: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs Cargo.toml
+
+crates/grid/src/lib.rs:
+crates/grid/src/array.rs:
+crates/grid/src/codec.rs:
+crates/grid/src/dist.rs:
+crates/grid/src/halo.rs:
+crates/grid/src/lines.rs:
+crates/grid/src/shape.rs:
+crates/grid/src/tile.rs:
+crates/grid/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mp_grid-6e2d3fe1fb20cb71.d: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+/root/repo/target/debug/deps/libmp_grid-6e2d3fe1fb20cb71.rlib: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+/root/repo/target/debug/deps/libmp_grid-6e2d3fe1fb20cb71.rmeta: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/array.rs:
+crates/grid/src/codec.rs:
+crates/grid/src/dist.rs:
+crates/grid/src/halo.rs:
+crates/grid/src/lines.rs:
+crates/grid/src/shape.rs:
+crates/grid/src/tile.rs:
+crates/grid/src/view.rs:

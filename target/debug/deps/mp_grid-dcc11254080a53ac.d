@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_grid-dcc11254080a53ac.d: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+/root/repo/target/debug/deps/mp_grid-dcc11254080a53ac: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/array.rs:
+crates/grid/src/codec.rs:
+crates/grid/src/dist.rs:
+crates/grid/src/halo.rs:
+crates/grid/src/lines.rs:
+crates/grid/src/shape.rs:
+crates/grid/src/tile.rs:
+crates/grid/src/view.rs:

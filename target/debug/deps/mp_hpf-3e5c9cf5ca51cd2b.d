@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mp_hpf-3e5c9cf5ca51cd2b.d: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+/root/repo/target/debug/deps/libmp_hpf-3e5c9cf5ca51cd2b.rmeta: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+crates/hpf/src/lib.rs:
+crates/hpf/src/ast.rs:
+crates/hpf/src/compile.rs:
+crates/hpf/src/parse.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/mp_hpf-68e446cb30374f69.d: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+/root/repo/target/debug/deps/mp_hpf-68e446cb30374f69: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+crates/hpf/src/lib.rs:
+crates/hpf/src/ast.rs:
+crates/hpf/src/compile.rs:
+crates/hpf/src/parse.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/mp_hpf-86bd30cb641bc72d.d: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+/root/repo/target/debug/deps/libmp_hpf-86bd30cb641bc72d.rlib: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+/root/repo/target/debug/deps/libmp_hpf-86bd30cb641bc72d.rmeta: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+crates/hpf/src/lib.rs:
+crates/hpf/src/ast.rs:
+crates/hpf/src/compile.rs:
+crates/hpf/src/parse.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/mp_hpf-ea8de1c66c96af3b.d: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_hpf-ea8de1c66c96af3b.rmeta: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs Cargo.toml
+
+crates/hpf/src/lib.rs:
+crates/hpf/src/ast.rs:
+crates/hpf/src/compile.rs:
+crates/hpf/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

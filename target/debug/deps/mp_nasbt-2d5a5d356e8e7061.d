@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_nasbt-2d5a5d356e8e7061.d: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+/root/repo/target/debug/deps/libmp_nasbt-2d5a5d356e8e7061.rlib: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+/root/repo/target/debug/deps/libmp_nasbt-2d5a5d356e8e7061.rmeta: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+crates/nasbt/src/lib.rs:
+crates/nasbt/src/parallel.rs:
+crates/nasbt/src/problem.rs:
+crates/nasbt/src/serial.rs:
+crates/nasbt/src/simulate.rs:

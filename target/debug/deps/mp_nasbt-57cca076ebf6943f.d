@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_nasbt-57cca076ebf6943f.d: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_nasbt-57cca076ebf6943f.rmeta: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs Cargo.toml
+
+crates/nasbt/src/lib.rs:
+crates/nasbt/src/parallel.rs:
+crates/nasbt/src/problem.rs:
+crates/nasbt/src/serial.rs:
+crates/nasbt/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

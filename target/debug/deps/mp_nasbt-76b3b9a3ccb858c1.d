@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_nasbt-76b3b9a3ccb858c1.d: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+/root/repo/target/debug/deps/mp_nasbt-76b3b9a3ccb858c1: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+crates/nasbt/src/lib.rs:
+crates/nasbt/src/parallel.rs:
+crates/nasbt/src/problem.rs:
+crates/nasbt/src/serial.rs:
+crates/nasbt/src/simulate.rs:

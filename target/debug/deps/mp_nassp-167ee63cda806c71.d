@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/mp_nassp-167ee63cda806c71.d: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_nassp-167ee63cda806c71.rmeta: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs Cargo.toml
+
+crates/nassp/src/lib.rs:
+crates/nassp/src/classes.rs:
+crates/nassp/src/kernels.rs:
+crates/nassp/src/parallel.rs:
+crates/nassp/src/problem.rs:
+crates/nassp/src/serial.rs:
+crates/nassp/src/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

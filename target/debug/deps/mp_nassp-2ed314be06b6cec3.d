@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_nassp-2ed314be06b6cec3.d: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+/root/repo/target/debug/deps/libmp_nassp-2ed314be06b6cec3.rlib: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+/root/repo/target/debug/deps/libmp_nassp-2ed314be06b6cec3.rmeta: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+crates/nassp/src/lib.rs:
+crates/nassp/src/classes.rs:
+crates/nassp/src/kernels.rs:
+crates/nassp/src/parallel.rs:
+crates/nassp/src/problem.rs:
+crates/nassp/src/serial.rs:
+crates/nassp/src/simulate.rs:

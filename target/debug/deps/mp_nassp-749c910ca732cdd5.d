@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_nassp-749c910ca732cdd5.d: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+/root/repo/target/debug/deps/mp_nassp-749c910ca732cdd5: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+crates/nassp/src/lib.rs:
+crates/nassp/src/classes.rs:
+crates/nassp/src/kernels.rs:
+crates/nassp/src/parallel.rs:
+crates/nassp/src/problem.rs:
+crates/nassp/src/serial.rs:
+crates/nassp/src/simulate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_nassp-8139e6485ae345b1.d: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+/root/repo/target/debug/deps/libmp_nassp-8139e6485ae345b1.rmeta: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+crates/nassp/src/lib.rs:
+crates/nassp/src/classes.rs:
+crates/nassp/src/kernels.rs:
+crates/nassp/src/parallel.rs:
+crates/nassp/src/problem.rs:
+crates/nassp/src/serial.rs:
+crates/nassp/src/simulate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/mp_runtime-5b427567191fb157.d: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_runtime-5b427567191fb157.rmeta: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/machine.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

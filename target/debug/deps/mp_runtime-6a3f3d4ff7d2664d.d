@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_runtime-6a3f3d4ff7d2664d.d: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/mp_runtime-6a3f3d4ff7d2664d: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/machine.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/threaded.rs:

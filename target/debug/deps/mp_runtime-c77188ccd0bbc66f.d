@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/mp_runtime-c77188ccd0bbc66f.d: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/libmp_runtime-c77188ccd0bbc66f.rlib: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/libmp_runtime-c77188ccd0bbc66f.rmeta: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/machine.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/threaded.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_runtime-dfd1b0a39e053a63.d: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/debug/deps/libmp_runtime-dfd1b0a39e053a63.rmeta: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/machine.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/threaded.rs:

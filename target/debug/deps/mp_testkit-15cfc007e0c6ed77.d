@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_testkit-15cfc007e0c6ed77.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_testkit-15cfc007e0c6ed77.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mp_testkit-1a109d0d907826c3.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libmp_testkit-1a109d0d907826c3.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libmp_testkit-1a109d0d907826c3.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mp_testkit-d99d3a8a23578a02.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmp_testkit-d99d3a8a23578a02.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mp_testkit-f63ff0fa3158c88c.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/mp_testkit-f63ff0fa3158c88c: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

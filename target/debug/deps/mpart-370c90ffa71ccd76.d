@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpart-370c90ffa71ccd76.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mpart-370c90ffa71ccd76: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

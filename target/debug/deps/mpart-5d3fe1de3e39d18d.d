@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpart-5d3fe1de3e39d18d.d: crates/cli/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpart-5d3fe1de3e39d18d.rmeta: crates/cli/src/main.rs Cargo.toml
+
+crates/cli/src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpart-9f2d7b12ec56fb09.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/mpart-9f2d7b12ec56fb09: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multid-267972896d991db6.d: crates/bench/src/bin/multid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultid-267972896d991db6.rmeta: crates/bench/src/bin/multid.rs Cargo.toml
+
+crates/bench/src/bin/multid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multid-2e0d81538e846936.d: crates/bench/src/bin/multid.rs
+
+/root/repo/target/debug/deps/multid-2e0d81538e846936: crates/bench/src/bin/multid.rs
+
+crates/bench/src/bin/multid.rs:

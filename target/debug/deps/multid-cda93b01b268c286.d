@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multid-cda93b01b268c286.d: crates/bench/src/bin/multid.rs
+
+/root/repo/target/debug/deps/multid-cda93b01b268c286: crates/bench/src/bin/multid.rs
+
+crates/bench/src/bin/multid.rs:

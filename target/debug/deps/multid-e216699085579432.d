@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multid-e216699085579432.d: crates/bench/src/bin/multid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultid-e216699085579432.rmeta: crates/bench/src/bin/multid.rs Cargo.toml
+
+crates/bench/src/bin/multid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multipartition-6b0b9b266ab6ab01.d: src/lib.rs
+
+/root/repo/target/debug/deps/multipartition-6b0b9b266ab6ab01: src/lib.rs
+
+src/lib.rs:

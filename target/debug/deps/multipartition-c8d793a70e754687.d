@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multipartition-c8d793a70e754687.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmultipartition-c8d793a70e754687.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

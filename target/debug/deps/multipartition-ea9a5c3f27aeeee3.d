@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/multipartition-ea9a5c3f27aeeee3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmultipartition-ea9a5c3f27aeeee3.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmultipartition-ea9a5c3f27aeeee3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-add91c67b162316e.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-add91c67b162316e: tests/paper_claims.rs
+
+tests/paper_claims.rs:

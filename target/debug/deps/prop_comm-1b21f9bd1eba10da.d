@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_comm-1b21f9bd1eba10da.d: crates/runtime/tests/prop_comm.rs
+
+/root/repo/target/debug/deps/prop_comm-1b21f9bd1eba10da: crates/runtime/tests/prop_comm.rs
+
+crates/runtime/tests/prop_comm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_comm-ecb4ed4c69f0cd61.d: crates/runtime/tests/prop_comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_comm-ecb4ed4c69f0cd61.rmeta: crates/runtime/tests/prop_comm.rs Cargo.toml
+
+crates/runtime/tests/prop_comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

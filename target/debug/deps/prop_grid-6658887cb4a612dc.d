@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_grid-6658887cb4a612dc.d: crates/grid/tests/prop_grid.rs
+
+/root/repo/target/debug/deps/prop_grid-6658887cb4a612dc: crates/grid/tests/prop_grid.rs
+
+crates/grid/tests/prop_grid.rs:

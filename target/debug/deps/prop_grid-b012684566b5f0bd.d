@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_grid-b012684566b5f0bd.d: crates/grid/tests/prop_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_grid-b012684566b5f0bd.rmeta: crates/grid/tests/prop_grid.rs Cargo.toml
+
+crates/grid/tests/prop_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

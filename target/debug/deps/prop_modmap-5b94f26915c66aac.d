@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_modmap-5b94f26915c66aac.d: crates/core/tests/prop_modmap.rs
+
+/root/repo/target/debug/deps/prop_modmap-5b94f26915c66aac: crates/core/tests/prop_modmap.rs
+
+crates/core/tests/prop_modmap.rs:

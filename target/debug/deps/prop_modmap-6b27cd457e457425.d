@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_modmap-6b27cd457e457425.d: crates/core/tests/prop_modmap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_modmap-6b27cd457e457425.rmeta: crates/core/tests/prop_modmap.rs Cargo.toml
+
+crates/core/tests/prop_modmap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

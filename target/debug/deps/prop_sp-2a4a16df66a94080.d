@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_sp-2a4a16df66a94080.d: crates/nassp/tests/prop_sp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_sp-2a4a16df66a94080.rmeta: crates/nassp/tests/prop_sp.rs Cargo.toml
+
+crates/nassp/tests/prop_sp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_sp-ee7c921596d7508f.d: crates/nassp/tests/prop_sp.rs
+
+/root/repo/target/debug/deps/prop_sp-ee7c921596d7508f: crates/nassp/tests/prop_sp.rs
+
+crates/nassp/tests/prop_sp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4da6eb7ae64dda3b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4da6eb7ae64dda3b: tests/properties.rs
+
+tests/properties.rs:

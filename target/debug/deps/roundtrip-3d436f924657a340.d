@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-3d436f924657a340.d: crates/hpf/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-3d436f924657a340.rmeta: crates/hpf/tests/roundtrip.rs Cargo.toml
+
+crates/hpf/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-3e0724a14f045879.d: crates/hpf/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-3e0724a14f045879: crates/hpf/tests/roundtrip.rs
+
+crates/hpf/tests/roundtrip.rs:

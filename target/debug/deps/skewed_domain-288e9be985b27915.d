@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skewed_domain-288e9be985b27915.d: crates/bench/src/bin/skewed_domain.rs
+
+/root/repo/target/debug/deps/skewed_domain-288e9be985b27915: crates/bench/src/bin/skewed_domain.rs
+
+crates/bench/src/bin/skewed_domain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/skewed_domain-37374790a09179c0.d: crates/bench/src/bin/skewed_domain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libskewed_domain-37374790a09179c0.rmeta: crates/bench/src/bin/skewed_domain.rs Cargo.toml
+
+crates/bench/src/bin/skewed_domain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/skewed_domain-9439e8d1189175e9.d: crates/bench/src/bin/skewed_domain.rs
+
+/root/repo/target/debug/deps/skewed_domain-9439e8d1189175e9: crates/bench/src/bin/skewed_domain.rs
+
+crates/bench/src/bin/skewed_domain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_class_w-291eacd315cc1f4a.d: tests/sp_class_w.rs
+
+/root/repo/target/debug/deps/sp_class_w-291eacd315cc1f4a: tests/sp_class_w.rs
+
+tests/sp_class_w.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_class_w-42d1db58d32797c7.d: tests/sp_class_w.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_class_w-42d1db58d32797c7.rmeta: tests/sp_class_w.rs Cargo.toml
+
+tests/sp_class_w.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

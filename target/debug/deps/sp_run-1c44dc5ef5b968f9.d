@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_run-1c44dc5ef5b968f9.d: crates/bench/src/bin/sp_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_run-1c44dc5ef5b968f9.rmeta: crates/bench/src/bin/sp_run.rs Cargo.toml
+
+crates/bench/src/bin/sp_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_run-47d738a3d6c905c3.d: crates/bench/src/bin/sp_run.rs
+
+/root/repo/target/debug/deps/sp_run-47d738a3d6c905c3: crates/bench/src/bin/sp_run.rs
+
+crates/bench/src/bin/sp_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_run-842e1a6eaab791d8.d: crates/bench/src/bin/sp_run.rs
+
+/root/repo/target/debug/deps/sp_run-842e1a6eaab791d8: crates/bench/src/bin/sp_run.rs
+
+crates/bench/src/bin/sp_run.rs:

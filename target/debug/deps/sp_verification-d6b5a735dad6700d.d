@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sp_verification-d6b5a735dad6700d.d: tests/sp_verification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsp_verification-d6b5a735dad6700d.rmeta: tests/sp_verification.rs Cargo.toml
+
+tests/sp_verification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sp_verification-de942c35622247df.d: tests/sp_verification.rs
+
+/root/repo/target/debug/deps/sp_verification-de942c35622247df: tests/sp_verification.rs
+
+tests/sp_verification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_compare-0409388cda8b94a9.d: crates/bench/src/bin/strategy_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_compare-0409388cda8b94a9.rmeta: crates/bench/src/bin/strategy_compare.rs Cargo.toml
+
+crates/bench/src/bin/strategy_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_compare-ea6c3779452271e4.d: crates/bench/src/bin/strategy_compare.rs
+
+/root/repo/target/debug/deps/strategy_compare-ea6c3779452271e4: crates/bench/src/bin/strategy_compare.rs
+
+crates/bench/src/bin/strategy_compare.rs:

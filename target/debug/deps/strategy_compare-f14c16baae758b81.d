@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_compare-f14c16baae758b81.d: crates/bench/src/bin/strategy_compare.rs
+
+/root/repo/target/debug/deps/strategy_compare-f14c16baae758b81: crates/bench/src/bin/strategy_compare.rs
+
+crates/bench/src/bin/strategy_compare.rs:

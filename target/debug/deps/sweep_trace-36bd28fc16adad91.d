@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_trace-36bd28fc16adad91.d: crates/bench/src/bin/sweep_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_trace-36bd28fc16adad91.rmeta: crates/bench/src/bin/sweep_trace.rs Cargo.toml
+
+crates/bench/src/bin/sweep_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

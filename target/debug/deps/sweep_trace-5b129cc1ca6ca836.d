@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_trace-5b129cc1ca6ca836.d: crates/bench/src/bin/sweep_trace.rs
+
+/root/repo/target/debug/deps/sweep_trace-5b129cc1ca6ca836: crates/bench/src/bin/sweep_trace.rs
+
+crates/bench/src/bin/sweep_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_trace-90873ed5670c9b28.d: crates/bench/src/bin/sweep_trace.rs
+
+/root/repo/target/debug/deps/sweep_trace-90873ed5670c9b28: crates/bench/src/bin/sweep_trace.rs
+
+crates/bench/src/bin/sweep_trace.rs:

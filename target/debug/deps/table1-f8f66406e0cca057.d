@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f8f66406e0cca057.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f8f66406e0cca057: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_eval-026b5af3de1ae3d3.d: crates/bench/src/bin/topology_eval.rs
+
+/root/repo/target/debug/deps/topology_eval-026b5af3de1ae3d3: crates/bench/src/bin/topology_eval.rs
+
+crates/bench/src/bin/topology_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_eval-6093c335ddb3feb7.d: crates/bench/src/bin/topology_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_eval-6093c335ddb3feb7.rmeta: crates/bench/src/bin/topology_eval.rs Cargo.toml
+
+crates/bench/src/bin/topology_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

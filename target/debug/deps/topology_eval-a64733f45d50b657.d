@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_eval-a64733f45d50b657.d: crates/bench/src/bin/topology_eval.rs
+
+/root/repo/target/debug/deps/topology_eval-a64733f45d50b657: crates/bench/src/bin/topology_eval.rs
+
+crates/bench/src/bin/topology_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/topology_eval-d31f0207934663f8.d: crates/bench/src/bin/topology_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopology_eval-d31f0207934663f8.rmeta: crates/bench/src/bin/topology_eval.rs Cargo.toml
+
+crates/bench/src/bin/topology_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adi_heat-8d0929db1847ac13.d: examples/adi_heat.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadi_heat-8d0929db1847ac13.rmeta: examples/adi_heat.rs Cargo.toml
+
+examples/adi_heat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adi_heat-a878b60937df1842.d: examples/adi_heat.rs
+
+/root/repo/target/debug/examples/adi_heat-a878b60937df1842: examples/adi_heat.rs
+
+examples/adi_heat.rs:

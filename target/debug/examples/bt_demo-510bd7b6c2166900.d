@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bt_demo-510bd7b6c2166900.d: examples/bt_demo.rs
+
+/root/repo/target/debug/examples/bt_demo-510bd7b6c2166900: examples/bt_demo.rs
+
+examples/bt_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bt_demo-db14a5ef33bc5280.d: examples/bt_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbt_demo-db14a5ef33bc5280.rmeta: examples/bt_demo.rs Cargo.toml
+
+examples/bt_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

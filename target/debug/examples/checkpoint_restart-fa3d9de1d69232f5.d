@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-fa3d9de1d69232f5.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-fa3d9de1d69232f5: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hpf_demo-9e9be5699286e8e2.d: examples/hpf_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhpf_demo-9e9be5699286e8e2.rmeta: examples/hpf_demo.rs Cargo.toml
+
+examples/hpf_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hpf_demo-e52866f2d57c0244.d: examples/hpf_demo.rs
+
+/root/repo/target/debug/examples/hpf_demo-e52866f2d57c0244: examples/hpf_demo.rs
+
+examples/hpf_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nas_sp-ac6830e86aab304f.d: examples/nas_sp.rs
+
+/root/repo/target/debug/examples/nas_sp-ac6830e86aab304f: examples/nas_sp.rs
+
+examples/nas_sp.rs:

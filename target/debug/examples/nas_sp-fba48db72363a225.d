@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nas_sp-fba48db72363a225.d: examples/nas_sp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnas_sp-fba48db72363a225.rmeta: examples/nas_sp.rs Cargo.toml
+
+examples/nas_sp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/partition_explorer-291300038257fa1c.d: examples/partition_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpartition_explorer-291300038257fa1c.rmeta: examples/partition_explorer.rs Cargo.toml
+
+examples/partition_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/partition_explorer-7202fd3cf7b34891.d: examples/partition_explorer.rs
+
+/root/repo/target/debug/examples/partition_explorer-7202fd3cf7b34891: examples/partition_explorer.rs
+
+examples/partition_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-113522dd2615d04f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-113522dd2615d04f: examples/quickstart.rs
+
+examples/quickstart.rs:

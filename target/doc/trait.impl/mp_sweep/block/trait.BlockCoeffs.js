@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mp_nasbt",[["impl <a class=\"trait\" href=\"mp_sweep/block/trait.BlockCoeffs.html\" title=\"trait mp_sweep::block::BlockCoeffs\">BlockCoeffs</a>&lt;NCOMP&gt; for <a class=\"struct\" href=\"mp_nasbt/problem/struct.BtProblem.html\" title=\"struct mp_nasbt::problem::BtProblem\">BtProblem</a>",0]]],["mp_nasbt",[["impl BlockCoeffs&lt;NCOMP&gt; for <a class=\"struct\" href=\"mp_nasbt/problem/struct.BtProblem.html\" title=\"struct mp_nasbt::problem::BtProblem\">BtProblem</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[297,183]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["mp_nassp",[["impl <a class=\"trait\" href=\"mp_sweep/recurrence/trait.LineSweepKernel.html\" title=\"trait mp_sweep::recurrence::LineSweepKernel\">LineSweepKernel</a> for <a class=\"struct\" href=\"mp_nassp/kernels/struct.SpPentaForwardKernel.html\" title=\"struct mp_nassp::kernels::SpPentaForwardKernel\">SpPentaForwardKernel</a>",0],["impl <a class=\"trait\" href=\"mp_sweep/recurrence/trait.LineSweepKernel.html\" title=\"trait mp_sweep::recurrence::LineSweepKernel\">LineSweepKernel</a> for <a class=\"struct\" href=\"mp_nassp/kernels/struct.SpTriForwardKernel.html\" title=\"struct mp_nassp::kernels::SpTriForwardKernel\">SpTriForwardKernel</a>",0]]],["mp_nassp",[["impl LineSweepKernel for <a class=\"struct\" href=\"mp_nassp/kernels/struct.SpPentaForwardKernel.html\" title=\"struct mp_nassp::kernels::SpPentaForwardKernel\">SpPentaForwardKernel</a>",0],["impl LineSweepKernel for <a class=\"struct\" href=\"mp_nassp/kernels/struct.SpTriForwardKernel.html\" title=\"struct mp_nassp::kernels::SpTriForwardKernel\">SpTriForwardKernel</a>",0]]],["mp_sweep",[]],["multipartition",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[658,393,16,22]}

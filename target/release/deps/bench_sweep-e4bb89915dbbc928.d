@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sweep-e4bb89915dbbc928.d: crates/bench/benches/bench_sweep.rs
+
+/root/repo/target/release/deps/bench_sweep-e4bb89915dbbc928: crates/bench/benches/bench_sweep.rs
+
+crates/bench/benches/bench_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_thomas-e4eb1e3c1f9931b8.d: crates/bench/benches/bench_thomas.rs
+
+/root/repo/target/release/deps/bench_thomas-e4eb1e3c1f9931b8: crates/bench/benches/bench_thomas.rs
+
+crates/bench/benches/bench_thomas.rs:

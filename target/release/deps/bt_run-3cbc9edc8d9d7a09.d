@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bt_run-3cbc9edc8d9d7a09.d: crates/bench/src/bin/bt_run.rs
+
+/root/repo/target/release/deps/bt_run-3cbc9edc8d9d7a09: crates/bench/src/bin/bt_run.rs
+
+crates/bench/src/bin/bt_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bt_table-d8e6c951ea68d36c.d: crates/bench/src/bin/bt_table.rs
+
+/root/repo/target/release/deps/bt_table-d8e6c951ea68d36c: crates/bench/src/bin/bt_table.rs
+
+crates/bench/src/bin/bt_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/drop_back-9efbd56d237031d6.d: crates/bench/src/bin/drop_back.rs
+
+/root/repo/target/release/deps/drop_back-9efbd56d237031d6: crates/bench/src/bin/drop_back.rs
+
+crates/bench/src/bin/drop_back.rs:

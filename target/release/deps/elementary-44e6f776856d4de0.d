@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/elementary-44e6f776856d4de0.d: crates/bench/src/bin/elementary.rs
+
+/root/repo/target/release/deps/elementary-44e6f776856d4de0: crates/bench/src/bin/elementary.rs
+
+crates/bench/src/bin/elementary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/enum_complexity-fdb8ba7725d2654e.d: crates/bench/src/bin/enum_complexity.rs
+
+/root/repo/target/release/deps/enum_complexity-fdb8ba7725d2654e: crates/bench/src/bin/enum_complexity.rs
+
+crates/bench/src/bin/enum_complexity.rs:

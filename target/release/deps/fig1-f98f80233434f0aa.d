@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-f98f80233434f0aa.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-f98f80233434f0aa: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mapping_check-d7cf170c7372d485.d: crates/bench/src/bin/mapping_check.rs
+
+/root/repo/target/release/deps/mapping_check-d7cf170c7372d485: crates/bench/src/bin/mapping_check.rs
+
+crates/bench/src/bin/mapping_check.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/mp_bench-00a7b626e0bf8f62.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libmp_bench-00a7b626e0bf8f62.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libmp_bench-00a7b626e0bf8f62.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

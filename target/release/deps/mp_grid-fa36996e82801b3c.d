@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/mp_grid-fa36996e82801b3c.d: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+/root/repo/target/release/deps/libmp_grid-fa36996e82801b3c.rlib: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+/root/repo/target/release/deps/libmp_grid-fa36996e82801b3c.rmeta: crates/grid/src/lib.rs crates/grid/src/array.rs crates/grid/src/codec.rs crates/grid/src/dist.rs crates/grid/src/halo.rs crates/grid/src/lines.rs crates/grid/src/shape.rs crates/grid/src/tile.rs crates/grid/src/view.rs
+
+crates/grid/src/lib.rs:
+crates/grid/src/array.rs:
+crates/grid/src/codec.rs:
+crates/grid/src/dist.rs:
+crates/grid/src/halo.rs:
+crates/grid/src/lines.rs:
+crates/grid/src/shape.rs:
+crates/grid/src/tile.rs:
+crates/grid/src/view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/mp_hpf-394442f8050ec48a.d: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+/root/repo/target/release/deps/libmp_hpf-394442f8050ec48a.rlib: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+/root/repo/target/release/deps/libmp_hpf-394442f8050ec48a.rmeta: crates/hpf/src/lib.rs crates/hpf/src/ast.rs crates/hpf/src/compile.rs crates/hpf/src/parse.rs
+
+crates/hpf/src/lib.rs:
+crates/hpf/src/ast.rs:
+crates/hpf/src/compile.rs:
+crates/hpf/src/parse.rs:

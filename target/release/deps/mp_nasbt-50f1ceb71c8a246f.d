@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mp_nasbt-50f1ceb71c8a246f.d: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+/root/repo/target/release/deps/libmp_nasbt-50f1ceb71c8a246f.rlib: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+/root/repo/target/release/deps/libmp_nasbt-50f1ceb71c8a246f.rmeta: crates/nasbt/src/lib.rs crates/nasbt/src/parallel.rs crates/nasbt/src/problem.rs crates/nasbt/src/serial.rs crates/nasbt/src/simulate.rs
+
+crates/nasbt/src/lib.rs:
+crates/nasbt/src/parallel.rs:
+crates/nasbt/src/problem.rs:
+crates/nasbt/src/serial.rs:
+crates/nasbt/src/simulate.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/mp_nassp-84c6686adbd1d7e5.d: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+/root/repo/target/release/deps/libmp_nassp-84c6686adbd1d7e5.rlib: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+/root/repo/target/release/deps/libmp_nassp-84c6686adbd1d7e5.rmeta: crates/nassp/src/lib.rs crates/nassp/src/classes.rs crates/nassp/src/kernels.rs crates/nassp/src/parallel.rs crates/nassp/src/problem.rs crates/nassp/src/serial.rs crates/nassp/src/simulate.rs
+
+crates/nassp/src/lib.rs:
+crates/nassp/src/classes.rs:
+crates/nassp/src/kernels.rs:
+crates/nassp/src/parallel.rs:
+crates/nassp/src/problem.rs:
+crates/nassp/src/serial.rs:
+crates/nassp/src/simulate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/mp_runtime-258f3359c2c1bd5f.d: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/release/deps/libmp_runtime-258f3359c2c1bd5f.rlib: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+/root/repo/target/release/deps/libmp_runtime-258f3359c2c1bd5f.rmeta: crates/runtime/src/lib.rs crates/runtime/src/comm.rs crates/runtime/src/machine.rs crates/runtime/src/sim.rs crates/runtime/src/threaded.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/comm.rs:
+crates/runtime/src/machine.rs:
+crates/runtime/src/sim.rs:
+crates/runtime/src/threaded.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mp_testkit-042c48f95fabbe9b.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libmp_testkit-042c48f95fabbe9b.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libmp_testkit-042c48f95fabbe9b.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

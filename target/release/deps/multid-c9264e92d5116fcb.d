@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/multid-c9264e92d5116fcb.d: crates/bench/src/bin/multid.rs
+
+/root/repo/target/release/deps/multid-c9264e92d5116fcb: crates/bench/src/bin/multid.rs
+
+crates/bench/src/bin/multid.rs:

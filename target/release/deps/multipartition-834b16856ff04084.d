@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/multipartition-834b16856ff04084.d: src/lib.rs
+
+/root/repo/target/release/deps/libmultipartition-834b16856ff04084.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmultipartition-834b16856ff04084.rmeta: src/lib.rs
+
+src/lib.rs:

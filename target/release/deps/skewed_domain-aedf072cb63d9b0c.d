@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/skewed_domain-aedf072cb63d9b0c.d: crates/bench/src/bin/skewed_domain.rs
+
+/root/repo/target/release/deps/skewed_domain-aedf072cb63d9b0c: crates/bench/src/bin/skewed_domain.rs
+
+crates/bench/src/bin/skewed_domain.rs:

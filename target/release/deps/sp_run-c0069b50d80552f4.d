@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sp_run-c0069b50d80552f4.d: crates/bench/src/bin/sp_run.rs
+
+/root/repo/target/release/deps/sp_run-c0069b50d80552f4: crates/bench/src/bin/sp_run.rs
+
+crates/bench/src/bin/sp_run.rs:

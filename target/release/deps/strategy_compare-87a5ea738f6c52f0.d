@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/strategy_compare-87a5ea738f6c52f0.d: crates/bench/src/bin/strategy_compare.rs
+
+/root/repo/target/release/deps/strategy_compare-87a5ea738f6c52f0: crates/bench/src/bin/strategy_compare.rs
+
+crates/bench/src/bin/strategy_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_trace-05780a7a4062562b.d: crates/bench/src/bin/sweep_trace.rs
+
+/root/repo/target/release/deps/sweep_trace-05780a7a4062562b: crates/bench/src/bin/sweep_trace.rs
+
+crates/bench/src/bin/sweep_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-fc9a8c0ec40da7c1.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-fc9a8c0ec40da7c1: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

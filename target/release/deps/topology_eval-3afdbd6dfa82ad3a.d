@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/topology_eval-3afdbd6dfa82ad3a.d: crates/bench/src/bin/topology_eval.rs
+
+/root/repo/target/release/deps/topology_eval-3afdbd6dfa82ad3a: crates/bench/src/bin/topology_eval.rs
+
+crates/bench/src/bin/topology_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adi_heat-2453d28a64cd9328.d: examples/adi_heat.rs
+
+/root/repo/target/release/examples/adi_heat-2453d28a64cd9328: examples/adi_heat.rs
+
+examples/adi_heat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/bt_demo-fb6d968a3cf15a51.d: examples/bt_demo.rs
+
+/root/repo/target/release/examples/bt_demo-fb6d968a3cf15a51: examples/bt_demo.rs
+
+examples/bt_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nas_sp-a94a0273724760ac.d: examples/nas_sp.rs
+
+/root/repo/target/release/examples/nas_sp-a94a0273724760ac: examples/nas_sp.rs
+
+examples/nas_sp.rs:

@@ -61,7 +61,7 @@ fn bt_checkpoint_roundtrip() {
     });
     for store in &stores {
         let bytes = encode_rank_store(store);
-        let back = decode_rank_store(bytes).expect("decode");
+        let back = decode_rank_store(&bytes).expect("decode");
         assert_eq!(&back, store, "rank {} round trip", store.rank);
     }
 }

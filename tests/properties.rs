@@ -1,72 +1,98 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Randomized property tests on the core invariants.
 
+use mp_testkit::{cases, Rng};
 use multipartition::core::modmap::ModularMapping;
 use multipartition::core::partition::{elementary_partitionings, factor_distributions};
 use multipartition::core::search::{optimal_partitioning, optimal_partitioning_fast};
 use multipartition::prelude::*;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Lemma 1 invariant: every generated factor distribution has total
-    /// r + m with the max m attained in ≥ 2 bins, and all are distinct.
-    #[test]
-    fn figure2_invariants(r in 1u32..9, d in 2usize..6) {
+/// Lemma 1 invariant: every generated factor distribution has total
+/// r + m with the max m attained in ≥ 2 bins, and all are distinct.
+#[test]
+fn figure2_invariants() {
+    cases(0xf1f2, 64, |rng| {
+        let r = rng.next_u64() as u32 % 8 + 1;
+        let d = rng.usize_in(2, 5);
         let dists = factor_distributions(r, d);
         let mut seen = std::collections::BTreeSet::new();
         for e in &dists {
             let total: u32 = e.iter().sum();
             let m = *e.iter().max().unwrap();
-            prop_assert_eq!(total, r + m);
-            prop_assert!(e.iter().filter(|&&x| x == m).count() >= 2);
-            prop_assert!(seen.insert(e.clone()));
+            assert_eq!(total, r + m);
+            assert!(e.iter().filter(|&&x| x == m).count() >= 2);
+            assert!(seen.insert(e.clone()));
         }
-        prop_assert!(!dists.is_empty());
-    }
+        assert!(!dists.is_empty());
+    });
+}
 
-    /// Every elementary partitioning is valid, and the optimal search
-    /// returns one of them with the minimum objective.
-    #[test]
-    fn search_returns_minimum(p in 2u64..150, l0 in 0.1f64..10.0, l1 in 0.1f64..10.0, l2 in 0.1f64..10.0) {
-        let lambdas = [l0, l1, l2];
+/// Every elementary partitioning is valid, and the optimal search
+/// returns one of them with the minimum objective.
+#[test]
+fn search_returns_minimum() {
+    cases(0x5e41, 64, |rng| {
+        let p = rng.u64_in(2, 149);
+        let lambdas = [
+            rng.f64_in(0.1, 10.0),
+            rng.f64_in(0.1, 10.0),
+            rng.f64_in(0.1, 10.0),
+        ];
         let res = optimal_partitioning(p, &lambdas);
-        prop_assert!(res.partitioning.is_valid(p));
+        assert!(res.partitioning.is_valid(p));
         let min = elementary_partitionings(p, 3)
             .iter()
-            .map(|pt| pt.gammas.iter().zip(lambdas.iter()).map(|(&g, &l)| g as f64 * l).sum::<f64>())
+            .map(|pt| {
+                pt.gammas
+                    .iter()
+                    .zip(lambdas.iter())
+                    .map(|(&g, &l)| g as f64 * l)
+                    .sum::<f64>()
+            })
             .fold(f64::INFINITY, f64::min);
-        prop_assert!((res.objective - min).abs() <= 1e-9 * min.max(1.0));
-    }
+        assert!((res.objective - min).abs() <= 1e-9 * min.max(1.0));
+    });
+}
 
-    /// The deduplicated search agrees with the exhaustive one.
-    #[test]
-    fn fast_search_agrees(p in 2u64..150, l0 in 0.1f64..10.0, l1 in 0.1f64..10.0, l2 in 0.1f64..10.0) {
-        let lambdas = [l0, l1, l2];
+/// The deduplicated search agrees with the exhaustive one.
+#[test]
+fn fast_search_agrees() {
+    cases(0xfa57, 64, |rng| {
+        let p = rng.u64_in(2, 149);
+        let lambdas = [
+            rng.f64_in(0.1, 10.0),
+            rng.f64_in(0.1, 10.0),
+            rng.f64_in(0.1, 10.0),
+        ];
         let a = optimal_partitioning(p, &lambdas);
         let b = optimal_partitioning_fast(p, &lambdas);
-        prop_assert!((a.objective - b.objective).abs() <= 1e-9 * a.objective.max(1.0));
-    }
+        assert!((a.objective - b.objective).abs() <= 1e-9 * a.objective.max(1.0));
+    });
+}
 
-    /// The Figure 3 construction yields load-balanced, neighbor-respecting
-    /// mappings for random elementary partitionings.
-    #[test]
-    fn mapping_properties_random(p in 2u64..36, pick in 0usize..1000) {
+/// The Figure 3 construction yields load-balanced, neighbor-respecting
+/// mappings for random elementary partitionings.
+#[test]
+fn mapping_properties_random() {
+    cases(0x3a99, 64, |rng| {
+        let p = rng.u64_in(2, 35);
         let parts = elementary_partitionings(p, 3);
-        let pt = &parts[pick % parts.len()];
-        prop_assume!(pt.total_tiles() <= 40_000);
+        let pt = &parts[rng.usize_in(0, parts.len() - 1)];
+        if pt.total_tiles() > 40_000 {
+            return;
+        }
         let map = ModularMapping::construct(p, &pt.gammas);
-        prop_assert!(map.check_load_balance().is_ok());
-        prop_assert!(map.check_neighbor_property().is_ok());
-    }
+        assert!(map.check_load_balance().is_ok());
+        assert!(map.check_neighbor_property().is_ok());
+    });
+}
 
-    /// Region pack → unpack is the identity on the packed region and leaves
-    /// the rest untouched.
-    #[test]
-    fn pack_unpack_roundtrip(
-        d0 in 2usize..7, d1 in 2usize..7, d2 in 2usize..7,
-        o0 in 0usize..3, o1 in 0usize..3, o2 in 0usize..3,
-    ) {
+/// Region pack → unpack is the identity on the packed region and leaves
+/// the rest untouched.
+#[test]
+fn pack_unpack_roundtrip() {
+    cases(0xbac0, 64, |rng| {
+        let (d0, d1, d2) = (rng.usize_in(2, 6), rng.usize_in(2, 6), rng.usize_in(2, 6));
+        let (o0, o1, o2) = (rng.usize_in(0, 2), rng.usize_in(0, 2), rng.usize_in(0, 2));
         let dims = [d0 + 3, d1 + 3, d2 + 3];
         let src = ArrayD::from_fn(&dims, |g| (g[0] * 100 + g[1] * 10 + g[2]) as f64 + 0.5);
         let region = Region::new(vec![o0, o1, o2], vec![d0, d1, d2]);
@@ -82,39 +108,48 @@ proptest! {
                 outside_ok &= dst.get(g) == 0.0;
             }
         });
-        prop_assert!(inside_ok && outside_ok);
-    }
+        assert!(inside_ok && outside_ok);
+    });
+}
 
-    /// Thomas solver: residual of a random diagonally dominant system
-    /// vanishes.
-    #[test]
-    fn thomas_residual(n in 1usize..128, seed in 0u64..1000) {
-        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state % 2000) as f64 / 1000.0 - 1.0
+/// Thomas solver: residual of a random diagonally dominant system
+/// vanishes.
+#[test]
+fn thomas_residual() {
+    cases(0x7803, 64, |rng| {
+        let n = rng.usize_in(1, 127);
+        let mut next = {
+            let mut r = Rng::new(rng.next_u64());
+            move || r.f64_in(-1.0, 1.0)
         };
-        let a: Vec<f64> = (0..n).map(|k| if k == 0 { 0.0 } else { next() * 0.45 }).collect();
-        let c: Vec<f64> = (0..n).map(|k| if k == n - 1 { 0.0 } else { next() * 0.45 }).collect();
+        let a: Vec<f64> = (0..n)
+            .map(|k| if k == 0 { 0.0 } else { next() * 0.45 })
+            .collect();
+        let c: Vec<f64> = (0..n)
+            .map(|k| if k == n - 1 { 0.0 } else { next() * 0.45 })
+            .collect();
         let b: Vec<f64> = (0..n).map(|k| 1.0 + a[k].abs() + c[k].abs()).collect();
         let rhs: Vec<f64> = (0..n).map(|_| next() * 5.0).collect();
         let x = multipartition::sweep::thomas_solve(&a, &b, &c, &rhs);
         let back = multipartition::sweep::thomas::tridiag_matvec(&a, &b, &c, &x);
         for (u, v) in back.iter().zip(rhs.iter()) {
-            prop_assert!((u - v).abs() < 1e-8, "residual {} at n={}", (u - v).abs(), n);
+            assert!(
+                (u - v).abs() < 1e-8,
+                "residual {} at n={}",
+                (u - v).abs(),
+                n
+            );
         }
-    }
+    });
+}
 
-    /// Tile grids cover the domain exactly (no gaps, no overlaps), even for
-    /// ragged cuts.
-    #[test]
-    fn tile_grid_partitions_domain(
-        e0 in 1usize..20, e1 in 1usize..20,
-        g0 in 1usize..6, g1 in 1usize..6,
-    ) {
-        prop_assume!(g0 <= e0 && g1 <= e1);
+/// Tile grids cover the domain exactly (no gaps, no overlaps), even for
+/// ragged cuts.
+#[test]
+fn tile_grid_partitions_domain() {
+    cases(0x711e, 64, |rng| {
+        let (e0, e1) = (rng.usize_in(1, 19), rng.usize_in(1, 19));
+        let (g0, g1) = (rng.usize_in(1, e0.min(5)), rng.usize_in(1, e1.min(5)));
         let grid = TileGrid::new(&[e0, e1], &[g0, g1]);
         let mut count = vec![0u32; e0 * e1];
         for a in 0..g0 {
@@ -124,28 +159,34 @@ proptest! {
                 });
             }
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
-    }
+        assert!(count.iter().all(|&c| c == 1));
+    });
+}
 
-    /// Neighbor ranks are mutually inverse permutations.
-    #[test]
-    fn neighbor_permutation(p in 2u64..40) {
+/// Neighbor ranks are mutually inverse permutations.
+#[test]
+fn neighbor_permutation() {
+    cases(0x4e16, 38, |rng| {
+        let p = rng.u64_in(2, 39);
         let mp = Multipartitioning::optimal(p, &[64, 64, 64], &CostModel::origin2000_like());
         for dim in 0..3 {
             let mut seen = vec![false; p as usize];
             for r in 0..p {
                 let f = mp.neighbor_rank(r, dim, 1);
-                prop_assert!(!seen[f as usize]);
+                assert!(!seen[f as usize]);
                 seen[f as usize] = true;
-                prop_assert_eq!(mp.neighbor_rank(f, dim, -1), r);
+                assert_eq!(mp.neighbor_rank(f, dim, -1), r);
             }
         }
-    }
+    });
+}
 
-    /// The analytic total time is consistent: T(p) decreases (or holds)
-    /// when latency is free, compute dominates, and p doubles.
-    #[test]
-    fn more_processors_help_when_compute_bound(p in 1u64..40) {
+/// The analytic total time is consistent: T(p) decreases (or holds)
+/// when latency is free, compute dominates, and p doubles.
+#[test]
+fn more_processors_help_when_compute_bound() {
+    cases(0xc0b0, 39, |rng| {
+        let p = rng.u64_in(1, 39);
         let model = CostModel {
             k1: 1.0,
             k2: 1e-12,
@@ -155,6 +196,6 @@ proptest! {
         let eta = [128u64, 128, 128];
         let t1 = model.total_time(p, &eta, &optimal_for(p, &eta, &model).partitioning);
         let t2 = model.total_time(2 * p, &eta, &optimal_for(2 * p, &eta, &model).partitioning);
-        prop_assert!(t2 < t1);
-    }
+        assert!(t2 < t1);
+    });
 }
