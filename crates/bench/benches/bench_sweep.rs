@@ -5,6 +5,7 @@
 use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_core::cost::CostModel;
 use mp_core::multipart::{Direction, Multipartitioning};
+use mp_core::partition::Partitioning;
 use mp_grid::{ArrayD, FieldDef, TileGrid};
 use mp_runtime::comm::Communicator;
 use mp_runtime::machine::MachineModel;
@@ -14,8 +15,11 @@ use mp_sweep::executor::{
     allocate_rank_store, multipart_sweep, multipart_sweep_opts, SweepOptions,
 };
 use mp_sweep::recurrence::PrefixSumKernel;
-use mp_sweep::simulate::{simulate_multipart_sweep, MultipartGeometry, SweepWork};
+use mp_sweep::simulate::{
+    simulate_multipart_sweep, simulate_multipart_sweep_pipelined, MultipartGeometry, SweepWork,
+};
 use mp_sweep::verify::serial_sweep;
+use mp_sweep::BatchedKernel;
 use std::hint::black_box;
 
 fn bench_sweep(c: &mut Criterion) {
@@ -95,6 +99,54 @@ fn bench_sweep(c: &mut Criterion) {
     }
     group.finish();
 
+    // Aggregated vs pipelined carries at γ = 4: a slab-thin grid with a
+    // four-value carry per line, so the per-phase carry stream is large
+    // relative to block compute. Pipelined mode relays received chunk
+    // buffers by ownership instead of copying the full aggregated message,
+    // which is where the win comes from on a single host.
+    {
+        let p = 4u64;
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(vec![4, 2, 2]));
+        let peta = [8usize, 64, 64];
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&peta, &gam);
+        let defs: Vec<FieldDef> = (0..4).map(|i| FieldDef::new(&format!("f{i}"), 0)).collect();
+        let kern = BatchedKernel::new((0..4).map(PrefixSumKernel::new).collect());
+        let mut group = c.benchmark_group("pipelined_sweep");
+        group.throughput(Throughput::Elements(
+            (peta.iter().product::<usize>() * 4) as u64,
+        ));
+        for (label, chunks) in [
+            ("aggregated", 1usize),
+            ("chunks2", 2),
+            ("chunks4", 4),
+            ("chunks8", 8),
+        ] {
+            let opts = SweepOptions::new(16, 1).with_pipeline_chunks(chunks);
+            group.bench_with_input(BenchmarkId::new("gamma4_8x64x64", label), &label, |b, _| {
+                b.iter(|| {
+                    run_threaded(p, |comm| {
+                        let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &defs);
+                        for f in 0..4 {
+                            store.init_field(f, |g| (g[0] + g[1] + g[2]) as f64);
+                        }
+                        multipart_sweep_opts(
+                            comm,
+                            &mut store,
+                            &mp,
+                            0,
+                            Direction::Forward,
+                            &kern,
+                            100,
+                            &opts,
+                        );
+                    })
+                })
+            });
+        }
+        group.finish();
+    }
+
     // Cost of producing one simulated data point (Table 1 machinery).
     let mut group = c.benchmark_group("simulated_sweep_replay");
     for &p in &[16u64, 50, 81] {
@@ -109,6 +161,24 @@ fn bench_sweep(c: &mut Criterion) {
                 black_box(net.makespan())
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("class_b_sweep_pipelined4", p),
+            &p,
+            |b, &p| {
+                b.iter(|| {
+                    let mut net = SimNet::new(p, MachineModel::sp_origin2000());
+                    simulate_multipart_sweep_pipelined(
+                        &mut net,
+                        &geo,
+                        0,
+                        &SweepWork::default(),
+                        4,
+                        0,
+                    );
+                    black_box(net.makespan())
+                })
+            },
+        );
     }
     group.finish();
 }

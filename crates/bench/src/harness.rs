@@ -14,6 +14,12 @@
 //! Each benchmark is calibrated so one sample runs long enough to measure,
 //! then timed over several samples; the report prints the best sample as
 //! ns/iter plus element throughput when declared.
+//!
+//! Besides the console report, every completed run is recorded and — when
+//! `main` finishes via [`criterion_main!`] — written as a machine-readable
+//! JSON report `BENCH_<name>.json` at the repository root (`<name>` is the
+//! bench target with the `bench_` prefix stripped, e.g. `BENCH_sweep.json`).
+//! CI uploads these files as artifacts so runs can be compared over time.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -79,12 +85,27 @@ impl Bencher {
     }
 }
 
+/// One completed measurement, recorded for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark path `group/function/parameter`.
+    pub name: String,
+    /// Best-sample time per iteration in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Declared per-iteration work, if any.
+    pub throughput: Option<Throughput>,
+}
+
 /// Top-level harness state: command-line filter and time budget.
 pub struct Criterion {
     filter: Option<String>,
     /// Target duration of one measured sample.
     sample_time: Duration,
     samples: usize,
+    /// Every measurement taken so far, in execution order.
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -109,6 +130,7 @@ impl Criterion {
                 Duration::from_millis(100)
             },
             samples: if quick { 2 } else { 5 },
+            results: Vec::new(),
         }
     }
 
@@ -120,6 +142,35 @@ impl Criterion {
             throughput: None,
         }
     }
+
+    /// Everything measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Write the JSON report to `BENCH_<name>.json` at the repository root,
+    /// where `<name>` is derived from the running bench executable. No-op
+    /// when nothing was measured (e.g. the filter excluded everything).
+    pub fn write_report(&self) {
+        let name = bench_name();
+        let path = format!(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_{}.json"),
+            name
+        );
+        self.write_report_to(&name, path.as_ref());
+    }
+
+    /// Write the JSON report for bench `name` to an explicit path.
+    pub fn write_report_to(&self, name: &str, path: &std::path::Path) {
+        if self.results.is_empty() {
+            return;
+        }
+        let body = render_report(name, &self.results);
+        match std::fs::write(path, body) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 impl Default for Criterion {
@@ -128,8 +179,80 @@ impl Default for Criterion {
             filter: None,
             sample_time: Duration::from_millis(100),
             samples: 5,
+            results: Vec::new(),
         }
     }
+}
+
+/// Report name of the running bench: executable stem minus the cargo
+/// `-<hash>` suffix and the `bench_` prefix.
+fn bench_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    normalize_bench_name(stem)
+}
+
+fn normalize_bench_name(stem: &str) -> String {
+    let base = match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty()
+                && !hash.is_empty()
+                && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base
+        }
+        _ => stem,
+    };
+    base.strip_prefix("bench_").unwrap_or(base).to_string()
+}
+
+/// Render the report as a self-contained JSON document.
+fn render_report(name: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(name)));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let (tp_unit, tp_per_iter) = match r.throughput {
+            Some(Throughput::Elements(n)) => ("\"elements\"".to_string(), n as f64),
+            Some(Throughput::Bytes(n)) => ("\"bytes\"".to_string(), n as f64),
+            None => ("null".to_string(), 0.0),
+        };
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": \"{}\", ", json_escape(&r.name)));
+        out.push_str(&format!("\"ns_per_iter\": {:.3}, ", r.ns_per_iter));
+        out.push_str(&format!("\"iters\": {}, ", r.iters));
+        out.push_str(&format!("\"throughput_unit\": {tp_unit}, "));
+        if r.throughput.is_some() && r.ns_per_iter > 0.0 {
+            out.push_str(&format!(
+                "\"throughput_per_sec\": {:.3}",
+                tp_per_iter / (r.ns_per_iter * 1e-9)
+            ));
+        } else {
+            out.push_str("\"throughput_per_sec\": null");
+        }
+        out.push_str(if i + 1 == results.len() {
+            "}\n"
+        } else {
+            "},\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// A named set of benchmarks sharing throughput settings.
@@ -181,7 +304,7 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(
-    c: &Criterion,
+    c: &mut Criterion,
     name: &str,
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
@@ -226,6 +349,12 @@ fn run_one(
         }
     }
     let ns_per_iter = best.as_secs_f64() * 1e9 / iters as f64;
+    c.results.push(BenchResult {
+        name: name.to_string(),
+        ns_per_iter,
+        iters,
+        throughput,
+    });
     let thrpt = match throughput {
         Some(Throughput::Elements(n)) => {
             format!("  thrpt: {}/s", si(n as f64 / (ns_per_iter * 1e-9), "elem"))
@@ -273,13 +402,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Define `main` running benchmark groups (criterion compatibility).
+/// Define `main` running benchmark groups (criterion compatibility), then
+/// writing the JSON report to the repository root.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             let mut c = $crate::harness::Criterion::from_args();
             $( $group(&mut c); )+
+            c.write_report();
         }
     };
 }
@@ -310,6 +441,7 @@ mod tests {
             filter: Some("keep".into()),
             sample_time: Duration::from_micros(50),
             samples: 1,
+            results: Vec::new(),
         };
         let mut ran = 0u32;
         let mut skipped = 0u32;
@@ -331,11 +463,65 @@ mod tests {
     }
 
     #[test]
+    fn bench_names_normalize() {
+        assert_eq!(
+            normalize_bench_name("bench_sweep-6a0f3c12deadbeef"),
+            "sweep"
+        );
+        assert_eq!(normalize_bench_name("bench_sp"), "sp");
+        assert_eq!(normalize_bench_name("bench_thomas-XYZ"), "thomas-XYZ");
+        assert_eq!(normalize_bench_name("plain"), "plain");
+    }
+
+    #[test]
+    fn json_report_renders_and_writes() {
+        let mut c = Criterion {
+            filter: None,
+            sample_time: Duration::from_micros(20),
+            samples: 1,
+            results: Vec::new(),
+        };
+        {
+            let mut g = c.benchmark_group("grp");
+            g.throughput(Throughput::Elements(100));
+            g.bench_function("fast", |b| b.iter(|| black_box(2 + 2)));
+        }
+        assert_eq!(c.results().len(), 1);
+        let body = render_report("sweep", c.results());
+        assert!(body.contains("\"bench\": \"sweep\""));
+        assert!(body.contains("\"name\": \"grp/fast\""));
+        assert!(body.contains("\"throughput_unit\": \"elements\""));
+        assert!(!body.contains("throughput_per_sec\": null"));
+
+        let path = std::env::temp_dir().join("mp_bench_report_test.json");
+        c.write_report_to("sweep", &path);
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, body);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+
+    #[test]
+    fn empty_report_is_not_written() {
+        let c = Criterion::default();
+        let path = std::env::temp_dir().join("mp_bench_empty_report_test.json");
+        let _ = std::fs::remove_file(&path);
+        c.write_report_to("none", &path);
+        assert!(!path.exists(), "empty result set must not produce a file");
+    }
+
+    #[test]
     fn bench_with_input_passes_input() {
         let mut c = Criterion {
             filter: None,
             sample_time: Duration::from_micros(20),
             samples: 1,
+            results: Vec::new(),
         };
         let mut g = c.benchmark_group("g");
         g.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &x| {

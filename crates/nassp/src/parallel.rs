@@ -19,7 +19,7 @@ use crate::serial::rhs_at;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::{FieldDef, RankStore, TileGrid};
 use mp_runtime::comm::Communicator;
-use mp_sweep::executor::{allocate_rank_store, exchange_halos, multipart_sweep};
+use mp_sweep::executor::{allocate_rank_store, exchange_halos, multipart_sweep_opts, SweepOptions};
 use mp_sweep::penta::PentaBackwardKernel;
 use mp_sweep::thomas::{ThomasBackwardKernel, ThomasForwardKernel};
 
@@ -61,6 +61,8 @@ pub struct ParallelSp {
     pub grid: TileGrid,
     /// This rank's tiles.
     pub store: RankStore,
+    /// Execution options forwarded to every directional sweep.
+    pub sweep_opts: SweepOptions,
     /// Completed iterations.
     pub iters_done: usize,
 }
@@ -68,6 +70,17 @@ pub struct ParallelSp {
 impl ParallelSp {
     /// Initialize this rank's tiles for `mp` over the problem grid.
     pub fn new(rank: u64, prob: SpProblem, mp: Multipartitioning) -> Self {
+        Self::with_opts(rank, prob, mp, SweepOptions::default())
+    }
+
+    /// Like [`ParallelSp::new`] but with explicit sweep execution options
+    /// (block width, intra-rank threads, pipeline chunks).
+    pub fn with_opts(
+        rank: u64,
+        prob: SpProblem,
+        mp: Multipartitioning,
+        sweep_opts: SweepOptions,
+    ) -> Self {
         let gammas: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
         let grid = TileGrid::new(&prob.eta, &gammas);
         let mut store = allocate_rank_store(rank, &mp, &grid, &sp_fields());
@@ -78,6 +91,7 @@ impl ParallelSp {
             mp,
             grid,
             store,
+            sweep_opts,
             iters_done: 0,
         }
     }
@@ -135,7 +149,7 @@ impl ParallelSp {
                 // Coefficients are generated inside the kernel from global
                 // coordinates; fields A/B serve as the C/F scratch.
                 let fwd = SpPentaForwardKernel::new(prob, fields::A, fields::B, fields::RHS);
-                multipart_sweep(
+                multipart_sweep_opts(
                     comm,
                     &mut self.store,
                     &self.mp,
@@ -143,9 +157,10 @@ impl ParallelSp {
                     Direction::Forward,
                     &fwd,
                     20_000 + dim as u64 * 1_000,
+                    &self.sweep_opts,
                 );
                 let bwd = PentaBackwardKernel::new(fields::A, fields::B, fields::RHS);
-                multipart_sweep(
+                multipart_sweep_opts(
                     comm,
                     &mut self.store,
                     &self.mp,
@@ -153,6 +168,7 @@ impl ParallelSp {
                     Direction::Backward,
                     &bwd,
                     30_000 + dim as u64 * 1_000,
+                    &self.sweep_opts,
                 );
                 continue;
             }
@@ -179,7 +195,7 @@ impl ParallelSp {
                 }
             }
             let fwd = ThomasForwardKernel::new(fields::A, fields::B, fields::C, fields::RHS);
-            multipart_sweep(
+            multipart_sweep_opts(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -187,9 +203,10 @@ impl ParallelSp {
                 Direction::Forward,
                 &fwd,
                 20_000 + dim as u64 * 1_000,
+                &self.sweep_opts,
             );
             let bwd = ThomasBackwardKernel::new(fields::C, fields::RHS);
-            multipart_sweep(
+            multipart_sweep_opts(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -197,6 +214,7 @@ impl ParallelSp {
                 Direction::Backward,
                 &bwd,
                 30_000 + dim as u64 * 1_000,
+                &self.sweep_opts,
             );
         }
 
@@ -341,6 +359,31 @@ mod tests {
             store.gather_into(fields::U, &mut global);
         }
         assert_eq!(global.max_abs_diff(&serial.u), 0.0);
+    }
+
+    #[test]
+    fn pipelined_sweeps_match_serial() {
+        // The full ADI iteration with every directional sweep running in
+        // pipelined mode must stay bit-identical to the serial solver.
+        let prob = SpProblem::new([8, 8, 8], 0.001);
+        let mut serial = SerialSp::new(prob);
+        serial.run(2);
+        let mp = Multipartitioning::optimal(4, &[8, 8, 8], &CostModel::origin2000_like());
+        let opts = SweepOptions::new(8, 1).with_pipeline_chunks(3);
+        let results = run_threaded(4, |comm| {
+            let mut sp = ParallelSp::with_opts(comm.rank(), prob, mp.clone(), opts.clone());
+            sp.run(comm, 2);
+            sp.store
+        });
+        let mut global = ArrayD::zeros(&prob.eta);
+        for store in &results {
+            store.gather_into(fields::U, &mut global);
+        }
+        assert_eq!(
+            global.max_abs_diff(&serial.u),
+            0.0,
+            "pipelined SP must be bit-identical to serial"
+        );
     }
 
     #[test]

@@ -84,6 +84,26 @@ impl Communicator for ThreadedComm {
         }
     }
 
+    fn try_recv(&mut self, from: u64, tag: Tag) -> Option<Vec<f64>> {
+        if let Some(q) = self.stash.get_mut(&(from, tag)) {
+            if let Some(p) = q.pop_front() {
+                return Some(p);
+            }
+        }
+        // Drain whatever already sits in the channel; stash mismatches so
+        // FIFO order per (from, tag) is preserved for later receives.
+        while let Ok(env) = self.inbox.try_recv() {
+            if env.from == from && env.tag == tag {
+                return Some(env.payload);
+            }
+            self.stash
+                .entry((env.from, env.tag))
+                .or_default()
+                .push_back(env.payload);
+        }
+        None
+    }
+
     fn take_send_buffer(&mut self) -> Vec<f64> {
         match self.pool.pop() {
             Some(mut buf) => {
@@ -95,8 +115,25 @@ impl Communicator for ThreadedComm {
     }
 
     fn recycle(&mut self, buf: Vec<f64>) {
-        if self.pool.len() < RECYCLE_POOL_CAP && buf.capacity() > 0 {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.pool.len() < RECYCLE_POOL_CAP {
             self.pool.push(buf);
+            return;
+        }
+        // Pool is full: keep the largest-capacity buffers so steady-state
+        // sends don't regrow after a burst of small messages. Evict the
+        // smallest pooled buffer if the incoming one beats it.
+        let (min_idx, min_cap) = self
+            .pool
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (i, b.capacity()))
+            .min_by_key(|&(_, c)| c)
+            .expect("pool is non-empty");
+        if buf.capacity() > min_cap {
+            self.pool[min_idx] = buf;
         }
     }
 }
@@ -355,6 +392,89 @@ mod tests {
             }
         });
         assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn try_recv_nonblocking_then_some() {
+        let res = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                // Nothing sent yet — must be None, not a hang.
+                assert!(comm.try_recv(1, 5).is_none());
+                comm.send(1, 3, vec![1.0]); // release rank 1
+                let got = loop {
+                    if let Some(p) = comm.try_recv(1, 5) {
+                        break p;
+                    }
+                    std::thread::yield_now();
+                };
+                got[0]
+            } else {
+                let _ = comm.recv(0, 3);
+                comm.send(0, 5, vec![42.0]);
+                0.0
+            }
+        });
+        assert_eq!(res[0], 42.0);
+    }
+
+    #[test]
+    fn try_recv_stashes_mismatches_in_order() {
+        let res = run_threaded(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 8, vec![1.0]);
+                comm.send(1, 8, vec![2.0]);
+                comm.send(1, 9, vec![3.0]);
+                0.0
+            } else {
+                // Wait for the tag-9 message via try_recv; the two tag-8
+                // messages arrive first and must be stashed FIFO.
+                let nine = loop {
+                    if let Some(p) = comm.try_recv(0, 9) {
+                        break p;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(nine, vec![3.0]);
+                assert_eq!(comm.try_recv(0, 8), Some(vec![1.0]));
+                assert_eq!(comm.recv(0, 8), vec![2.0]);
+                assert_eq!(comm.try_recv(0, 8), None);
+                1.0
+            }
+        });
+        assert_eq!(res[1], 1.0);
+    }
+
+    #[test]
+    fn recycle_pool_keeps_largest_buffers() {
+        let res = run_threaded(1, |comm| {
+            // Fill the pool with one big buffer and many small ones.
+            comm.recycle(Vec::with_capacity(4096));
+            for _ in 0..RECYCLE_POOL_CAP - 1 {
+                comm.recycle(Vec::with_capacity(16));
+            }
+            // Burst of medium buffers with the pool full: each must evict a
+            // 16-cap entry, never the 4096-cap one.
+            for _ in 0..RECYCLE_POOL_CAP {
+                comm.recycle(Vec::with_capacity(256));
+            }
+            // Zero-capacity buffers are never pooled.
+            comm.recycle(Vec::new());
+            let caps: Vec<usize> = comm.pool.iter().map(|b| b.capacity()).collect();
+            assert_eq!(caps.len(), RECYCLE_POOL_CAP);
+            assert!(
+                caps.contains(&4096),
+                "largest buffer evicted: caps = {caps:?}"
+            );
+            assert!(
+                caps.iter().all(|&c| c >= 256),
+                "small buffer survived a larger arrival: caps = {caps:?}"
+            );
+            // A buffer smaller than everything pooled is dropped.
+            comm.recycle(Vec::with_capacity(8));
+            assert!(comm.pool.iter().all(|b| b.capacity() >= 256));
+            0.0
+        });
+        assert_eq!(res.len(), 1);
     }
 
     #[test]

@@ -50,28 +50,54 @@ pub struct SweepOptions {
     /// Worker threads per rank for block execution within a phase. `1`
     /// runs inline on the calling thread.
     pub threads: usize,
+    /// Carry sub-messages per phase boundary. `1` reproduces the aggregated
+    /// one-message-per-phase schedule; `k > 1` switches to **pipelined**
+    /// execution ([`crate::pipeline`]): each phase's block jobs are split
+    /// into `k` contiguous chunks whose carries ship eagerly as soon as
+    /// they are final, overlapping carry communication with the remaining
+    /// chunks' computation. Results are bitwise identical in every mode;
+    /// only the message granularity changes (`k` sub-messages carrying the
+    /// same total payload). All ranks of one sweep must use the same value.
+    pub pipeline_chunks: usize,
 }
 
 impl SweepOptions {
-    /// Options with an explicit block width and thread count.
+    /// Options with an explicit block width and thread count (aggregated
+    /// single-message schedule, `pipeline_chunks = 1`).
     pub fn new(block_width: usize, threads: usize) -> Self {
         SweepOptions {
             block_width: block_width.max(1),
             threads: threads.max(1),
+            pipeline_chunks: 1,
         }
     }
+
+    /// Same options with `pipeline_chunks` carry sub-messages per phase
+    /// boundary (clamped to ≥ 1).
+    pub fn with_pipeline_chunks(mut self, pipeline_chunks: usize) -> Self {
+        self.pipeline_chunks = pipeline_chunks.max(1);
+        self
+    }
+}
+
+/// `1` unless `name` is set to a positive integer; malformed or
+/// out-of-range values (empty, non-numeric, `0`) fall back to `1` rather
+/// than panicking — env knobs must never abort a run.
+fn env_knob(name: &str) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 impl Default for SweepOptions {
     /// Block width 32; thread count from the `MP_SWEEP_THREADS` environment
-    /// variable when set to a positive integer, else 1.
+    /// variable and pipeline chunk count from `MP_SWEEP_PIPELINE`, each
+    /// when set to a positive integer, else 1.
     fn default() -> Self {
-        let threads = std::env::var("MP_SWEEP_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(1)
-            .max(1);
-        SweepOptions::new(32, threads)
+        SweepOptions::new(32, env_knob("MP_SWEEP_THREADS"))
+            .with_pipeline_chunks(env_knob("MP_SWEEP_PIPELINE"))
     }
 }
 
@@ -79,9 +105,20 @@ impl Default for SweepOptions {
 /// phase. Workers only dereference it through the element-disjoint
 /// line/carry accessors below, never as a whole slice.
 #[derive(Clone, Copy)]
-struct RawParts {
-    ptr: *mut f64,
-    len: usize,
+pub(crate) struct RawParts {
+    pub(crate) ptr: *mut f64,
+    pub(crate) len: usize,
+}
+
+impl RawParts {
+    /// View of an owned buffer (which must outlive — and not be resized
+    /// during — any use of the view).
+    pub(crate) fn of(buf: &mut Vec<f64>) -> Self {
+        RawParts {
+            ptr: buf.as_mut_ptr(),
+            len: buf.len(),
+        }
+    }
 }
 
 // SAFETY: all access goes through `gather_line_raw` / `scatter_line_raw` /
@@ -93,30 +130,32 @@ unsafe impl Sync for RawParts {}
 
 /// Per-(tile, field) addressing for one phase: where the field's storage
 /// lives and how to turn a line base into an element offset.
-struct FieldMeta {
-    parts: RawParts,
+pub(crate) struct FieldMeta {
+    pub(crate) parts: RawParts,
     /// Offset of the interior origin in the raw buffer.
-    base_off: usize,
+    pub(crate) base_off: usize,
     /// Stride along the swept dimension.
-    stride_dim: usize,
+    pub(crate) stride_dim: usize,
 }
 
 /// One unit of work: a contiguous run of lines of one slab tile.
-struct BlockJob {
+pub(crate) struct BlockJob {
     /// Slot into the phase's per-tile metadata (0-based within the slab).
-    tile: usize,
+    pub(crate) tile: usize,
     /// First line (row-major cross-section index) of the block.
-    line0: usize,
+    pub(crate) line0: usize,
     /// Lines in this block.
-    nlines: usize,
-    /// Start of the block's carries in the outgoing message.
-    carry_off: usize,
+    pub(crate) nlines: usize,
+    /// Start of the block's carries, in elements from the start of the
+    /// *phase's* carry stream (the pipelined mode subtracts its chunk's
+    /// base to address within a sub-message buffer).
+    pub(crate) carry_off: usize,
 }
 
 /// Per-worker reusable buffers — everything a block needs that is not
 /// shared, so workers never contend and phases never allocate in steady
 /// state.
-struct WorkerScratch {
+pub(crate) struct WorkerScratch {
     /// One line-minor block buffer per kernel field.
     bufs: Vec<Vec<f64>>,
     /// Per-line contexts, mutated in place.
@@ -127,10 +166,28 @@ struct WorkerScratch {
     base: Vec<usize>,
 }
 
+impl WorkerScratch {
+    fn new(nfields: usize) -> Self {
+        WorkerScratch {
+            bufs: vec![Vec::new(); nfields],
+            ctxs: Vec::new(),
+            offsets: Vec::new(),
+            base: Vec::new(),
+        }
+    }
+}
+
+/// One scratch set per worker thread.
+pub(crate) fn make_workers(threads: usize, nfields: usize) -> Vec<WorkerScratch> {
+    (0..threads.max(1))
+        .map(|_| WorkerScratch::new(nfields))
+        .collect()
+}
+
 /// Everything shared read-only (or element-disjointly) by the workers of
 /// one phase.
-struct SharedPhase<'a, K: ?Sized> {
-    jobs: &'a [BlockJob],
+pub(crate) struct SharedPhase<'a, K: ?Sized> {
+    pub(crate) jobs: &'a [BlockJob],
     fms: &'a [FieldMeta],
     /// Per-(tile, field) strides, flattened `(tile * nfields + f) * d + k`.
     fm_strides: &'a [usize],
@@ -140,8 +197,6 @@ struct SharedPhase<'a, K: ?Sized> {
     red_exts: &'a [usize],
     /// Per-tile segment length along the swept dimension.
     seg_lens: &'a [usize],
-    /// The outgoing carry message, evolved in place.
-    out: RawParts,
     kernel: &'a K,
     dir: Direction,
     dim: usize,
@@ -152,10 +207,14 @@ struct SharedPhase<'a, K: ?Sized> {
 
 /// Run one block job: decode its line bases, gather the lines into the
 /// worker's block buffers, sweep, and scatter back. The block's carries
-/// live directly in the outgoing message.
+/// live in `out` — the phase's outgoing message (aggregated mode,
+/// `carry_base = 0`) or one chunk's sub-message (pipelined mode,
+/// `carry_base` = the chunk's first carry element).
 fn run_block<K: LineSweepKernel + ?Sized>(
     sh: &SharedPhase<'_, K>,
     job: &BlockJob,
+    out: RawParts,
+    carry_base: usize,
     w: &mut WorkerScratch,
 ) {
     let WorkerScratch {
@@ -244,12 +303,12 @@ fn run_block<K: LineSweepKernel + ?Sized>(
         }
     }
 
-    // The block's carries are a sub-range of the outgoing message.
-    debug_assert!(job.carry_off + nl * sh.clen <= sh.out.len);
+    // The block's carries are a sub-range of the outgoing buffer.
+    let off = job.carry_off - carry_base;
+    debug_assert!(off + nl * sh.clen <= out.len);
     // SAFETY: jobs' carry ranges are disjoint and `out` is not resized
     // while jobs run.
-    let carries =
-        unsafe { std::slice::from_raw_parts_mut(sh.out.ptr.add(job.carry_off), nl * sh.clen) };
+    let carries = unsafe { std::slice::from_raw_parts_mut(out.ptr.add(off), nl * sh.clen) };
 
     sh.kernel
         .sweep_block(sh.dir, nl, seg_len, carries, bufs, &ctxs[..nl]);
@@ -271,6 +330,178 @@ fn run_block<K: LineSweepKernel + ?Sized>(
                 );
             }
         }
+    }
+}
+
+/// Per-phase metadata, reused (capacity-wise) across all γ phases so
+/// steady-state phases allocate nothing. Both execution modes (aggregated
+/// and pipelined) collect identical metadata and carve identical job lists
+/// — the pipelined mode only changes which buffer a job's carries land in.
+pub(crate) struct PhaseScratch {
+    origins: Vec<usize>,
+    red_exts: Vec<usize>,
+    seg_lens: Vec<usize>,
+    fms: Vec<FieldMeta>,
+    fm_strides: Vec<usize>,
+    pub(crate) jobs: Vec<BlockJob>,
+    /// Lines in the current slab (carry stream length = `total_lines·clen`).
+    pub(crate) total_lines: usize,
+}
+
+impl PhaseScratch {
+    pub(crate) fn new() -> Self {
+        PhaseScratch {
+            origins: Vec::new(),
+            red_exts: Vec::new(),
+            seg_lens: Vec::new(),
+            fms: Vec::new(),
+            fm_strides: Vec::new(),
+            jobs: Vec::new(),
+            total_lines: 0,
+        }
+    }
+
+    /// Collect the metadata of this rank's tiles in `slab` and carve the
+    /// slab's lines into jobs of at most `bw` lines each, with carry
+    /// offsets relative to the phase's whole carry stream.
+    ///
+    /// # Panics
+    /// Panics if the store does not hold exactly this rank's tiles for the
+    /// slab.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prepare_slab<K: LineSweepKernel + ?Sized>(
+        &mut self,
+        store: &mut RankStore,
+        mp: &Multipartitioning,
+        rank: u64,
+        dim: usize,
+        slab: u64,
+        kernel: &K,
+        bw: usize,
+    ) {
+        let d = mp.dims();
+        let clen = kernel.carry_len();
+        self.origins.clear();
+        self.red_exts.clear();
+        self.seg_lens.clear();
+        self.fms.clear();
+        self.fm_strides.clear();
+        let mut ntiles = 0usize;
+        let mut total_lines = 0usize;
+        for tile in store.tiles.iter_mut() {
+            if tile.coord[dim] != slab {
+                continue;
+            }
+            ntiles += 1;
+            self.origins.extend_from_slice(&tile.region.origin);
+            {
+                let ext = tile.field(kernel.fields()[0]).interior();
+                self.seg_lens.push(ext[dim]);
+                let ro = self.red_exts.len();
+                self.red_exts.extend_from_slice(ext);
+                self.red_exts[ro + dim] = 1;
+                total_lines += self.red_exts[ro..].iter().product::<usize>();
+            }
+            for &f in kernel.fields() {
+                let arr = tile.field_mut(f);
+                self.fm_strides.extend_from_slice(arr.strides());
+                let base_off = arr.interior_origin_offset();
+                let stride_dim = arr.strides()[dim];
+                let raw = arr.raw_mut();
+                self.fms.push(FieldMeta {
+                    parts: RawParts {
+                        ptr: raw.as_mut_ptr(),
+                        len: raw.len(),
+                    },
+                    base_off,
+                    stride_dim,
+                });
+            }
+        }
+        assert_eq!(
+            ntiles as u64,
+            mp.tiles_per_proc_per_slab(dim),
+            "rank {rank}: store does not hold this rank's tiles for slab {slab} \
+             (was it allocated with allocate_rank_store for this multipartitioning?)"
+        );
+        self.total_lines = total_lines;
+
+        self.jobs.clear();
+        let mut line_base = 0usize;
+        for t in 0..ntiles {
+            let nl_t: usize = self.red_exts[t * d..(t + 1) * d].iter().product();
+            let mut l0 = 0usize;
+            while l0 < nl_t {
+                let nl = bw.min(nl_t - l0);
+                self.jobs.push(BlockJob {
+                    tile: t,
+                    line0: l0,
+                    nlines: nl,
+                    carry_off: (line_base + l0) * clen,
+                });
+                l0 += nl;
+            }
+            line_base += nl_t;
+        }
+    }
+
+    /// The shared read-only view the workers of one phase run against.
+    pub(crate) fn shared<'a, K: LineSweepKernel + ?Sized>(
+        &'a self,
+        kernel: &'a K,
+        mp: &Multipartitioning,
+        dim: usize,
+        dir: Direction,
+    ) -> SharedPhase<'a, K> {
+        SharedPhase {
+            jobs: &self.jobs,
+            fms: &self.fms,
+            fm_strides: &self.fm_strides,
+            origins: &self.origins,
+            red_exts: &self.red_exts,
+            seg_lens: &self.seg_lens,
+            kernel,
+            dir,
+            dim,
+            d: mp.dims(),
+            nfields: kernel.fields().len(),
+            clen: kernel.carry_len(),
+        }
+    }
+}
+
+/// Run the jobs `sh.jobs[range]` against the carry buffer `out`, whose
+/// first element is the phase-global carry element `carry_base` — inline
+/// when a single worker is given, else spread over the workers in
+/// contiguous static ranges (jobs touch disjoint lines and disjoint carry
+/// ranges, so they are independent).
+pub(crate) fn run_jobs<K: LineSweepKernel + ?Sized>(
+    sh: &SharedPhase<'_, K>,
+    range: std::ops::Range<usize>,
+    out: RawParts,
+    carry_base: usize,
+    workers: &mut [WorkerScratch],
+) {
+    let jobs = &sh.jobs[range];
+    let njobs = jobs.len();
+    let nthreads = workers.len().min(njobs.max(1));
+    if nthreads <= 1 {
+        let w = &mut workers[0];
+        for job in jobs {
+            run_block(sh, job, out, carry_base, w);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for (wi, w) in workers[..nthreads].iter_mut().enumerate() {
+                s.spawn(move || {
+                    let lo = wi * njobs / nthreads;
+                    let hi = (wi + 1) * njobs / nthreads;
+                    for job in &jobs[lo..hi] {
+                        run_block(sh, job, out, carry_base, w);
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -307,9 +538,12 @@ pub fn multipart_sweep<C: Communicator, K: LineSweepKernel>(
     );
 }
 
-/// [`multipart_sweep`] with explicit execution options. Results and the
-/// communication schedule are identical for every option setting; options
-/// trade only intra-rank execution strategy (block width, worker threads).
+/// [`multipart_sweep`] with explicit execution options. Results are
+/// identical for every option setting; `block_width` and `threads` trade
+/// only intra-rank execution strategy (the communication schedule stays
+/// byte-identical), while `pipeline_chunks > 1` dispatches to the
+/// [`crate::pipeline`] mode, which ships each phase's carries as that many
+/// eagerly sent sub-messages (same total payload, same byte order).
 #[allow(clippy::too_many_arguments)]
 pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
     comm: &mut C,
@@ -321,6 +555,11 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
     tag_base: Tag,
     opts: &SweepOptions,
 ) {
+    if opts.pipeline_chunks > 1 {
+        return crate::pipeline::multipart_sweep_pipelined(
+            comm, store, mp, dim, dir, kernel, tag_base, opts,
+        );
+    }
     let rank = comm.rank();
     let gamma = mp.gammas()[dim];
     let step = dir.step();
@@ -329,7 +568,6 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
         Direction::Backward => (0..gamma).rev().collect(),
     };
     let clen = kernel.carry_len();
-    let d = mp.dims();
     let nfields = kernel.fields().len();
     let bw = opts.block_width.max(1);
     let upstream = mp.neighbor_rank(rank, dim, -step);
@@ -341,21 +579,8 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
     // for the self-neighbor path that bypasses it).
     let mut spare: Vec<Vec<f64>> = Vec::new();
 
-    // Per-phase metadata, reused (capacity-wise) across all phases.
-    let mut origins: Vec<usize> = Vec::new();
-    let mut red_exts: Vec<usize> = Vec::new();
-    let mut seg_lens: Vec<usize> = Vec::new();
-    let mut fms: Vec<FieldMeta> = Vec::new();
-    let mut fm_strides: Vec<usize> = Vec::new();
-    let mut jobs: Vec<BlockJob> = Vec::new();
-    let mut workers: Vec<WorkerScratch> = (0..opts.threads.max(1))
-        .map(|_| WorkerScratch {
-            bufs: vec![Vec::new(); nfields],
-            ctxs: Vec::new(),
-            offsets: Vec::new(),
-            base: Vec::new(),
-        })
-        .collect();
+    let mut scratch = PhaseScratch::new();
+    let mut workers = make_workers(opts.threads, nfields);
 
     for (phase, &slab) in slab_order.iter().enumerate() {
         // 1. Obtain incoming carries for this phase.
@@ -367,50 +592,9 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
             Some(comm.recv(upstream, tag_base + phase as u64))
         };
 
-        // 2. Collect this slab's tile metadata.
-        origins.clear();
-        red_exts.clear();
-        seg_lens.clear();
-        fms.clear();
-        fm_strides.clear();
-        let mut ntiles = 0usize;
-        let mut total_lines = 0usize;
-        for tile in store.tiles.iter_mut() {
-            if tile.coord[dim] != slab {
-                continue;
-            }
-            ntiles += 1;
-            origins.extend_from_slice(&tile.region.origin);
-            {
-                let ext = tile.field(kernel.fields()[0]).interior();
-                seg_lens.push(ext[dim]);
-                let ro = red_exts.len();
-                red_exts.extend_from_slice(ext);
-                red_exts[ro + dim] = 1;
-                total_lines += red_exts[ro..].iter().product::<usize>();
-            }
-            for &f in kernel.fields() {
-                let arr = tile.field_mut(f);
-                fm_strides.extend_from_slice(arr.strides());
-                let base_off = arr.interior_origin_offset();
-                let stride_dim = arr.strides()[dim];
-                let raw = arr.raw_mut();
-                fms.push(FieldMeta {
-                    parts: RawParts {
-                        ptr: raw.as_mut_ptr(),
-                        len: raw.len(),
-                    },
-                    base_off,
-                    stride_dim,
-                });
-            }
-        }
-        assert_eq!(
-            ntiles as u64,
-            mp.tiles_per_proc_per_slab(dim),
-            "rank {rank}: store does not hold this rank's tiles for slab {slab} \
-             (was it allocated with allocate_rank_store for this multipartitioning?)"
-        );
+        // 2. Collect this slab's tile metadata and carve its lines into
+        //    block jobs.
+        scratch.prepare_slab(store, mp, rank, dim, slab, kernel, bw);
 
         // 3. Prepare the outgoing message: the incoming carries (or initial
         //    ones at the domain boundary), which the kernels then evolve in
@@ -422,7 +606,7 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
             }
         }
         outgoing.clear();
-        outgoing.resize(total_lines * clen, 0.0);
+        outgoing.resize(scratch.total_lines * clen, 0.0);
         match incoming {
             None => {
                 if clen > 0 {
@@ -448,69 +632,18 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
             }
         }
 
-        // 4. Carve the slab's lines into block jobs.
-        jobs.clear();
-        let mut line_base = 0usize;
-        for t in 0..ntiles {
-            let nl_t: usize = red_exts[t * d..(t + 1) * d].iter().product();
-            let mut l0 = 0usize;
-            while l0 < nl_t {
-                let nl = bw.min(nl_t - l0);
-                jobs.push(BlockJob {
-                    tile: t,
-                    line0: l0,
-                    nlines: nl,
-                    carry_off: (line_base + l0) * clen,
-                });
-                l0 += nl;
-            }
-            line_base += nl_t;
-        }
+        // 4. Run the jobs — inline, or spread over worker threads.
+        let njobs = scratch.jobs.len();
+        let shared = scratch.shared(kernel, mp, dim, dir);
+        run_jobs(
+            &shared,
+            0..njobs,
+            RawParts::of(&mut outgoing),
+            0,
+            &mut workers,
+        );
 
-        // 5. Run the jobs — inline, or spread over worker threads in
-        //    contiguous ranges (jobs touch disjoint lines and disjoint
-        //    carry ranges, so they are independent).
-        let njobs = jobs.len();
-        let nthreads = opts.threads.max(1).min(njobs.max(1));
-        let shared = SharedPhase {
-            jobs: &jobs,
-            fms: &fms,
-            fm_strides: &fm_strides,
-            origins: &origins,
-            red_exts: &red_exts,
-            seg_lens: &seg_lens,
-            out: RawParts {
-                ptr: outgoing.as_mut_ptr(),
-                len: outgoing.len(),
-            },
-            kernel,
-            dir,
-            dim,
-            d,
-            nfields,
-            clen,
-        };
-        if nthreads <= 1 {
-            let w = &mut workers[0];
-            for job in shared.jobs {
-                run_block(&shared, job, w);
-            }
-        } else {
-            let shared = &shared;
-            std::thread::scope(|s| {
-                for (wi, w) in workers[..nthreads].iter_mut().enumerate() {
-                    s.spawn(move || {
-                        let lo = wi * njobs / nthreads;
-                        let hi = (wi + 1) * njobs / nthreads;
-                        for job in &shared.jobs[lo..hi] {
-                            run_block(shared, job, w);
-                        }
-                    });
-                }
-            });
-        }
-
-        // 6. Ship carries downstream (unless this was the last phase).
+        // 5. Ship carries downstream (unless this was the last phase).
         if phase + 1 < slab_order.len() {
             if downstream == rank {
                 local_carry = outgoing;

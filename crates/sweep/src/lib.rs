@@ -10,6 +10,8 @@
 //!   tridiagonal solve into two directional sweeps;
 //! * [`executor`] — the functional multipartitioned sweep executor (phase
 //!   loop, aggregated carry messages, halo exchange);
+//! * [`pipeline`] — the pipelined execution mode: per-phase carries split
+//!   into eagerly sent sub-messages that overlap with block computation;
 //! * [`baselines`] — the two classical alternatives the paper positions
 //!   against: static block unipartitioning with wavefront pipelining, and
 //!   dynamic block partitioning with transposes;
@@ -24,6 +26,7 @@ pub mod batch;
 pub mod block;
 pub mod executor;
 pub mod penta;
+pub mod pipeline;
 pub mod recurrence;
 pub mod simulate;
 pub mod thomas;

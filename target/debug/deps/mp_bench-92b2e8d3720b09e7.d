@@ -4,3 +4,5 @@
 
 crates/bench/src/lib.rs:
 crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

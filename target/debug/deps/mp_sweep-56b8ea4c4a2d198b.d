@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mp_sweep-56b8ea4c4a2d198b.d: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs crates/sweep/src/tests_prop.rs
+/root/repo/target/debug/deps/mp_sweep-56b8ea4c4a2d198b.d: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs crates/sweep/src/tests_prop.rs
 
-/root/repo/target/debug/deps/mp_sweep-56b8ea4c4a2d198b: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs crates/sweep/src/tests_prop.rs
+/root/repo/target/debug/deps/mp_sweep-56b8ea4c4a2d198b: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs crates/sweep/src/tests_prop.rs
 
 crates/sweep/src/lib.rs:
 crates/sweep/src/baselines.rs:
@@ -8,6 +8,7 @@ crates/sweep/src/batch.rs:
 crates/sweep/src/block.rs:
 crates/sweep/src/executor.rs:
 crates/sweep/src/penta.rs:
+crates/sweep/src/pipeline.rs:
 crates/sweep/src/recurrence.rs:
 crates/sweep/src/simulate.rs:
 crates/sweep/src/thomas.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/mp_sweep-9ab5cf59dc11ec9f.d: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
+/root/repo/target/debug/deps/mp_sweep-9ab5cf59dc11ec9f.d: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
 
-/root/repo/target/debug/deps/libmp_sweep-9ab5cf59dc11ec9f.rmeta: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
+/root/repo/target/debug/deps/libmp_sweep-9ab5cf59dc11ec9f.rmeta: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
 
 crates/sweep/src/lib.rs:
 crates/sweep/src/baselines.rs:
@@ -8,6 +8,7 @@ crates/sweep/src/batch.rs:
 crates/sweep/src/block.rs:
 crates/sweep/src/executor.rs:
 crates/sweep/src/penta.rs:
+crates/sweep/src/pipeline.rs:
 crates/sweep/src/recurrence.rs:
 crates/sweep/src/simulate.rs:
 crates/sweep/src/thomas.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/mp_sweep-e4f55e3048b8ec07.d: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
+/root/repo/target/debug/deps/mp_sweep-e4f55e3048b8ec07.d: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
 
-/root/repo/target/debug/deps/libmp_sweep-e4f55e3048b8ec07.rlib: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
+/root/repo/target/debug/deps/libmp_sweep-e4f55e3048b8ec07.rlib: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
 
-/root/repo/target/debug/deps/libmp_sweep-e4f55e3048b8ec07.rmeta: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
+/root/repo/target/debug/deps/libmp_sweep-e4f55e3048b8ec07.rmeta: crates/sweep/src/lib.rs crates/sweep/src/baselines.rs crates/sweep/src/batch.rs crates/sweep/src/block.rs crates/sweep/src/executor.rs crates/sweep/src/penta.rs crates/sweep/src/pipeline.rs crates/sweep/src/recurrence.rs crates/sweep/src/simulate.rs crates/sweep/src/thomas.rs crates/sweep/src/verify.rs
 
 crates/sweep/src/lib.rs:
 crates/sweep/src/baselines.rs:
@@ -10,6 +10,7 @@ crates/sweep/src/batch.rs:
 crates/sweep/src/block.rs:
 crates/sweep/src/executor.rs:
 crates/sweep/src/penta.rs:
+crates/sweep/src/pipeline.rs:
 crates/sweep/src/recurrence.rs:
 crates/sweep/src/simulate.rs:
 crates/sweep/src/thomas.rs:

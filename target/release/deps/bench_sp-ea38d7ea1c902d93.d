@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sp-ea38d7ea1c902d93.d: crates/bench/benches/bench_sp.rs
+
+/root/repo/target/release/deps/bench_sp-ea38d7ea1c902d93: crates/bench/benches/bench_sp.rs
+
+crates/bench/benches/bench_sp.rs:
