@@ -147,6 +147,43 @@ fn bench_sweep(c: &mut Criterion) {
         group.finish();
     }
 
+    // Telemetry overhead smoke: the same p = 4 sweep with the recorder
+    // absent (`trace = None`, the default — one branch per probe site, the
+    // clock is never read) vs installed. The "disabled" variant is the
+    // regression guard: it must track the plain threaded_48 numbers above.
+    {
+        let p = 4u64;
+        let mp = Multipartitioning::optimal(
+            p,
+            &[n as u64, n as u64, n as u64],
+            &CostModel::origin2000_like(),
+        );
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&eta, &gam);
+        let mut group = c.benchmark_group("telemetry_overhead");
+        group.throughput(Throughput::Elements(elems));
+        group.sample_size(20);
+        for (label, traced) in [("disabled", false), ("enabled", true)] {
+            group.bench_with_input(BenchmarkId::new("sweep_48_p4", label), &label, |b, _| {
+                b.iter(|| {
+                    let epoch = std::time::Instant::now();
+                    run_threaded(p, |comm| {
+                        if traced {
+                            comm.trace =
+                                Some(mp_trace::SweepRecorder::with_epoch(comm.rank(), epoch));
+                        }
+                        let mut store =
+                            allocate_rank_store(comm.rank(), &mp, &grid, &[FieldDef::new("u", 0)]);
+                        store.init_field(0, |g| (g[0] + g[1] + g[2]) as f64);
+                        multipart_sweep(comm, &mut store, &mp, 0, Direction::Forward, &kernel, 100);
+                        black_box(comm.trace.take().map(|t| t.events().len()))
+                    })
+                })
+            });
+        }
+        group.finish();
+    }
+
     // Cost of producing one simulated data point (Table 1 machinery).
     let mut group = c.benchmark_group("simulated_sweep_replay");
     for &p in &[16u64, 50, 81] {

@@ -2,8 +2,9 @@
 //!
 //! A downstream user's entry point to the library: compute optimal
 //! partitionings, build and verify mappings, get §6 drop-back advice,
-//! compile HPF-style directives, and pick topology-aware mappings — all
-//! without writing Rust.
+//! compile HPF-style directives, pick topology-aware mappings, and
+//! profile real sweeps with per-rank telemetry — all without writing
+//! Rust.
 //!
 //! The command logic lives in [`run`] (pure: args in, report out) so the
 //! test-suite drives it directly; `main.rs` is a thin shell.
@@ -11,7 +12,7 @@
 #![warn(missing_docs)]
 
 use mp_core::analysis::analyze;
-use mp_core::cost::{BandwidthScaling, CostModel};
+use mp_core::cost::{objective as cost_objective, BandwidthScaling, CostModel};
 use mp_core::modmap::ModularMapping;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_core::partition::{elementary_partitionings, Partitioning};
@@ -47,6 +48,8 @@ USAGE:
   mpart list     <p> <d>
   mpart hpf      <file.hpf>
   mpart topo     <p> <gamma...> (--ring | --hypercube | --torus <R>x<C>)
+  mpart profile  <p> [--class S|W|A|B] [--eta <N>x<N>x<N>] [--iters N]
+                 [--block W] [--threads T] [--chunks K] [--out FILE]
 
 COMMANDS:
   analyze   full report: partitioning, per-sweep costs, drop-back advice
@@ -56,6 +59,9 @@ COMMANDS:
   list      all elementary partitionings of p in d dimensions
   hpf       compile PROCESSORS/TEMPLATE/ALIGN/DISTRIBUTE directives
   topo      pick the legal mapping with the fewest shift hops
+  profile   run the SP solver with per-rank telemetry; write a Chrome
+            trace-event JSON (load at https://ui.perfetto.dev) and print
+            a compute/wait summary with §3.1 cost-model predictions
 ";
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, CliError> {
@@ -98,6 +104,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "list" => cmd_list(&args[1..]),
         "hpf" => cmd_hpf(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
         other => err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
@@ -342,6 +349,200 @@ fn cmd_topo(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Everything `mpart profile` needs to know before it launches ranks.
+struct ProfileConfig {
+    p: u64,
+    class: mp_nassp::Class,
+    eta: [usize; 3],
+    dt: f64,
+    iters: usize,
+    opts: mp_sweep::SweepOptions,
+    out: String,
+}
+
+fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
+    const PROFILE_USAGE: &str = "usage: mpart profile <p> [--class S|W|A|B] \
+         [--eta <N>x<N>x<N>] [--iters N] [--block W] [--threads T] \
+         [--chunks K] [--out FILE]";
+    let mut pos: Vec<&String> = Vec::new();
+    let mut class = mp_nassp::Class::S;
+    let mut eta_override: Option<[usize; 3]> = None;
+    let mut iters = 2usize;
+    let mut block = 8usize;
+    let mut threads = 1usize;
+    let mut chunks = 1usize;
+    let mut out = String::from("mpart_trace.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--class" | "--eta" | "--iters" | "--block" | "--threads" | "--chunks" | "--out" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("{a} needs a value\n{PROFILE_USAGE}")))?;
+                match a.as_str() {
+                    "--class" => {
+                        class = mp_nassp::Class::parse(v)
+                            .ok_or_else(|| CliError(format!("unknown class '{v}' (S|W|A|B)")))?;
+                    }
+                    "--eta" => {
+                        let dims: Vec<usize> = v
+                            .split('x')
+                            .map(|s| parse_u64(s, "extent").map(|n| n as usize))
+                            .collect::<Result<_, _>>()?;
+                        if dims.len() != 3 {
+                            return err(format!("--eta wants <N>x<N>x<N>, got '{v}'"));
+                        }
+                        eta_override = Some([dims[0], dims[1], dims[2]]);
+                    }
+                    "--iters" => iters = parse_u64(v, "iteration count")? as usize,
+                    "--block" => block = parse_u64(v, "block width")? as usize,
+                    "--threads" => threads = parse_u64(v, "thread count")? as usize,
+                    "--chunks" => chunks = parse_u64(v, "pipeline chunk count")? as usize,
+                    "--out" => out = v.clone(),
+                    _ => unreachable!(),
+                }
+            }
+            other if other.starts_with("--") => {
+                return err(format!("unknown flag '{other}'\n{PROFILE_USAGE}"));
+            }
+            _ => pos.push(a),
+        }
+    }
+    if pos.len() != 1 {
+        return err(PROFILE_USAGE);
+    }
+    let p = parse_u64(pos[0], "processor count")?;
+    let (eta, dt) = match eta_override {
+        // A hand-picked grid gets the Custom-class time step.
+        Some(e) => (e, 0.01),
+        None => (class.eta(), class.dt()),
+    };
+    Ok(ProfileConfig {
+        p,
+        class,
+        eta,
+        dt,
+        iters,
+        opts: mp_sweep::SweepOptions::new(block, threads).with_pipeline_chunks(chunks),
+        out,
+    })
+}
+
+fn cmd_profile(args: &[String]) -> Result<String, CliError> {
+    use mp_runtime::comm::Communicator as _;
+    use mp_runtime::threaded::run_threaded;
+    use mp_trace::{SweepRecorder, TraceFile};
+
+    let cfg = parse_profile_args(args)?;
+    let ProfileConfig {
+        p, eta, iters, out, ..
+    } = &cfg;
+    let (p, iters) = (*p, *iters);
+    let eta_u64: Vec<u64> = eta.iter().map(|&e| e as u64).collect();
+    let model = CostModel::origin2000_like();
+    let mp = Multipartitioning::optimal(p, &eta_u64, &model);
+    let prob = mp_nassp::SpProblem::new(*eta, cfg.dt);
+
+    // Shared epoch: every rank's recorder measures from the same origin, so
+    // the per-rank lanes line up in Perfetto.
+    let epoch = std::time::Instant::now();
+    let results = {
+        let (mp, opts) = (&mp, &cfg.opts);
+        run_threaded(p, move |comm| {
+            comm.trace = Some(SweepRecorder::with_epoch(comm.rank(), epoch));
+            let mut sp =
+                mp_nassp::ParallelSp::with_opts(comm.rank(), prob, mp.clone(), opts.clone());
+            sp.run(comm, iters);
+            let trace = comm
+                .trace
+                .take()
+                .expect("recorder installed above")
+                .into_trace();
+            (trace, comm.sent_messages, comm.sent_elements)
+        })
+    };
+
+    // The recorder's accounting must agree exactly with the runtime's own
+    // send counters; a mismatch means the telemetry is lying.
+    let mut traces = Vec::with_capacity(results.len());
+    for (trace, msgs, elems) in results {
+        if trace.stats.sent_messages() != msgs || trace.stats.sent_elements() != elems {
+            return err(format!(
+                "telemetry mismatch on rank {}: recorder saw {} msgs / {} elements, \
+                 runtime counted {msgs} / {elems}",
+                trace.rank,
+                trace.stats.sent_messages(),
+                trace.stats.sent_elements()
+            ));
+        }
+        traces.push(trace);
+    }
+    let nranks = traces.len();
+    let mode = if cfg.opts.pipeline_chunks > 1 {
+        "pipelined"
+    } else {
+        "aggregated"
+    };
+    let tf = TraceFile::new(traces)
+        .with_meta("app", "nas-sp")
+        .with_meta("class", cfg.class.to_string())
+        .with_meta("eta", format!("{}x{}x{}", eta[0], eta[1], eta[2]))
+        .with_meta("p", p.to_string())
+        .with_meta("iters", iters.to_string())
+        .with_meta("mode", mode)
+        .with_meta("block_width", cfg.opts.block_width.to_string())
+        .with_meta("threads", cfg.opts.threads.to_string())
+        .with_meta("pipeline_chunks", cfg.opts.pipeline_chunks.to_string());
+    std::fs::write(out, tf.to_chrome_json())
+        .map_err(|e| CliError(format!("cannot write '{out}': {e}")))?;
+
+    let part = &mp.partitioning;
+    let mut rep = format!(
+        "SP {}×{}×{} on p = {p}, {iters} iteration(s), {mode} sweeps \
+         (block_width {}, threads {}, chunks {})\n\
+         γ = {:?}, modulus vector m̄ = {:?}\n\n",
+        eta[0],
+        eta[1],
+        eta[2],
+        cfg.opts.block_width,
+        cfg.opts.threads,
+        cfg.opts.pipeline_chunks,
+        part.gammas,
+        mp.mapping.m
+    );
+    rep.push_str(&tf.summary_table());
+    rep.push_str(&format!(
+        "\nrecorder ↔ runtime counters: {nranks}/{nranks} ranks match exactly ✓\n\
+         trace written to {out} — load it at https://ui.perfetto.dev\n"
+    ));
+
+    // §3.1 cost model: predicted per-sweep times and the objective the
+    // partition search minimized, next to what this run measured.
+    let lambdas = model.lambdas(p, &eta_u64);
+    rep.push_str(&format!(
+        "\n§3.1 cost model (origin2000_like):\n  λ = {:?}\n",
+        lambdas
+    ));
+    for dim in 0..eta.len() {
+        rep.push_str(&format!(
+            "  predicted sweep time dim {dim}: {:.4e}s (γ_{dim} = {})\n",
+            model.sweep_time(p, &eta_u64, part, dim),
+            part.gammas[dim]
+        ));
+    }
+    rep.push_str(&format!(
+        "  objective Σ γ_i λ_i = {:.4e}   predicted time/iter = {:.4e}s\n",
+        cost_objective(&part.gammas, &lambdas),
+        model.total_time(p, &eta_u64, part)
+    ));
+    rep.push_str(&format!(
+        "  measured makespan = {:.4e}s over {iters} iteration(s) \
+         (threads on one host, not {p} processors — compare shapes, not magnitudes)\n",
+        tf.makespan_ns() as f64 / 1e9
+    ));
+    Ok(rep)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +648,77 @@ mod tests {
         assert!(e.0.contains("need 8"));
         let e = runv(&["topo", "8", "4", "4", "2"]).unwrap_err();
         assert!(e.0.contains("pick a topology"));
+    }
+
+    #[test]
+    fn profile_runs_and_writes_loadable_trace() {
+        let dir = std::env::temp_dir().join("mpart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile_aggregated.json");
+        let out = runv(&[
+            "profile",
+            "4",
+            "--eta",
+            "8x8x8",
+            "--iters",
+            "1",
+            "--block",
+            "4",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("aggregated sweeps"), "{out}");
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("4/4 ranks match exactly"), "{out}");
+        assert!(out.contains("Σ γ_i λ_i"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tf = mp_trace::TraceFile::parse_chrome_json(&text).unwrap();
+        assert_eq!(tf.ranks.len(), 4);
+        assert!(tf.ranks.iter().all(|r| r.stats.compute_ns > 0));
+        assert!(tf
+            .meta
+            .contains(&("mode".to_string(), "aggregated".to_string())));
+    }
+
+    #[test]
+    fn profile_pipelined_mode_recorded_in_meta() {
+        let dir = std::env::temp_dir().join("mpart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile_pipelined.json");
+        let out = runv(&[
+            "profile",
+            "4",
+            "--eta",
+            "8x8x8",
+            "--iters",
+            "1",
+            "--chunks",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("pipelined sweeps"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tf = mp_trace::TraceFile::parse_chrome_json(&text).unwrap();
+        assert!(tf
+            .meta
+            .contains(&("pipeline_chunks".to_string(), "2".to_string())));
+    }
+
+    #[test]
+    fn profile_validates_inputs() {
+        let e = runv(&["profile"]).unwrap_err();
+        assert!(e.0.contains("usage: mpart profile"));
+        let e = runv(&["profile", "4", "--class", "Z"]).unwrap_err();
+        assert!(e.0.contains("unknown class"));
+        let e = runv(&["profile", "4", "--eta", "8x8"]).unwrap_err();
+        assert!(e.0.contains("--eta wants"));
+        let e = runv(&["profile", "4", "--out"]).unwrap_err();
+        assert!(e.0.contains("needs a value"));
+        let e = runv(&["profile", "4", "--bogus", "1"]).unwrap_err();
+        assert!(e.0.contains("unknown flag"));
     }
 
     #[test]

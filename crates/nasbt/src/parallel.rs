@@ -118,7 +118,8 @@ impl ParallelBt {
             );
         }
 
-        // 2. compute_rhs.
+        // 2. compute_rhs. (Stage spans when telemetry is on, mirroring SP.)
+        let t_rhs = comm.tracer().is_some().then(std::time::Instant::now);
         for tile in &mut self.store.tiles {
             let ext = tile.field(0).interior().to_vec();
             for c in 0..NCOMP {
@@ -151,6 +152,10 @@ impl ParallelBt {
             }
         }
 
+        if let (Some(t0), Some(tr)) = (t_rhs, comm.tracer()) {
+            tr.stage(t0, "compute_rhs");
+        }
+
         // 3. Block solves: forward + backward per dimension.
         let scratch_idx: Vec<usize> = (0..NCOMP * NCOMP).map(fields::scratch).collect();
         let rhs_idx: Vec<usize> = (0..NCOMP).map(fields::rhs).collect();
@@ -180,6 +185,7 @@ impl ParallelBt {
         }
 
         // 4. add.
+        let t_add = comm.tracer().is_some().then(std::time::Instant::now);
         for tile in &mut self.store.tiles {
             let ext = tile.field(0).interior().to_vec();
             for c in 0..NCOMP {
@@ -197,6 +203,9 @@ impl ParallelBt {
                     }
                 }
             }
+        }
+        if let (Some(t0), Some(tr)) = (t_add, comm.tracer()) {
+            tr.stage(t0, "add");
         }
         self.iters_done += 1;
     }

@@ -103,7 +103,10 @@ impl ParallelSp {
         // 1. Halo exchange for the stencil.
         exchange_halos(comm, &mut self.store, &self.mp, fields::U, 1, 10_000);
 
-        // 2. compute_rhs (local; physical-boundary ghosts stay 0).
+        // 2. compute_rhs (local; physical-boundary ghosts stay 0). Driver
+        // stages are bracketed with named spans when telemetry is on, so a
+        // trace separates stencil/coefficient work from the sweeps proper.
+        let t_rhs = comm.tracer().is_some().then(std::time::Instant::now);
         for tile in &mut self.store.tiles {
             let ext = tile.field(fields::U).interior().to_vec();
             let origin = tile.region.origin.clone();
@@ -143,6 +146,10 @@ impl ParallelSp {
             }
         }
 
+        if let (Some(t0), Some(tr)) = (t_rhs, comm.tracer()) {
+            tr.stage(t0, "compute_rhs");
+        }
+
         // 3. Implicit solves: two directional sweeps per dimension.
         for dim in 0..3 {
             if prob.solver == SolverKind::Pentadiagonal {
@@ -172,6 +179,7 @@ impl ParallelSp {
                 );
                 continue;
             }
+            let t_coeffs = comm.tracer().is_some().then(std::time::Instant::now);
             for tile in &mut self.store.tiles {
                 let origin = tile.region.origin.clone();
                 let ext = tile.field(fields::A).interior().to_vec();
@@ -193,6 +201,9 @@ impl ParallelSp {
                         }
                     }
                 }
+            }
+            if let (Some(t0), Some(tr)) = (t_coeffs, comm.tracer()) {
+                tr.stage(t0, "coeffs");
             }
             let fwd = ThomasForwardKernel::new(fields::A, fields::B, fields::C, fields::RHS);
             multipart_sweep_opts(
@@ -219,6 +230,7 @@ impl ParallelSp {
         }
 
         // 4. add (local).
+        let t_add = comm.tracer().is_some().then(std::time::Instant::now);
         for tile in &mut self.store.tiles {
             let ext = tile.field(fields::U).interior().to_vec();
             let (u, rest) = tile.fields.split_first_mut().unwrap();
@@ -235,6 +247,9 @@ impl ParallelSp {
                     }
                 }
             }
+        }
+        if let (Some(t0), Some(tr)) = (t_add, comm.tracer()) {
+            tr.stage(t0, "add");
         }
         self.iters_done += 1;
     }

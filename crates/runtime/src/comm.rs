@@ -5,6 +5,8 @@
 //! every message in a line-sweep code is a packed hyper-surface of field
 //! values.
 
+use mp_trace::SweepRecorder;
+
 /// Message tag. Tags at or above [`RESERVED_TAG_BASE`] are reserved for the
 /// collectives provided by this crate.
 pub type Tag = u64;
@@ -31,6 +33,16 @@ pub trait Communicator {
     /// Block until a message with `tag` from `from` arrives; return its
     /// payload.
     fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64>;
+
+    /// The telemetry recorder attached to this endpoint, if tracing is
+    /// enabled. Instrumented callers (the sweep executors, the NAS
+    /// drivers) check this once per span site: `None` means telemetry is
+    /// off and the caller must not even read the clock — that is the
+    /// zero-overhead contract. Backends without telemetry keep the
+    /// default (always `None`).
+    fn tracer(&mut self) -> Option<&mut SweepRecorder> {
+        None
+    }
 
     /// Nonblocking receive: return a matching payload if one has already
     /// arrived, `None` otherwise. Backends without nonblocking support keep

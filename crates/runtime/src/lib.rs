@@ -3,8 +3,9 @@
 //! Two interchangeable backends behind one mental model (MPI-style tagged
 //! point-to-point messages between `p` ranks):
 //!
-//! * [`threaded`] — real execution, one OS thread per rank over crossbeam
-//!   channels; proves functional correctness of the sweep engines.
+//! * [`threaded`] — real execution, one OS thread per rank over
+//!   `std::sync::mpsc` channels; proves functional correctness of the
+//!   sweep engines.
 //! * [`sim`] — a discrete-event simulator that charges virtual time for the
 //!   exact same schedules, using the Hockney-style [`machine::MachineModel`];
 //!   produces the performance curves (the evaluation in the paper ran on an
@@ -13,6 +14,13 @@
 //! [`comm::Communicator`] is the trait the functional engines program
 //! against; collectives (barrier, allreduce, broadcast) are provided on top
 //! of send/recv.
+//!
+//! Both backends feed the unified telemetry layer in [`mp_trace`]: install
+//! a [`mp_trace::SweepRecorder`] on a [`ThreadedComm`] (its `trace` field;
+//! sends and blocking receives are instrumented, and sweep engines add
+//! compute/pack spans through [`Communicator::tracer`]), or call
+//! [`SimNet::trace_file`] after a traced simulation. Either way yields a
+//! [`mp_trace::TraceFile`] exportable as Perfetto-loadable Chrome JSON.
 
 #![warn(missing_docs)]
 

@@ -348,6 +348,75 @@ impl SimNet {
     pub fn all_delivered(&self) -> bool {
         self.mailbox.values().all(|q| q.is_empty())
     }
+
+    /// Export the recorded trace in the unified [`mp_trace`] representation
+    /// (empty unless tracing is enabled with [`SimNet::enable_trace`]).
+    ///
+    /// Virtual seconds become nanoseconds, so simulated and real
+    /// ([`crate::ThreadedComm`]) runs share one file format, one summary
+    /// table, and one Perfetto workflow
+    /// ([`mp_trace::TraceFile::to_chrome_json`]). Simulated `Send` events
+    /// keep their α-overhead duration (real sends are buffered and
+    /// effectively instant); per-peer message/element counts land in each
+    /// rank's [`mp_trace::SweepStats`] exactly as in a threaded run.
+    pub fn trace_file(&self) -> mp_trace::TraceFile {
+        use mp_trace::{RankTrace, SpanKind, TraceEvent};
+        let ns = |t: f64| (t * 1e9).round().max(0.0) as u64;
+        let mut per_rank: Vec<Vec<TraceEvent>> = vec![Vec::new(); self.p as usize];
+        for ev in self.events() {
+            let (rank, event) = match *ev {
+                SimEvent::Compute { rank, start, end } => (
+                    rank,
+                    TraceEvent {
+                        start_ns: ns(start),
+                        end_ns: ns(end),
+                        kind: SpanKind::Compute {
+                            phase: 0,
+                            jobs: 0,
+                            lines: 0,
+                        },
+                    },
+                ),
+                SimEvent::Send {
+                    rank,
+                    start,
+                    end,
+                    to,
+                    elements,
+                } => (
+                    rank,
+                    TraceEvent {
+                        start_ns: ns(start),
+                        end_ns: ns(end),
+                        kind: SpanKind::Send { peer: to, elements },
+                    },
+                ),
+                SimEvent::Wait {
+                    rank,
+                    start,
+                    end,
+                    from,
+                } => (
+                    rank,
+                    TraceEvent {
+                        start_ns: ns(start),
+                        end_ns: ns(end),
+                        kind: SpanKind::CommWait { peer: from, tag: 0 },
+                    },
+                ),
+            };
+            per_rank[rank as usize].push(event);
+        }
+        mp_trace::TraceFile::new(
+            per_rank
+                .into_iter()
+                .enumerate()
+                .map(|(r, evs)| RankTrace::from_events(r as u64, evs))
+                .collect(),
+        )
+        .with_meta("source", "sim")
+        .with_meta("p", self.p.to_string())
+    }
 }
 
 #[cfg(test)]
@@ -602,6 +671,34 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e, SimEvent::Wait { .. })));
+    }
+
+    #[test]
+    fn trace_file_unifies_sim_events() {
+        let mut net = SimNet::new(2, simple_machine());
+        net.enable_trace();
+        net.compute(0, 10);
+        net.send_chunked(0, 1, 0, 10, 3);
+        assert_eq!(net.recv_chunked(1, 0, 0, 3), 10);
+        let tf = net.trace_file();
+        assert_eq!(tf.ranks.len(), 2);
+        // Recorder-side per-peer counters match the simulator's own stats
+        // exactly (messages and elements).
+        let sent: u64 = tf.ranks.iter().map(|r| r.stats.sent_messages()).sum();
+        let elems: u64 = tf.ranks.iter().map(|r| r.stats.sent_elements()).sum();
+        assert_eq!(sent, net.stats.messages);
+        assert_eq!(elems, net.stats.elements);
+        // Virtual seconds → ns: rank 0 computed 10 elem · 1.0 s = 1e10 ns.
+        assert_eq!(tf.ranks[0].stats.compute_ns, 10_000_000_000);
+        // Wait time mirrors RankTimes.wait.
+        let wait_s = net.rank_times(1).wait;
+        assert_eq!(
+            tf.ranks[1].stats.comm_wait_ns,
+            (wait_s * 1e9).round() as u64
+        );
+        // And the export is loadable.
+        let back = mp_trace::TraceFile::parse_chrome_json(&tf.to_chrome_json()).unwrap();
+        assert_eq!(back, tf);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! come from the discrete-event [`crate::sim`] backend instead.)
 
 use crate::comm::{Communicator, Tag};
+use mp_trace::SweepRecorder;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
 
 /// A tagged message in flight.
 #[derive(Debug)]
@@ -38,6 +40,11 @@ pub struct ThreadedComm {
     pub sent_messages: u64,
     /// Total elements sent.
     pub sent_elements: u64,
+    /// Telemetry recorder; `None` (the default) disables tracing with no
+    /// cost beyond one branch per instrumentation site. Install one with
+    /// [`SweepRecorder::with_epoch`] (sharing the epoch across ranks) at
+    /// the start of a traced run and `take()` it back at the end.
+    pub trace: Option<SweepRecorder>,
 }
 
 impl Communicator for ThreadedComm {
@@ -54,6 +61,9 @@ impl Communicator for ThreadedComm {
         assert_ne!(to, self.rank, "self-sends are not supported");
         self.sent_messages += 1;
         self.sent_elements += payload.len() as u64;
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record_send(to, payload.len() as u64);
+        }
         self.senders[to as usize]
             .send(Envelope {
                 from: self.rank,
@@ -69,12 +79,18 @@ impl Communicator for ThreadedComm {
                 return p;
             }
         }
+        // Only a genuine block (stash miss) is worth a comm-wait span;
+        // stash hits above return untimed.
+        let t0 = self.trace.is_some().then(Instant::now);
         loop {
             let env = self
                 .inbox
                 .recv()
                 .expect("all senders dropped while waiting for a message");
             if env.from == from && env.tag == tag {
+                if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+                    tr.comm_wait(t0, from, tag);
+                }
                 return env.payload;
             }
             self.stash
@@ -102,6 +118,10 @@ impl Communicator for ThreadedComm {
                 .push_back(env.payload);
         }
         None
+    }
+
+    fn tracer(&mut self) -> Option<&mut SweepRecorder> {
+        self.trace.as_mut()
     }
 
     fn take_send_buffer(&mut self) -> Vec<f64> {
@@ -188,6 +208,7 @@ where
                         pool: Vec::new(),
                         sent_messages: 0,
                         sent_elements: 0,
+                        trace: None,
                     };
                     f(&mut comm)
                 })
@@ -475,6 +496,47 @@ mod tests {
             0.0
         });
         assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn recorder_counters_match_comm_counters() {
+        // With tracing installed, the recorder's per-peer send accounting
+        // must equal the endpoint's own counters bitwise, and blocking
+        // receives must surface as comm-wait spans.
+        let epoch = Instant::now();
+        let res = run_threaded(3, move |comm| {
+            comm.trace = Some(SweepRecorder::with_epoch(comm.rank(), epoch));
+            let me = comm.rank();
+            let next = (me + 1) % 3;
+            let prev = (me + 2) % 3;
+            for hop in 0..4u64 {
+                let payload = vec![me as f64; 5 + hop as usize];
+                comm.send(next, hop, payload);
+                let _ = comm.recv(prev, hop);
+            }
+            let rec = comm.trace.take().unwrap();
+            (rec.stats().clone(), comm.sent_messages, comm.sent_elements)
+        });
+        for (rank, (stats, sent_messages, sent_elements)) in res.iter().enumerate() {
+            assert_eq!(stats.sent_messages(), *sent_messages, "rank {rank}");
+            assert_eq!(stats.sent_elements(), *sent_elements, "rank {rank}");
+            assert_eq!(*sent_messages, 4);
+            assert_eq!(*sent_elements, 5 + 6 + 7 + 8);
+            // All traffic went to the single downstream neighbor.
+            assert_eq!(stats.sent.len(), 1);
+        }
+    }
+
+    #[test]
+    fn no_tracer_by_default() {
+        run_threaded(2, |comm| {
+            assert!(comm.tracer().is_none());
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1.0]);
+            } else {
+                let _ = comm.recv(0, 0);
+            }
+        });
     }
 
     #[test]

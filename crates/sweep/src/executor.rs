@@ -35,6 +35,7 @@ use mp_grid::lines::{gather_line_raw, scatter_line_raw};
 use mp_grid::shape::Side;
 use mp_grid::{RankStore, TileGrid};
 use mp_runtime::comm::{Communicator, Tag};
+use std::time::Instant;
 
 /// Tuning knobs for [`multipart_sweep_opts`]. The defaults reproduce the
 /// byte-identical communication schedule of [`multipart_sweep`] — options
@@ -599,6 +600,8 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
         // 3. Prepare the outgoing message: the incoming carries (or initial
         //    ones at the domain boundary), which the kernels then evolve in
         //    place — the line-major carry layout IS the wire layout.
+        // Telemetry sites only read the clock when a recorder is installed.
+        let t_pack = comm.tracer().is_some().then(Instant::now);
         let mut outgoing = comm.take_send_buffer();
         if outgoing.capacity() == 0 {
             if let Some(buf) = spare.pop() {
@@ -632,7 +635,12 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
             }
         }
 
+        if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
+            tr.pack(t0);
+        }
+
         // 4. Run the jobs — inline, or spread over worker threads.
+        let t_run = comm.tracer().is_some().then(Instant::now);
         let njobs = scratch.jobs.len();
         let shared = scratch.shared(kernel, mp, dim, dir);
         run_jobs(
@@ -642,6 +650,9 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
             0,
             &mut workers,
         );
+        if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
+            tr.compute(t0, phase as u64, njobs as u64, scratch.total_lines as u64);
+        }
 
         // 5. Ship carries downstream (unless this was the last phase).
         if phase + 1 < slab_order.len() {
@@ -701,9 +712,13 @@ pub fn exchange_halos<C: Communicator>(
                 .map(|(i, _)| i)
                 .collect();
 
+            let t_pack = comm.tracer().is_some().then(Instant::now);
             let mut payload = Vec::new();
             for &t in &sendable {
                 payload.extend(store.tiles[t].field(field).pack_face(dim, side_send, width));
+            }
+            if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
+                tr.pack(t0);
             }
 
             let received: Vec<f64> = if to == rank {
@@ -714,6 +729,7 @@ pub fn exchange_halos<C: Communicator>(
                 comm.recv(from, tag)
             };
 
+            let t_unpack = comm.tracer().is_some().then(Instant::now);
             let mut cursor = 0usize;
             for &t in &receivable {
                 let n = store.tiles[t].field(field).face_len(dim, width);
@@ -726,6 +742,9 @@ pub fn exchange_halos<C: Communicator>(
                 cursor += n;
             }
             assert_eq!(cursor, received.len(), "halo message not fully consumed");
+            if let (Some(t0), Some(tr)) = (t_unpack, comm.tracer()) {
+                tr.unpack(t0);
+            }
         }
     }
 }

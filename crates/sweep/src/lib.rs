@@ -34,6 +34,8 @@ pub mod verify;
 
 #[cfg(test)]
 mod tests_prop;
+#[cfg(test)]
+mod tests_trace;
 
 pub use batch::BatchedKernel;
 pub use block::{block_thomas_solve, BlockCoeffs, BlockTriBackwardKernel, BlockTriForwardKernel};

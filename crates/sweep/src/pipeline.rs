@@ -51,6 +51,7 @@ use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::RankStore;
 use mp_runtime::comm::{Communicator, Tag};
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// The pipelined twin of [`crate::executor::multipart_sweep_opts`];
 /// dispatched to when `opts.pipeline_chunks > 1`. Results are bitwise
@@ -160,6 +161,10 @@ pub(crate) fn multipart_sweep_pipelined<C: Communicator, K: LineSweepKernel>(
             );
 
             // 2. Evolve the chunk's carries in place through its jobs.
+            // (One compute span per chunk — in a trace the per-chunk spans
+            // interleave with comm-wait, which is the overlap this mode
+            // exists to create.)
+            let t_run = comm.tracer().is_some().then(Instant::now);
             run_jobs(
                 &shared,
                 jlo..jhi,
@@ -167,6 +172,14 @@ pub(crate) fn multipart_sweep_pipelined<C: Communicator, K: LineSweepKernel>(
                 elo,
                 &mut workers,
             );
+            if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
+                tr.compute(
+                    t0,
+                    phase as u64,
+                    (jhi - jlo) as u64,
+                    ((ehi - elo) / clen.max(1)) as u64,
+                );
+            }
 
             // 3. Eagerly ship the finished chunk downstream — by move, no
             //    copy: the received buffer *becomes* the outgoing one.
