@@ -19,7 +19,7 @@ use mp_sweep::simulate::{
     simulate_multipart_sweep, simulate_multipart_sweep_pipelined, MultipartGeometry, SweepWork,
 };
 use mp_sweep::verify::serial_sweep;
-use mp_sweep::BatchedKernel;
+use mp_sweep::{BatchedKernel, SweepEngine};
 use std::hint::black_box;
 
 fn bench_sweep(c: &mut Criterion) {
@@ -144,6 +144,59 @@ fn bench_sweep(c: &mut Criterion) {
                 })
             });
         }
+        group.finish();
+    }
+
+    // Build-once / execute-many: ten identical sweeps through a fresh
+    // `CompiledSweep` each time (what `multipart_sweep_opts` does) vs one
+    // cached `SweepEngine` plan executed ten times. The gap is the
+    // per-sweep plan-build cost the engine amortizes away.
+    {
+        const SWEEPS: usize = 10;
+        let p = 4u64;
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(vec![4, 2, 2]));
+        let peta = [8usize, 64, 64];
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&peta, &gam);
+        let opts = SweepOptions::new(16, 1);
+        let mut group = c.benchmark_group("compiled_reuse");
+        group.throughput(Throughput::Elements(
+            (peta.iter().product::<usize>() * SWEEPS) as u64,
+        ));
+        group.bench_function("fresh_build_per_sweep", |b| {
+            b.iter(|| {
+                run_threaded(p, |comm| {
+                    let mut store =
+                        allocate_rank_store(comm.rank(), &mp, &grid, &[FieldDef::new("u", 0)]);
+                    store.init_field(0, |g| (g[0] + g[1] + g[2]) as f64);
+                    for _ in 0..SWEEPS {
+                        multipart_sweep_opts(
+                            comm,
+                            &mut store,
+                            &mp,
+                            0,
+                            Direction::Forward,
+                            &kernel,
+                            100,
+                            &opts,
+                        );
+                    }
+                })
+            })
+        });
+        group.bench_function("engine_reuse", |b| {
+            b.iter(|| {
+                run_threaded(p, |comm| {
+                    let mut store =
+                        allocate_rank_store(comm.rank(), &mp, &grid, &[FieldDef::new("u", 0)]);
+                    store.init_field(0, |g| (g[0] + g[1] + g[2]) as f64);
+                    let mut engine = SweepEngine::new(opts.clone());
+                    for _ in 0..SWEEPS {
+                        engine.sweep(comm, &mut store, &mp, 0, Direction::Forward, &kernel, 100);
+                    }
+                })
+            })
+        });
         group.finish();
     }
 

@@ -363,14 +363,18 @@ struct ProfileConfig {
 fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
     const PROFILE_USAGE: &str = "usage: mpart profile <p> [--class S|W|A|B] \
          [--eta <N>x<N>x<N>] [--iters N] [--block W] [--threads T] \
-         [--chunks K] [--out FILE]";
+         [--chunks K] [--out FILE]\n\
+         (--block/--threads/--chunks default from MP_SWEEP_BLOCK / \
+         MP_SWEEP_THREADS / MP_SWEEP_PIPELINE)";
     let mut pos: Vec<&String> = Vec::new();
     let mut class = mp_nassp::Class::S;
     let mut eta_override: Option<[usize; 3]> = None;
     let mut iters = 2usize;
-    let mut block = 8usize;
-    let mut threads = 1usize;
-    let mut chunks = 1usize;
+    // Flags override the documented MP_SWEEP_* environment knobs.
+    let env_opts = mp_sweep::SweepOptions::from_env();
+    let mut block = env_opts.block_width;
+    let mut threads = env_opts.threads;
+    let mut chunks = env_opts.pipeline_chunks;
     let mut out = String::from("mpart_trace.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -452,20 +456,35 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
             comm.trace = Some(SweepRecorder::with_epoch(comm.rank(), epoch));
             let mut sp =
                 mp_nassp::ParallelSp::with_opts(comm.rank(), prob, mp.clone(), opts.clone());
-            sp.run(comm, iters);
+            // All compiled plans must come into existence during the first
+            // timestep; later timesteps reuse them verbatim.
+            sp.run(comm, iters.min(1));
+            let builds_first = sp.plan.builds();
+            let build_ns = sp.plan.build_ns();
+            sp.run(comm, iters.saturating_sub(1));
+            let rebuilds = sp.plan.builds() - builds_first;
             let trace = comm
                 .trace
                 .take()
                 .expect("recorder installed above")
                 .into_trace();
-            (trace, comm.sent_messages, comm.sent_elements)
+            (
+                trace,
+                comm.sent_messages,
+                comm.sent_elements,
+                builds_first,
+                build_ns,
+                rebuilds,
+            )
         })
     };
 
     // The recorder's accounting must agree exactly with the runtime's own
     // send counters; a mismatch means the telemetry is lying.
     let mut traces = Vec::with_capacity(results.len());
-    for (trace, msgs, elems) in results {
+    let mut plan_builds = 0u64;
+    let mut plan_build_ns = 0u64;
+    for (trace, msgs, elems, builds_first, build_ns, rebuilds) in results {
         if trace.stats.sent_messages() != msgs || trace.stats.sent_elements() != elems {
             return err(format!(
                 "telemetry mismatch on rank {}: recorder saw {} msgs / {} elements, \
@@ -475,6 +494,17 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
                 trace.stats.sent_elements()
             ));
         }
+        // Build-once / execute-many is a correctness contract, not a hint:
+        // any rebuild after timestep 1 means a plan cache key is unstable.
+        if rebuilds != 0 {
+            return err(format!(
+                "rank {} rebuilt {rebuilds} compiled plan(s) after timestep 1 \
+                 ({builds_first} built during the first)",
+                trace.rank
+            ));
+        }
+        plan_builds = plan_builds.max(builds_first);
+        plan_build_ns = plan_build_ns.max(build_ns);
         traces.push(trace);
     }
     let nranks = traces.len();
@@ -514,6 +544,13 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     rep.push_str(&format!(
         "\nrecorder ↔ runtime counters: {nranks}/{nranks} ranks match exactly ✓\n\
          trace written to {out} — load it at https://ui.perfetto.dev\n"
+    ));
+    let build_ms = plan_build_ns as f64 / 1e6;
+    rep.push_str(&format!(
+        "compiled plans: {plan_builds} built on timestep 1 ({build_ms:.3} ms, \
+         slowest rank), 0 rebuilds over {iters} iteration(s) ✓\n\
+         amortized plan-build cost: {:.3} ms/iteration\n",
+        build_ms / (iters.max(1) as f64)
     ));
 
     // §3.1 cost model: predicted per-sweep times and the objective the
@@ -672,6 +709,11 @@ mod tests {
         assert!(out.contains("makespan"), "{out}");
         assert!(out.contains("4/4 ranks match exactly"), "{out}");
         assert!(out.contains("Σ γ_i λ_i"), "{out}");
+        assert!(
+            out.contains("compiled plans: 7 built on timestep 1"),
+            "{out}"
+        );
+        assert!(out.contains("amortized plan-build cost"), "{out}");
         let text = std::fs::read_to_string(&path).unwrap();
         let tf = mp_trace::TraceFile::parse_chrome_json(&text).unwrap();
         assert_eq!(tf.ranks.len(), 4);
@@ -700,6 +742,7 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("pipelined sweeps"), "{out}");
+        assert!(out.contains("0 rebuilds"), "{out}");
         let text = std::fs::read_to_string(&path).unwrap();
         let tf = mp_trace::TraceFile::parse_chrome_json(&text).unwrap();
         assert!(tf

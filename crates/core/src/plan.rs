@@ -108,6 +108,12 @@ impl SweepPlan {
         self.phases.len().saturating_sub(1)
     }
 
+    /// One rank's schedule, phase by phase — the slice of the plan a
+    /// compiled executor for that rank needs to cross-check itself against.
+    pub fn rank_phases(&self, rank: u64) -> impl Iterator<Item = &RankPhase> {
+        self.phases.iter().map(move |ranks| &ranks[rank as usize])
+    }
+
     /// Validate the schedule's structural invariants: balanced phases,
     /// send/recv pairing between adjacent phases, and dependence order (a
     /// tile's upstream neighbor is computed in the previous phase).
@@ -278,6 +284,22 @@ mod tests {
         for dim in 0..3 {
             let plan = SweepPlan::build(&mp, dim, Direction::Forward);
             plan.validate(&mp).unwrap();
+        }
+    }
+
+    #[test]
+    fn rank_phases_slices_one_rank() {
+        let mp = Multipartitioning::diagonal(3, 2);
+        let plan = SweepPlan::build(&mp, 0, Direction::Backward);
+        for rank in 0..mp.p {
+            let mine: Vec<_> = plan.rank_phases(rank).collect();
+            assert_eq!(mine.len(), plan.num_phases());
+            for (k, rp) in mine.iter().enumerate() {
+                assert_eq!(*rp, &plan.phases[k][rank as usize]);
+            }
+            // First phase receives nothing; last sends nothing.
+            assert_eq!(mine[0].recv_from, None);
+            assert_eq!(mine[mine.len() - 1].send_to, None);
         }
     }
 

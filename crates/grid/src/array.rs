@@ -118,10 +118,18 @@ impl<T: Copy + Default> ArrayD<T> {
     /// Copy the elements of `region` (in row-major region order) into a
     /// fresh buffer — the message-packing primitive.
     pub fn pack(&self, region: &Region) -> Vec<T> {
-        assert_eq!(region.ndim(), self.shape.ndim());
         let mut out = Vec::with_capacity(region.len());
-        region.for_each_index(|idx| out.push(self.get(idx)));
+        self.pack_into(region, &mut out);
         out
+    }
+
+    /// [`ArrayD::pack`] without the allocation: append `region`'s elements
+    /// to `out`. Lets callers assemble multi-region messages (e.g. halo
+    /// exchanges aggregating several tile faces) in one reused buffer.
+    pub fn pack_into(&self, region: &Region, out: &mut Vec<T>) {
+        assert_eq!(region.ndim(), self.shape.ndim());
+        out.reserve(region.len());
+        region.for_each_index(|idx| out.push(self.get(idx)));
     }
 
     /// Inverse of [`ArrayD::pack`]: scatter `buf` into `region`.

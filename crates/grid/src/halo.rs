@@ -143,6 +143,14 @@ impl HaloArray {
         self.data.pack(&self.send_region(dim, side, width))
     }
 
+    /// [`HaloArray::pack_face`] without the allocation: append the face to
+    /// `out`, so multi-tile halo messages can be assembled in one reused
+    /// buffer.
+    pub fn pack_face_into(&self, dim: usize, side: Side, width: usize, out: &mut Vec<f64>) {
+        self.data
+            .pack_into(&self.send_region(dim, side, width), out);
+    }
+
     /// Unpack a received face into the ghost layer on `side` of `dim`.
     pub fn unpack_ghost(&mut self, dim: usize, side: Side, width: usize, buf: &[f64]) {
         let r = self.recv_region(dim, side, width);
@@ -210,6 +218,132 @@ impl HaloArray {
         src.shape().clone().for_each_index(|idx| {
             self.set_i(idx, src.get(idx));
         });
+    }
+}
+
+/// One direction of a compiled halo exchange: everything the per-call
+/// enumeration in the sweep layer's `exchange_halos` used to rebuild —
+/// which tiles contribute a face, which receive one, the peer ranks, and
+/// every buffer length — precomputed once from the rank's tile geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloDirPlan {
+    /// Dimension being exchanged.
+    pub dim: usize,
+    /// Shift direction along `dim` (`+1` or `-1`).
+    pub step: i64,
+    /// Tag offset within the exchange's tag block (`dim · 2 + dir_idx`,
+    /// matching the per-call executor's layout).
+    pub tag_off: u64,
+    /// Rank the aggregated face message goes to.
+    pub to: u64,
+    /// Rank the incoming message arrives from.
+    pub from: u64,
+    /// Which side of each sending tile is packed.
+    pub side_send: Side,
+    /// Which ghost side of each receiving tile is filled.
+    pub side_recv: Side,
+    /// Store indices of tiles with an interior neighbor `step` away, in
+    /// store order (= packing order; both ranks enumerate identically).
+    pub send_tiles: Vec<usize>,
+    /// Store indices of tiles receiving a face, in store order.
+    pub recv_tiles: Vec<usize>,
+    /// Face length of each receiving tile, parallel to `recv_tiles`.
+    pub recv_lens: Vec<usize>,
+    /// Total outgoing message length in elements.
+    pub send_len: usize,
+    /// Total incoming message length in elements.
+    pub recv_len: usize,
+}
+
+/// A compiled halo-exchange schedule for one rank: per-(dimension,
+/// direction) face index lists and buffer sizes, built once per
+/// `(store geometry, width)` and reused across timesteps. Field-agnostic:
+/// every field of a tile shares the tile's interior extents, so one plan
+/// serves any field (with sufficient ghost width) at execute time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaloPlan {
+    width: usize,
+    dirs: Vec<HaloDirPlan>,
+}
+
+impl HaloPlan {
+    /// Build the schedule from this rank's tiles. `gammas` is the tile-grid
+    /// shape (dimensions with fewer than 2 slabs have no exchange);
+    /// `neighbor(dim, step)` must return the rank owning the tiles one
+    /// `step` away along `dim` — the multipartitioning's neighbor property
+    /// guarantees it is unique, which is what makes one aggregated message
+    /// per direction possible.
+    pub fn build(
+        store: &crate::dist::RankStore,
+        gammas: &[u64],
+        width: usize,
+        neighbor: impl Fn(usize, i64) -> u64,
+    ) -> Self {
+        let face_len = |tile: &crate::dist::TileData, dim: usize| -> usize {
+            tile.region
+                .extent
+                .iter()
+                .enumerate()
+                .map(|(k, &e)| if k == dim { width } else { e })
+                .product()
+        };
+        let mut dirs = Vec::new();
+        for (dim, &gamma) in gammas.iter().enumerate() {
+            if gamma < 2 {
+                continue;
+            }
+            for (dir_idx, step) in [(0u64, 1i64), (1, -1)] {
+                let side_send = if step > 0 { Side::High } else { Side::Low };
+                let in_grid = |c: i64| c >= 0 && c < gamma as i64;
+                let mut send_tiles = Vec::new();
+                let mut recv_tiles = Vec::new();
+                let mut recv_lens = Vec::new();
+                let mut send_len = 0usize;
+                let mut recv_len = 0usize;
+                for (i, tile) in store.tiles.iter().enumerate() {
+                    if in_grid(tile.coord[dim] as i64 + step) {
+                        send_tiles.push(i);
+                        send_len += face_len(tile, dim);
+                    }
+                    if in_grid(tile.coord[dim] as i64 - step) {
+                        recv_tiles.push(i);
+                        let n = face_len(tile, dim);
+                        recv_lens.push(n);
+                        recv_len += n;
+                    }
+                }
+                dirs.push(HaloDirPlan {
+                    dim,
+                    step,
+                    tag_off: dim as u64 * 2 + dir_idx,
+                    to: neighbor(dim, step),
+                    from: neighbor(dim, -step),
+                    side_send,
+                    side_recv: side_send.opposite(),
+                    send_tiles,
+                    recv_tiles,
+                    recv_lens,
+                    send_len,
+                    recv_len,
+                });
+            }
+        }
+        HaloPlan { width, dirs }
+    }
+
+    /// Ghost width the plan was built for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The per-direction schedules, in execution order.
+    pub fn dirs(&self) -> &[HaloDirPlan] {
+        &self.dirs
+    }
+
+    /// Largest single message this plan sends (for buffer-pool sizing).
+    pub fn max_send_len(&self) -> usize {
+        self.dirs.iter().map(|d| d.send_len).max().unwrap_or(0)
     }
 }
 
@@ -330,6 +464,58 @@ mod tests {
         a.set_i(&[2], 8.0);
         assert_eq!(a.get(&[2]), 8.0);
         assert_eq!(a.face_len(0, 1), 1);
+    }
+
+    #[test]
+    fn pack_face_into_appends() {
+        let mut a = HaloArray::zeros(&[2, 2], 1);
+        a.set_i(&[0, 0], 1.0);
+        a.set_i(&[0, 1], 2.0);
+        a.set_i(&[1, 0], 3.0);
+        a.set_i(&[1, 1], 4.0);
+        let mut out = vec![9.0];
+        a.pack_face_into(0, Side::Low, 1, &mut out);
+        a.pack_face_into(0, Side::High, 1, &mut out);
+        assert_eq!(out, vec![9.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn halo_plan_diagonal_two_rank() {
+        use crate::dist::{FieldDef, RankStore};
+        use crate::tile::TileGrid;
+        // p = 2 diagonal multipartitioning of an 8x8 grid into 2x2 tiles of
+        // 4x4 elements: rank 0 owns (0,0) and (1,1), the neighbor in every
+        // direction is rank 1.
+        let grid = TileGrid::new(&[8, 8], &[2, 2]);
+        let store = RankStore::allocate(
+            0,
+            &grid,
+            &[vec![0, 0], vec![1, 1]],
+            &[FieldDef::new("u", 1)],
+        );
+        let plan = HaloPlan::build(&store, &[2, 2], 1, |_, _| 1);
+        assert_eq!(plan.width(), 1);
+        // 2 dims x 2 directions.
+        assert_eq!(plan.dirs().len(), 4);
+        let d0 = &plan.dirs()[0];
+        assert_eq!((d0.dim, d0.step, d0.tag_off), (0, 1, 0));
+        assert_eq!((d0.to, d0.from), (1, 1));
+        assert_eq!((d0.side_send, d0.side_recv), (Side::High, Side::Low));
+        // Tile (0,0) can send upward along dim 0; tile (1,1) receives.
+        assert_eq!(d0.send_tiles, vec![0]);
+        assert_eq!(d0.recv_tiles, vec![1]);
+        // Face of a 4x4 tile at width 1 is 4 elements.
+        assert_eq!(d0.recv_lens, vec![4]);
+        assert_eq!((d0.send_len, d0.recv_len), (4, 4));
+        let d1 = &plan.dirs()[1];
+        assert_eq!((d1.dim, d1.step, d1.tag_off), (0, -1, 1));
+        assert_eq!(d1.send_tiles, vec![1]);
+        assert_eq!(d1.recv_tiles, vec![0]);
+        assert_eq!(plan.max_send_len(), 4);
+        // A dimension with a single slab has no exchange.
+        let narrow = HaloPlan::build(&store, &[2, 1], 1, |_, _| 1);
+        assert_eq!(narrow.dirs().len(), 2);
+        assert!(narrow.dirs().iter().all(|d| d.dim == 0));
     }
 
     #[test]

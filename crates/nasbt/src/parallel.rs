@@ -10,7 +10,8 @@ use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::{FieldDef, RankStore, TileGrid};
 use mp_runtime::comm::Communicator;
 use mp_sweep::block::{BlockTriBackwardKernel, BlockTriForwardKernel};
-use mp_sweep::executor::{allocate_rank_store, exchange_halos, multipart_sweep_opts, SweepOptions};
+use mp_sweep::compiled::SolverPlan;
+use mp_sweep::executor::{allocate_rank_store, SweepOptions};
 
 /// Field index helpers.
 pub mod fields {
@@ -65,8 +66,9 @@ pub struct ParallelBt {
     pub grid: TileGrid,
     /// This rank's tiles.
     pub store: RankStore,
-    /// Execution options forwarded to every directional sweep.
-    pub sweep_opts: SweepOptions,
+    /// Compiled execution plans (all directional sweeps + halo schedule),
+    /// built on first use and reused across timesteps.
+    pub plan: SolverPlan,
     /// Completed iterations.
     pub iters_done: usize,
 }
@@ -97,7 +99,7 @@ impl ParallelBt {
             mp,
             grid,
             store,
-            sweep_opts,
+            plan: SolverPlan::new(sweep_opts),
             iters_done: 0,
         }
     }
@@ -106,9 +108,10 @@ impl ParallelBt {
     pub fn iterate<C: Communicator>(&mut self, comm: &mut C) {
         let prob = self.prob;
 
-        // 1. Halo exchange of every component.
+        // 1. Halo exchange of every component. All components share one
+        // compiled halo plan (the schedule depends only on the width).
         for c in 0..NCOMP {
-            exchange_halos(
+            self.plan.exchange_halos(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -161,7 +164,7 @@ impl ParallelBt {
         let rhs_idx: Vec<usize> = (0..NCOMP).map(fields::rhs).collect();
         for dim in 0..3 {
             let fwd = BlockTriForwardKernel::<NCOMP, _>::new(prob, &scratch_idx, &rhs_idx);
-            multipart_sweep_opts(
+            self.plan.sweep(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -169,10 +172,9 @@ impl ParallelBt {
                 Direction::Forward,
                 &fwd,
                 20_000 + dim as u64 * 1_000,
-                &self.sweep_opts,
             );
             let bwd = BlockTriBackwardKernel::<NCOMP>::new(&scratch_idx, &rhs_idx);
-            multipart_sweep_opts(
+            self.plan.sweep(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -180,7 +182,6 @@ impl ParallelBt {
                 Direction::Backward,
                 &bwd,
                 30_000 + dim as u64 * 1_000,
-                &self.sweep_opts,
             );
         }
 
@@ -302,6 +303,29 @@ mod tests {
                 0.0,
                 "pipelined BT component {c} diverged"
             );
+        }
+    }
+
+    #[test]
+    fn plans_built_exactly_once_per_run() {
+        // The solver plan (all directional sweeps + one shared halo plan)
+        // must be built during the first timestep and reused verbatim
+        // afterwards — no rebuilds, no matter how many iterations run.
+        let prob = BtProblem::new([6, 6, 6], 0.002);
+        let mp = Multipartitioning::optimal(4, &[6, 6, 6], &CostModel::origin2000_like());
+        let builds = run_threaded(4, |comm| {
+            let mut bt = ParallelBt::new(comm.rank(), prob, mp.clone());
+            bt.run(comm, 1);
+            let after_first = bt.plan.builds();
+            bt.run(comm, 2);
+            (after_first, bt.plan.builds())
+        });
+        for (after_first, after_all) in builds {
+            assert_eq!(
+                after_first, 7,
+                "expected 3 dims × 2 directions + 1 halo plan"
+            );
+            assert_eq!(after_first, after_all, "plans rebuilt after timestep 1");
         }
     }
 

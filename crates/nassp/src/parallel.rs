@@ -19,7 +19,8 @@ use crate::serial::rhs_at;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::{FieldDef, RankStore, TileGrid};
 use mp_runtime::comm::Communicator;
-use mp_sweep::executor::{allocate_rank_store, exchange_halos, multipart_sweep_opts, SweepOptions};
+use mp_sweep::compiled::SolverPlan;
+use mp_sweep::executor::{allocate_rank_store, SweepOptions};
 use mp_sweep::penta::PentaBackwardKernel;
 use mp_sweep::thomas::{ThomasBackwardKernel, ThomasForwardKernel};
 
@@ -61,8 +62,9 @@ pub struct ParallelSp {
     pub grid: TileGrid,
     /// This rank's tiles.
     pub store: RankStore,
-    /// Execution options forwarded to every directional sweep.
-    pub sweep_opts: SweepOptions,
+    /// Compiled execution plans (all directional sweeps + halo schedule),
+    /// built on first use and reused across timesteps.
+    pub plan: SolverPlan,
     /// Completed iterations.
     pub iters_done: usize,
 }
@@ -91,7 +93,7 @@ impl ParallelSp {
             mp,
             grid,
             store,
-            sweep_opts,
+            plan: SolverPlan::new(sweep_opts),
             iters_done: 0,
         }
     }
@@ -100,8 +102,9 @@ impl ParallelSp {
     pub fn iterate<C: Communicator>(&mut self, comm: &mut C) {
         let prob = self.prob;
 
-        // 1. Halo exchange for the stencil.
-        exchange_halos(comm, &mut self.store, &self.mp, fields::U, 1, 10_000);
+        // 1. Halo exchange for the stencil (compiled schedule, built once).
+        self.plan
+            .exchange_halos(comm, &mut self.store, &self.mp, fields::U, 1, 10_000);
 
         // 2. compute_rhs (local; physical-boundary ghosts stay 0). Driver
         // stages are bracketed with named spans when telemetry is on, so a
@@ -156,7 +159,7 @@ impl ParallelSp {
                 // Coefficients are generated inside the kernel from global
                 // coordinates; fields A/B serve as the C/F scratch.
                 let fwd = SpPentaForwardKernel::new(prob, fields::A, fields::B, fields::RHS);
-                multipart_sweep_opts(
+                self.plan.sweep(
                     comm,
                     &mut self.store,
                     &self.mp,
@@ -164,10 +167,9 @@ impl ParallelSp {
                     Direction::Forward,
                     &fwd,
                     20_000 + dim as u64 * 1_000,
-                    &self.sweep_opts,
                 );
                 let bwd = PentaBackwardKernel::new(fields::A, fields::B, fields::RHS);
-                multipart_sweep_opts(
+                self.plan.sweep(
                     comm,
                     &mut self.store,
                     &self.mp,
@@ -175,7 +177,6 @@ impl ParallelSp {
                     Direction::Backward,
                     &bwd,
                     30_000 + dim as u64 * 1_000,
-                    &self.sweep_opts,
                 );
                 continue;
             }
@@ -206,7 +207,7 @@ impl ParallelSp {
                 tr.stage(t0, "coeffs");
             }
             let fwd = ThomasForwardKernel::new(fields::A, fields::B, fields::C, fields::RHS);
-            multipart_sweep_opts(
+            self.plan.sweep(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -214,10 +215,9 @@ impl ParallelSp {
                 Direction::Forward,
                 &fwd,
                 20_000 + dim as u64 * 1_000,
-                &self.sweep_opts,
             );
             let bwd = ThomasBackwardKernel::new(fields::C, fields::RHS);
-            multipart_sweep_opts(
+            self.plan.sweep(
                 comm,
                 &mut self.store,
                 &self.mp,
@@ -225,7 +225,6 @@ impl ParallelSp {
                 Direction::Backward,
                 &bwd,
                 30_000 + dim as u64 * 1_000,
-                &self.sweep_opts,
             );
         }
 
@@ -440,6 +439,26 @@ mod tests {
         let mut s = SerialSp::new(SpProblem::pentadiagonal([8, 8, 8], 0.001));
         s.run(10);
         assert!(s.u_norm().is_finite() && s.u_norm() < 100.0);
+    }
+
+    #[test]
+    fn plans_built_exactly_once_per_run() {
+        // The compiled-plan acceptance assert: after timestep 1 every plan
+        // (6 directional sweeps + 1 halo schedule) is cached; later
+        // timesteps trigger zero rebuilds.
+        let prob = SpProblem::new([8, 8, 8], 0.001);
+        let mp = Multipartitioning::optimal(4, &[8, 8, 8], &CostModel::origin2000_like());
+        let builds = run_threaded(4, |comm| {
+            let mut sp = ParallelSp::new(comm.rank(), prob, mp.clone());
+            sp.run(comm, 1);
+            let after_first = sp.plan.builds();
+            sp.run(comm, 2);
+            (after_first, sp.plan.builds())
+        });
+        for (b1, b2) in &builds {
+            assert_eq!(*b1, 7, "expected 3 dims × 2 directions + 1 halo plan");
+            assert_eq!(b2, b1, "plans rebuilt after timestep 1");
+        }
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub trait Communicator {
     /// Default: drop it.
     fn recycle(&mut self, _buf: Vec<f64>) {}
 
+    /// Pre-size the endpoint's send-buffer pool for the message lengths a
+    /// compiled plan will send, so steady-state execution never allocates.
+    /// Called once at plan-build time with the distinct expected lengths
+    /// (in elements). Default: no-op — endpoints without a pool ignore it.
+    fn reserve_buffers(&mut self, _sizes: &[usize]) {}
+
     /// Synchronize all ranks.
     fn barrier(&mut self) {
         // Dissemination barrier on top of send/recv: ⌈log2 p⌉ rounds.

@@ -156,6 +156,17 @@ impl Communicator for ThreadedComm {
             self.pool[min_idx] = buf;
         }
     }
+
+    fn reserve_buffers(&mut self, sizes: &[usize]) {
+        // Pre-populate the recycle pool so the first send of each planned
+        // length already finds a buffer of sufficient capacity. Reuse the
+        // recycle policy (cap + keep-largest) rather than duplicating it.
+        for &s in sizes {
+            if s > 0 && !self.pool.iter().any(|b| b.capacity() >= s) {
+                self.recycle(Vec::with_capacity(s));
+            }
+        }
+    }
 }
 
 /// Run `f` on `p` ranks, each on its own thread, and collect the per-rank
@@ -493,6 +504,27 @@ mod tests {
             // A buffer smaller than everything pooled is dropped.
             comm.recycle(Vec::with_capacity(8));
             assert!(comm.pool.iter().all(|b| b.capacity() >= 256));
+            0.0
+        });
+        assert_eq!(res.len(), 1);
+    }
+
+    #[test]
+    fn reserve_buffers_presizes_pool() {
+        let res = run_threaded(1, |comm| {
+            comm.reserve_buffers(&[128, 512, 0]);
+            // Zero-length requests are ignored; each distinct size got a
+            // buffer unless an existing one already covered it.
+            let caps: Vec<usize> = comm.pool.iter().map(|b| b.capacity()).collect();
+            assert_eq!(caps.len(), 2, "caps = {caps:?}");
+            assert!(caps.iter().any(|&c| c >= 512));
+            // A size already covered by a pooled buffer adds nothing.
+            comm.reserve_buffers(&[256]);
+            assert_eq!(comm.pool.len(), 2);
+            // take_send_buffer returns a pre-sized buffer, empty but with
+            // capacity.
+            let buf = comm.take_send_buffer();
+            assert!(buf.is_empty() && buf.capacity() >= 128);
             0.0
         });
         assert_eq!(res.len(), 1);

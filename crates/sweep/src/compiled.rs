@@ -1,0 +1,1117 @@
+//! Compiled sweep plans: build once, execute many.
+//!
+//! The paper's §5 compiler view is that a multipartitioned sweep is
+//! *static*: tile ownership, slab order, the unique neighbor per phase, and
+//! every message size are fully determined by `(Multipartitioning, dim,
+//! direction)` before the first timestep runs. The one-shot executor
+//! ([`crate::executor::multipart_sweep_opts`]) re-derives all of it on
+//! every call; NAS SP/BT run the same six directional sweeps for hundreds
+//! of timesteps. This module hoists that work into a [`CompiledSweep`] —
+//! built once per `(mp, dim, direction, kernel shape, options)` — that owns
+//! the precomputed slab order, upstream/downstream peer ranks, per-phase
+//! tile metadata and block-job tables, expected carry-message lengths, the
+//! pipelined chunk spans, and long-lived scratch arenas. Executing a
+//! compiled sweep only refreshes the per-field raw pointers (storage may
+//! move between calls) and runs the communication/compute loop.
+//!
+//! **Contract.** `execute` produces bitwise-identical results and a
+//! byte-identical communication schedule to the per-call path for every
+//! option setting — the plan caches *metadata*, never data. The plan is
+//! valid as long as the multipartitioning, store geometry (tile set and
+//! extents), kernel shape (field list + carry length), tag base, and
+//! options are unchanged; [`SweepEngine`] re-keys on all of those except
+//! store geometry, which is fixed per engine (allocate a new engine per
+//! grid).
+//!
+//! In debug builds every `CompiledSweep` is cross-checked against
+//! [`mp_core::plan::SweepPlan`] at build time, making the schedule module
+//! the source of truth for the executor rather than documentation-only.
+
+use crate::executor::{
+    exchange_halos_planned, make_workers, BlockJob, FieldMeta, RawParts, SharedPhase, SweepOptions,
+    WorkerScratch,
+};
+use crate::recurrence::LineSweepKernel;
+use mp_core::multipart::{Direction, Multipartitioning};
+use mp_core::plan::SweepPlan;
+use mp_grid::{HaloPlan, RankStore};
+use mp_runtime::comm::{Communicator, Tag};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// What a [`CompiledSweep`] was built for — compared by [`SweepEngine`] to
+/// decide when a cached plan can be reused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanKey {
+    /// Processor count of the multipartitioning.
+    pub p: u64,
+    /// Tile-grid shape of the multipartitioning.
+    pub gammas: Vec<u64>,
+    /// Swept dimension.
+    pub dim: usize,
+    /// Sweep direction.
+    pub direction: Direction,
+    /// Wire tags are `tag_base + phase` in / `tag_base + phase + 1` out.
+    pub tag_base: Tag,
+    /// Kernel field indices, in kernel order.
+    pub fields: Vec<usize>,
+    /// Kernel carry length per line.
+    pub carry_len: usize,
+    /// Lines per block job.
+    pub block_width: usize,
+    /// Carry sub-messages per phase boundary (1 = aggregated).
+    pub pipeline_chunks: usize,
+}
+
+/// One pipelined chunk: a contiguous job range and its carry element span
+/// within the phase's carry stream. With `pipeline_chunks = 1` each phase
+/// has a single chunk covering everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// First job of the chunk.
+    pub jlo: usize,
+    /// One past the last job.
+    pub jhi: usize,
+    /// First carry element (phase-global).
+    pub elo: usize,
+    /// One past the last carry element.
+    pub ehi: usize,
+}
+
+/// Everything one phase needs that `PhaseScratch::prepare_slab` used to
+/// rebuild per call: tile metadata in store order and the carved job table.
+/// Raw field pointers are *not* here — storage may move between executes,
+/// so they are refreshed into the plan's `FieldMeta` arena each phase.
+#[derive(Debug)]
+struct PhasePlan {
+    /// Store indices of this phase's tiles, in store (= packing) order.
+    tiles: Vec<usize>,
+    /// Per-tile global origins, flattened `tile * d + k`.
+    origins: Vec<usize>,
+    /// Per-tile cross-section extents (swept dim forced to 1), same layout.
+    red_exts: Vec<usize>,
+    /// Per-tile segment length along the swept dimension.
+    seg_lens: Vec<usize>,
+    /// Per-(tile, field) strides, flattened `(tile * nf + f) * d + k`.
+    fm_strides: Vec<usize>,
+    /// Per-(tile, field) interior-origin offsets, flattened `tile * nf + f`.
+    base_offs: Vec<usize>,
+    /// Per-(tile, field) stride along the swept dimension, same layout.
+    stride_dims: Vec<usize>,
+    /// Block jobs covering the phase's carry stream contiguously.
+    jobs: Vec<BlockJob>,
+    /// Lines in the slab (carry stream length = `total_lines · carry_len`).
+    total_lines: usize,
+    /// Pipelined chunk spans (`pipeline_chunks = 1` → one chunk).
+    chunks: Vec<ChunkSpan>,
+}
+
+/// A fully compiled directional sweep for one rank: schedule + metadata +
+/// scratch arenas. Built once with [`CompiledSweep::build`], executed many
+/// times with [`CompiledSweep::execute`].
+pub struct CompiledSweep {
+    key: PlanKey,
+    rank: u64,
+    d: usize,
+    threads: usize,
+    /// Rank carries arrive from (one step opposite the sweep direction).
+    upstream: u64,
+    /// Rank carries ship to.
+    downstream: u64,
+    phases: Vec<PhasePlan>,
+    /// Per-(tile, field) raw views, refreshed from the store each phase.
+    fms: Vec<FieldMeta>,
+    /// Per-worker block buffers, reused across phases and executes.
+    workers: Vec<WorkerScratch>,
+    /// Locally recycled message buffers (self-neighbor path / pool-less comms).
+    spare: Vec<Vec<f64>>,
+    /// Local carry hand-off buffer for self-neighbor schedules.
+    local_carry: Vec<f64>,
+}
+
+impl CompiledSweep {
+    /// Compile the sweep of `dim` in `dir` over `mp` for `rank`, whose
+    /// tiles live in `store`. Only reads geometry — `store`'s data is
+    /// untouched, and the plan never holds pointers into it between
+    /// executes.
+    ///
+    /// In debug builds the result is cross-checked against
+    /// [`SweepPlan::build`] + [`SweepPlan::validate`]
+    /// (see [`CompiledSweep::validate_against`]).
+    ///
+    /// # Panics
+    /// Panics if the store does not hold exactly this rank's tiles for
+    /// every slab (same check the per-call executor performs).
+    #[allow(clippy::too_many_arguments)]
+    pub fn build<K: LineSweepKernel + ?Sized>(
+        mp: &Multipartitioning,
+        rank: u64,
+        store: &RankStore,
+        dim: usize,
+        dir: Direction,
+        kernel: &K,
+        tag_base: Tag,
+        opts: &SweepOptions,
+    ) -> Self {
+        let d = mp.dims();
+        let gamma = mp.gammas()[dim];
+        let step = dir.step();
+        let slab_order: Vec<u64> = match dir {
+            Direction::Forward => (0..gamma).collect(),
+            Direction::Backward => (0..gamma).rev().collect(),
+        };
+        let clen = kernel.carry_len();
+        let nfields = kernel.fields().len();
+        let bw = opts.block_width.max(1);
+        let kmax = opts.pipeline_chunks.max(1);
+
+        let mut phases = Vec::with_capacity(slab_order.len());
+        for &slab in &slab_order {
+            let mut pp = PhasePlan {
+                tiles: Vec::new(),
+                origins: Vec::new(),
+                red_exts: Vec::new(),
+                seg_lens: Vec::new(),
+                fm_strides: Vec::new(),
+                base_offs: Vec::new(),
+                stride_dims: Vec::new(),
+                jobs: Vec::new(),
+                total_lines: 0,
+                chunks: Vec::new(),
+            };
+            for (ti, tile) in store.tiles.iter().enumerate() {
+                if tile.coord[dim] != slab {
+                    continue;
+                }
+                pp.tiles.push(ti);
+                pp.origins.extend_from_slice(&tile.region.origin);
+                {
+                    let ext = tile.field(kernel.fields()[0]).interior();
+                    pp.seg_lens.push(ext[dim]);
+                    let ro = pp.red_exts.len();
+                    pp.red_exts.extend_from_slice(ext);
+                    pp.red_exts[ro + dim] = 1;
+                    pp.total_lines += pp.red_exts[ro..].iter().product::<usize>();
+                }
+                for &f in kernel.fields() {
+                    let arr = tile.field(f);
+                    pp.fm_strides.extend_from_slice(arr.strides());
+                    pp.base_offs.push(arr.interior_origin_offset());
+                    pp.stride_dims.push(arr.strides()[dim]);
+                }
+            }
+            assert_eq!(
+                pp.tiles.len() as u64,
+                mp.tiles_per_proc_per_slab(dim),
+                "rank {rank}: store does not hold this rank's tiles for slab {slab} \
+                 (was it allocated with allocate_rank_store for this multipartitioning?)"
+            );
+
+            // Carve the slab's lines into jobs of at most `bw` lines each,
+            // with carry offsets relative to the phase's whole carry stream.
+            let ntiles = pp.tiles.len();
+            let mut line_base = 0usize;
+            for t in 0..ntiles {
+                let nl_t: usize = pp.red_exts[t * d..(t + 1) * d].iter().product();
+                let mut l0 = 0usize;
+                while l0 < nl_t {
+                    let nl = bw.min(nl_t - l0);
+                    pp.jobs.push(BlockJob {
+                        tile: t,
+                        line0: l0,
+                        nlines: nl,
+                        carry_off: (line_base + l0) * clen,
+                    });
+                    l0 += nl;
+                }
+                line_base += nl_t;
+            }
+
+            // Chunk layout (identical on sender and receiver — see the
+            // shift argument in [`crate::pipeline`]).
+            let njobs = pp.jobs.len();
+            let k_eff = kmax.min(njobs).max(1);
+            for j in 0..k_eff {
+                let jlo = j * njobs / k_eff;
+                let jhi = ((j + 1) * njobs / k_eff).max(jlo);
+                let (elo, ehi) = if jlo == jhi {
+                    (0, 0) // empty slab: one empty chunk
+                } else {
+                    let last = &pp.jobs[jhi - 1];
+                    (pp.jobs[jlo].carry_off, last.carry_off + last.nlines * clen)
+                };
+                pp.chunks.push(ChunkSpan { jlo, jhi, elo, ehi });
+            }
+            phases.push(pp);
+        }
+
+        let cs = CompiledSweep {
+            key: PlanKey {
+                p: mp.p,
+                gammas: mp.gammas().to_vec(),
+                dim,
+                direction: dir,
+                tag_base,
+                fields: kernel.fields().to_vec(),
+                carry_len: clen,
+                block_width: bw,
+                pipeline_chunks: kmax,
+            },
+            rank,
+            d,
+            threads: opts.threads.max(1),
+            upstream: mp.neighbor_rank(rank, dim, -step),
+            downstream: mp.neighbor_rank(rank, dim, step),
+            phases,
+            fms: Vec::with_capacity(mp.tiles_per_proc_per_slab(dim) as usize * nfields),
+            workers: make_workers(opts.threads, nfields),
+            spare: Vec::new(),
+            local_carry: Vec::new(),
+        };
+        #[cfg(debug_assertions)]
+        cs.validate_against(mp, store)
+            .expect("compiled sweep disagrees with SweepPlan");
+        cs
+    }
+
+    /// What this plan was built for.
+    pub fn key(&self) -> &PlanKey {
+        &self.key
+    }
+
+    /// True when the plan can serve a call with these parameters without
+    /// rebuilding: same multipartitioning shape, sweep, tags, kernel shape,
+    /// and options.
+    pub fn matches<K: LineSweepKernel + ?Sized>(
+        &self,
+        mp: &Multipartitioning,
+        dim: usize,
+        dir: Direction,
+        tag_base: Tag,
+        kernel: &K,
+        opts: &SweepOptions,
+    ) -> bool {
+        self.key.p == mp.p
+            && self.key.gammas == mp.gammas()
+            && self.key.dim == dim
+            && self.key.direction == dir
+            && self.key.tag_base == tag_base
+            && self.key.fields == kernel.fields()
+            && self.key.carry_len == kernel.carry_len()
+            && self.key.block_width == opts.block_width.max(1)
+            && self.key.pipeline_chunks == opts.pipeline_chunks.max(1)
+            && self.threads == opts.threads.max(1)
+    }
+
+    /// The distinct message lengths (in elements) this plan sends, for
+    /// pre-sizing a communicator's buffer pool
+    /// ([`Communicator::reserve_buffers`]).
+    pub fn message_lens(&self) -> Vec<usize> {
+        let mut lens = Vec::new();
+        let nphases = self.phases.len();
+        for pp in self.phases.iter().take(nphases.saturating_sub(1)) {
+            if self.key.pipeline_chunks <= 1 {
+                lens.push(pp.total_lines * self.key.carry_len);
+            } else {
+                lens.extend(pp.chunks.iter().map(|c| c.ehi - c.elo));
+            }
+        }
+        lens.sort_unstable();
+        lens.dedup();
+        lens
+    }
+
+    /// Cross-check this compiled plan against the schedule module:
+    /// [`SweepPlan::build`]'s structural invariants must hold
+    /// ([`SweepPlan::validate`]), and this rank's phase rows must agree
+    /// with the compiled tile order and peer ranks exactly. Run
+    /// automatically at build time in debug builds.
+    pub fn validate_against(
+        &self,
+        mp: &Multipartitioning,
+        store: &RankStore,
+    ) -> Result<(), String> {
+        let plan = SweepPlan::build(mp, self.key.dim, self.key.direction);
+        plan.validate(mp)?;
+        if plan.num_phases() != self.phases.len() {
+            return Err(format!(
+                "phase count mismatch: plan {} vs compiled {}",
+                plan.num_phases(),
+                self.phases.len()
+            ));
+        }
+        let last = self.phases.len() - 1;
+        for (k, rp) in plan.rank_phases(self.rank).enumerate() {
+            let pp = &self.phases[k];
+            if rp.tiles.len() != pp.tiles.len() {
+                return Err(format!(
+                    "phase {k}: plan has {} tiles, compiled has {}",
+                    rp.tiles.len(),
+                    pp.tiles.len()
+                ));
+            }
+            for (want, &ti) in rp.tiles.iter().zip(&pp.tiles) {
+                let got = &store.tiles[ti].coord;
+                if want != got {
+                    return Err(format!(
+                        "phase {k}: plan tile {want:?} vs compiled tile {got:?}"
+                    ));
+                }
+            }
+            let want_recv = (k > 0).then_some(self.upstream);
+            if rp.recv_from != want_recv {
+                return Err(format!(
+                    "phase {k}: plan recv_from {:?} vs compiled {:?}",
+                    rp.recv_from, want_recv
+                ));
+            }
+            let want_send = (k < last).then_some(self.downstream);
+            if rp.send_to != want_send {
+                return Err(format!(
+                    "phase {k}: plan send_to {:?} vs compiled {:?}",
+                    rp.send_to, want_send
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute the compiled sweep: refresh the per-field raw views from
+    /// `store` and run the phase loop. Bitwise-identical results and a
+    /// byte-identical communication schedule to the per-call executor.
+    ///
+    /// # Panics
+    /// Panics if `comm`'s rank or the kernel's shape differ from what the
+    /// plan was built for.
+    pub fn execute<C: Communicator, K: LineSweepKernel + ?Sized>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        kernel: &K,
+    ) {
+        assert_eq!(comm.rank(), self.rank, "compiled sweep used on wrong rank");
+        assert!(
+            kernel.fields() == self.key.fields && kernel.carry_len() == self.key.carry_len,
+            "kernel shape differs from the one the sweep was compiled for"
+        );
+        if self.key.pipeline_chunks > 1 {
+            self.execute_pipelined(comm, store, kernel);
+        } else {
+            self.execute_aggregated(comm, store, kernel);
+        }
+    }
+
+    /// Aggregated mode: one carry message per phase boundary (the phase
+    /// loop of the per-call executor, minus all metadata recomputation).
+    fn execute_aggregated<C: Communicator, K: LineSweepKernel + ?Sized>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        kernel: &K,
+    ) {
+        let (rank, upstream, downstream) = (self.rank, self.upstream, self.downstream);
+        let CompiledSweep {
+            key,
+            d,
+            phases,
+            fms,
+            workers,
+            spare,
+            local_carry,
+            ..
+        } = self;
+        let clen = key.carry_len;
+        let dir = key.direction;
+        let tag_base = key.tag_base;
+        let nphases = phases.len();
+
+        for (phase, pp) in phases.iter().enumerate() {
+            // 1. Obtain incoming carries for this phase.
+            let incoming: Option<Vec<f64>> = if phase == 0 {
+                None
+            } else if upstream == rank {
+                Some(std::mem::take(local_carry))
+            } else {
+                Some(comm.recv(upstream, tag_base + phase as u64))
+            };
+
+            // 2. Refresh the raw field views (storage may have moved since
+            //    the last execute; everything else is precompiled).
+            refresh_fms(fms, pp, store, &key.fields);
+
+            // 3. Prepare the outgoing message: the incoming carries (or
+            //    initial ones at the domain boundary), evolved in place.
+            let t_pack = comm.tracer().is_some().then(Instant::now);
+            let mut outgoing = comm.take_send_buffer();
+            if outgoing.capacity() == 0 {
+                if let Some(buf) = spare.pop() {
+                    outgoing = buf;
+                }
+            }
+            outgoing.clear();
+            outgoing.resize(pp.total_lines * clen, 0.0);
+            match incoming {
+                None => {
+                    if clen > 0 {
+                        let init = kernel.initial_carry(dir);
+                        assert_eq!(init.len(), clen, "initial carry length mismatch");
+                        for c in outgoing.chunks_exact_mut(clen) {
+                            c.copy_from_slice(&init);
+                        }
+                    }
+                }
+                Some(buf) => {
+                    assert_eq!(
+                        buf.len(),
+                        outgoing.len(),
+                        "carry message not fully consumed"
+                    );
+                    outgoing.copy_from_slice(&buf);
+                    if upstream == rank {
+                        spare.push(buf);
+                    } else {
+                        comm.recycle(buf);
+                    }
+                }
+            }
+            if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
+                tr.pack(t0);
+            }
+
+            // 4. Run the jobs — inline, or spread over worker threads.
+            let t_run = comm.tracer().is_some().then(Instant::now);
+            let njobs = pp.jobs.len();
+            let shared = shared_phase(pp, fms, kernel, key, *d);
+            crate::executor::run_jobs(&shared, 0..njobs, RawParts::of(&mut outgoing), 0, workers);
+            if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
+                tr.compute(t0, phase as u64, njobs as u64, pp.total_lines as u64);
+            }
+
+            // 5. Ship carries downstream (unless this was the last phase).
+            if phase + 1 < nphases {
+                if downstream == rank {
+                    *local_carry = outgoing;
+                } else {
+                    comm.send(downstream, tag_base + phase as u64 + 1, outgoing);
+                }
+            } else {
+                comm.recycle(outgoing);
+            }
+        }
+    }
+
+    /// Pipelined mode: each phase's precompiled chunk spans ship eagerly
+    /// (the phase loop of [`crate::pipeline`], chunk layout precompiled).
+    fn execute_pipelined<C: Communicator, K: LineSweepKernel + ?Sized>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        kernel: &K,
+    ) {
+        let (rank, upstream, downstream) = (self.rank, self.upstream, self.downstream);
+        let CompiledSweep {
+            key,
+            d,
+            phases,
+            fms,
+            workers,
+            ..
+        } = self;
+        let clen = key.carry_len;
+        let dir = key.direction;
+        let tag_base = key.tag_base;
+        let nphases = phases.len();
+
+        // Double-buffered carry store (see [`crate::pipeline`] for the
+        // protocol): sub-messages for the current phase pop from `cur`;
+        // eager next-phase arrivals drain into `next`.
+        let mut cur: VecDeque<Vec<f64>> = VecDeque::new();
+        let mut next: VecDeque<Vec<f64>> = VecDeque::new();
+        let mut local_cur: VecDeque<Vec<f64>> = VecDeque::new();
+        let mut local_next: VecDeque<Vec<f64>> = VecDeque::new();
+
+        for phase in 0..nphases {
+            let pp = &phases[phase];
+            let k_eff = pp.chunks.len();
+            let last_phase = phase + 1 == nphases;
+            let tag_in = tag_base + phase as u64;
+            let tag_out = tag_base + phase as u64 + 1;
+            // Exact sub-message count the *next* phase will consume. The
+            // drain below must not pull more than this: sweeps reusing the
+            // same tag base (solvers re-execute the plan every timestep)
+            // put next-sweep chunks behind this phase's on the same tag,
+            // and an over-eager drain would swallow them a sweep early.
+            let next_k_eff = if last_phase {
+                0
+            } else {
+                phases[phase + 1].chunks.len()
+            };
+
+            std::mem::swap(&mut cur, &mut next);
+            std::mem::swap(&mut local_cur, &mut local_next);
+            debug_assert!(next.is_empty() && local_next.is_empty());
+
+            refresh_fms(fms, pp, store, &key.fields);
+            let shared = shared_phase(pp, fms, kernel, key, *d);
+
+            for (j, span) in pp.chunks.iter().enumerate() {
+                let ChunkSpan { jlo, jhi, elo, ehi } = *span;
+
+                // 1. Obtain the chunk's carry buffer.
+                let mut cbuf: Vec<f64> = if phase == 0 {
+                    let mut b = comm.take_send_buffer();
+                    b.clear();
+                    b.resize(ehi - elo, 0.0);
+                    if clen > 0 {
+                        let init = kernel.initial_carry(dir);
+                        assert_eq!(init.len(), clen, "initial carry length mismatch");
+                        for c in b.chunks_exact_mut(clen) {
+                            c.copy_from_slice(&init);
+                        }
+                    }
+                    b
+                } else if upstream == rank {
+                    local_cur
+                        .pop_front()
+                        .expect("self-neighbor chunk hand-off out of sync")
+                } else if let Some(b) = cur.pop_front() {
+                    b
+                } else {
+                    comm.recv(upstream, tag_in)
+                };
+                assert_eq!(
+                    cbuf.len(),
+                    ehi - elo,
+                    "carry sub-message length mismatch (phase {phase}, chunk {j} of {k_eff}): \
+                     ranks must run the same block_width and pipeline_chunks"
+                );
+
+                // 2. Evolve the chunk's carries in place through its jobs.
+                let t_run = comm.tracer().is_some().then(Instant::now);
+                crate::executor::run_jobs(&shared, jlo..jhi, RawParts::of(&mut cbuf), elo, workers);
+                if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
+                    tr.compute(
+                        t0,
+                        phase as u64,
+                        (jhi - jlo) as u64,
+                        ((ehi - elo) / clen.max(1)) as u64,
+                    );
+                }
+
+                // 3. Eagerly ship the finished chunk downstream by move.
+                if last_phase {
+                    comm.recycle(cbuf);
+                } else if downstream == rank {
+                    local_next.push_back(cbuf);
+                } else {
+                    comm.send(downstream, tag_out, cbuf);
+                }
+
+                // 4. Opportunistically drain next-phase arrivals.
+                if !last_phase && upstream != rank {
+                    while next.len() < next_k_eff {
+                        match comm.try_recv(upstream, tag_out) {
+                            Some(m) => next.push_back(m),
+                            None => break,
+                        }
+                    }
+                }
+            }
+            assert!(
+                cur.is_empty() && local_cur.is_empty(),
+                "phase {phase}: more sub-messages arrived than chunks exist \
+                 (ranks disagree on pipeline_chunks?)"
+            );
+        }
+    }
+}
+
+/// Refresh the raw per-(tile, field) views from the store — the only part
+/// of the plan that cannot be cached across executes.
+fn refresh_fms(fms: &mut Vec<FieldMeta>, pp: &PhasePlan, store: &mut RankStore, fields: &[usize]) {
+    fms.clear();
+    let nf = fields.len();
+    for (t, &ti) in pp.tiles.iter().enumerate() {
+        for (fi, &f) in fields.iter().enumerate() {
+            let slot = t * nf + fi;
+            let raw = store.tiles[ti].field_mut(f).raw_mut();
+            fms.push(FieldMeta {
+                parts: RawParts {
+                    ptr: raw.as_mut_ptr(),
+                    len: raw.len(),
+                },
+                base_off: pp.base_offs[slot],
+                stride_dim: pp.stride_dims[slot],
+            });
+        }
+    }
+}
+
+/// The shared read-only view one phase's workers run against, assembled
+/// from the precompiled metadata plus the freshly refreshed field views.
+fn shared_phase<'a, K: LineSweepKernel + ?Sized>(
+    pp: &'a PhasePlan,
+    fms: &'a [FieldMeta],
+    kernel: &'a K,
+    key: &PlanKey,
+    d: usize,
+) -> SharedPhase<'a, K> {
+    SharedPhase {
+        jobs: &pp.jobs,
+        fms,
+        fm_strides: &pp.fm_strides,
+        origins: &pp.origins,
+        red_exts: &pp.red_exts,
+        seg_lens: &pp.seg_lens,
+        kernel,
+        dir: key.direction,
+        dim: key.dim,
+        d,
+        nfields: key.fields.len(),
+        clen: key.carry_len,
+    }
+}
+
+/// A cache of one [`CompiledSweep`] per `(dim, direction)`, rebuilt only
+/// when the key changes (multipartitioning shape, kernel shape, tag base,
+/// or options). This is the build-once / execute-many entry point the
+/// solver drivers use; build cost and count are tracked so callers can
+/// report amortization and assert zero steady-state rebuilds.
+pub struct SweepEngine {
+    opts: SweepOptions,
+    /// Slot `dim * 2 + dir_idx` (`Forward` = 0, `Backward` = 1).
+    slots: Vec<Option<CompiledSweep>>,
+    builds: u64,
+    build_ns: u64,
+}
+
+impl SweepEngine {
+    /// An empty engine executing with `opts`.
+    pub fn new(opts: SweepOptions) -> Self {
+        SweepEngine {
+            opts,
+            slots: Vec::new(),
+            builds: 0,
+            build_ns: 0,
+        }
+    }
+
+    /// The options every sweep runs with.
+    pub fn opts(&self) -> &SweepOptions {
+        &self.opts
+    }
+
+    /// Plans built so far (a steady-state run settles at one per distinct
+    /// `(dim, direction)` used).
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// Total nanoseconds spent building plans.
+    pub fn build_ns(&self) -> u64 {
+        self.build_ns
+    }
+
+    /// Execute one directional sweep, compiling it first if the cached
+    /// plan for `(dim, dir)` is missing or keyed differently. On build,
+    /// the communicator's buffer pool is pre-sized for the plan's message
+    /// lengths and a `plan_build` span is recorded when tracing is on.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep<C: Communicator, K: LineSweepKernel>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        mp: &Multipartitioning,
+        dim: usize,
+        dir: Direction,
+        kernel: &K,
+        tag_base: Tag,
+    ) {
+        let slot = dim * 2
+            + match dir {
+                Direction::Forward => 0,
+                Direction::Backward => 1,
+            };
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        let reusable = matches!(
+            &self.slots[slot],
+            Some(cs) if cs.matches(mp, dim, dir, tag_base, kernel, &self.opts)
+        );
+        if !reusable {
+            // Build timing is unconditional: it happens once per run, so
+            // the zero-overhead telemetry contract (clock never read in
+            // steady state when tracing is off) is preserved.
+            let t0 = Instant::now();
+            let cs = CompiledSweep::build(
+                mp,
+                comm.rank(),
+                store,
+                dim,
+                dir,
+                kernel,
+                tag_base,
+                &self.opts,
+            );
+            self.builds += 1;
+            self.build_ns += t0.elapsed().as_nanos() as u64;
+            comm.reserve_buffers(&cs.message_lens());
+            if let Some(tr) = comm.tracer() {
+                tr.plan_build(t0);
+            }
+            self.slots[slot] = Some(cs);
+        }
+        self.slots[slot]
+            .as_mut()
+            .expect("slot just filled")
+            .execute(comm, store, kernel);
+    }
+}
+
+/// A per-rank solver plan: the [`SweepEngine`] for all directional sweeps
+/// plus the compiled [`HaloPlan`] for stencil exchanges — everything a
+/// timestepping driver (NAS SP/BT) builds up front and reuses across
+/// timesteps.
+pub struct SolverPlan {
+    engine: SweepEngine,
+    halo: Option<HaloPlan>,
+    halo_builds: u64,
+    halo_build_ns: u64,
+}
+
+impl SolverPlan {
+    /// An empty plan executing sweeps with `opts`.
+    pub fn new(opts: SweepOptions) -> Self {
+        SolverPlan {
+            engine: SweepEngine::new(opts),
+            halo: None,
+            halo_builds: 0,
+            halo_build_ns: 0,
+        }
+    }
+
+    /// The options every sweep runs with.
+    pub fn opts(&self) -> &SweepOptions {
+        self.engine.opts()
+    }
+
+    /// Plans built so far (sweep plans + halo plans). A steady-state run
+    /// settles at `2·d` sweeps + 1 halo plan and never rebuilds.
+    pub fn builds(&self) -> u64 {
+        self.engine.builds() + self.halo_builds
+    }
+
+    /// Total nanoseconds spent building plans (sweeps + halos).
+    pub fn build_ns(&self) -> u64 {
+        self.engine.build_ns() + self.halo_build_ns
+    }
+
+    /// Execute one directional sweep through the cached engine.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep<C: Communicator, K: LineSweepKernel>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        mp: &Multipartitioning,
+        dim: usize,
+        dir: Direction,
+        kernel: &K,
+        tag_base: Tag,
+    ) {
+        self.engine
+            .sweep(comm, store, mp, dim, dir, kernel, tag_base);
+    }
+
+    /// Exchange `width` ghost layers of `field` using the compiled halo
+    /// schedule, building it on first use (or if `width` changes). One
+    /// plan serves every field and tag base — the schedule depends only on
+    /// tile geometry and width.
+    pub fn exchange_halos<C: Communicator>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        mp: &Multipartitioning,
+        field: usize,
+        width: usize,
+        tag_base: Tag,
+    ) {
+        let rebuild = self.halo.as_ref().is_none_or(|h| h.width() != width);
+        if rebuild {
+            let t0 = Instant::now();
+            let rank = comm.rank();
+            let plan = HaloPlan::build(store, mp.gammas(), width, |dm, st| {
+                mp.neighbor_rank(rank, dm, st)
+            });
+            self.halo_builds += 1;
+            self.halo_build_ns += t0.elapsed().as_nanos() as u64;
+            comm.reserve_buffers(&[plan.max_send_len()]);
+            if let Some(tr) = comm.tracer() {
+                tr.plan_build(t0);
+            }
+            self.halo = Some(plan);
+        }
+        let plan = self.halo.as_ref().expect("halo plan just built");
+        exchange_halos_planned(comm, store, field, tag_base, plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{allocate_rank_store, multipart_sweep_opts};
+    use crate::recurrence::{FirstOrderKernel, PrefixSumKernel};
+    use mp_core::cost::CostModel;
+    use mp_core::partition::Partitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::threaded::run_threaded;
+
+    fn init_value(g: &[usize]) -> f64 {
+        (g.iter()
+            .enumerate()
+            .map(|(k, &v)| (k + 1) * (v * 7 + 3) % 23)
+            .sum::<usize>()) as f64
+            - 11.0
+    }
+
+    fn grid_for(mp: &Multipartitioning, eta: &[usize]) -> TileGrid {
+        TileGrid::new(
+            eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        )
+    }
+
+    /// 10 sweeps through a cached engine vs 10 fresh per-call sweeps:
+    /// bitwise-identical fields, identical message/element counters, and
+    /// exactly one plan build.
+    #[test]
+    fn engine_reuse_matches_fresh_calls() {
+        let mp = Multipartitioning::optimal(6, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta = [12usize, 13, 11];
+        let k = FirstOrderKernel::new(0, 0.8);
+        let fields = [FieldDef::new("u", 0)];
+        for opts in [
+            SweepOptions::new(4, 1),
+            SweepOptions::new(32, 2).with_pipeline_chunks(3),
+        ] {
+            let grid = grid_for(&mp, &eta);
+            let o = opts.clone();
+            let fresh = run_threaded(mp.p, |comm| {
+                let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+                store.init_field(0, init_value);
+                for _ in 0..10 {
+                    multipart_sweep_opts(
+                        comm,
+                        &mut store,
+                        &mp,
+                        1,
+                        Direction::Forward,
+                        &k,
+                        1000,
+                        &o,
+                    );
+                }
+                (store, comm.sent_messages, comm.sent_elements)
+            });
+            let o = opts.clone();
+            let cached = run_threaded(mp.p, |comm| {
+                let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+                store.init_field(0, init_value);
+                let mut engine = SweepEngine::new(o.clone());
+                for _ in 0..10 {
+                    engine.sweep(comm, &mut store, &mp, 1, Direction::Forward, &k, 1000);
+                }
+                assert_eq!(engine.builds(), 1, "engine rebuilt a cached plan");
+                (store, comm.sent_messages, comm.sent_elements)
+            });
+            let mut a = ArrayD::zeros(&eta);
+            let mut b = ArrayD::zeros(&eta);
+            let (mut fm, mut fe, mut cm, mut ce) = (0u64, 0u64, 0u64, 0u64);
+            for ((fs, m1, e1), (cs, m2, e2)) in fresh.iter().zip(cached.iter()) {
+                fs.gather_into(0, &mut a);
+                cs.gather_into(0, &mut b);
+                fm += m1;
+                fe += e1;
+                cm += m2;
+                ce += e2;
+            }
+            assert_eq!(a.max_abs_diff(&b), 0.0, "{opts:?} not bitwise equal");
+            assert_eq!((fm, fe), (cm, ce), "{opts:?} changed the schedule");
+        }
+    }
+
+    /// The dedicated validation test: every compiled sweep passes
+    /// [`CompiledSweep::validate_against`] (release builds included), and
+    /// a plan validated against the wrong multipartitioning is rejected.
+    #[test]
+    fn compiled_plans_validate_against_sweep_plan() {
+        let opts = SweepOptions::new(8, 1);
+        let k = PrefixSumKernel::new(0);
+        let fields = [FieldDef::new("u", 0)];
+        for (p, gammas) in [
+            (2u64, vec![2u64, 2, 1]),
+            (4, vec![2, 2, 2]),
+            (6, vec![0, 0, 0]),
+        ] {
+            let mp = if gammas[0] == 0 {
+                Multipartitioning::optimal(p, &[12, 12, 12], &CostModel::origin2000_like())
+            } else {
+                Multipartitioning::from_partitioning(p, Partitioning::new(gammas))
+            };
+            let eta: Vec<usize> = mp.gammas().iter().map(|&g| 2 * g as usize).collect();
+            let grid = grid_for(&mp, &eta);
+            for rank in 0..mp.p {
+                let store = allocate_rank_store(rank, &mp, &grid, &fields);
+                for dim in 0..mp.dims() {
+                    for dir in [Direction::Forward, Direction::Backward] {
+                        let cs = CompiledSweep::build(&mp, rank, &store, dim, dir, &k, 0, &opts);
+                        cs.validate_against(&mp, &store)
+                            .expect("valid plan rejected");
+                    }
+                }
+            }
+        }
+        // Wrong multipartitioning: same p but different tile shape — the
+        // cross-check must fail.
+        let mp = Multipartitioning::from_partitioning(2, Partitioning::new(vec![2, 2, 1]));
+        let other = Multipartitioning::from_partitioning(2, Partitioning::new(vec![2, 1, 2]));
+        let grid = grid_for(&mp, &[4, 4, 4]);
+        let store = allocate_rank_store(0, &mp, &grid, &fields);
+        let cs = CompiledSweep::build(&mp, 0, &store, 0, Direction::Forward, &k, 0, &opts);
+        assert!(cs.validate_against(&other, &store).is_err());
+    }
+
+    #[test]
+    fn engine_rebuilds_on_key_change() {
+        let mp = Multipartitioning::from_partitioning(1, Partitioning::new(vec![2, 2, 1]));
+        let grid = grid_for(&mp, &[4, 4, 2]);
+        let k = PrefixSumKernel::new(0);
+        let k2 = FirstOrderKernel::new(0, 0.5);
+        let mut comm = mp_runtime::comm::SerialComm;
+        let mut store = allocate_rank_store(0, &mp, &grid, &[FieldDef::new("u", 0)]);
+        store.init_field(0, init_value);
+        let mut engine = SweepEngine::new(SweepOptions::new(4, 1));
+        engine.sweep(&mut comm, &mut store, &mp, 0, Direction::Forward, &k, 0);
+        engine.sweep(&mut comm, &mut store, &mp, 0, Direction::Forward, &k, 0);
+        assert_eq!(engine.builds(), 1);
+        // Different direction → its own slot.
+        engine.sweep(&mut comm, &mut store, &mp, 0, Direction::Backward, &k, 0);
+        assert_eq!(engine.builds(), 2);
+        // Different tag base → rebuild in place.
+        engine.sweep(&mut comm, &mut store, &mp, 0, Direction::Forward, &k, 7);
+        assert_eq!(engine.builds(), 3);
+        // A different kernel of the *same shape* (fields + carry length)
+        // reuses the plan — plans depend only on the shape.
+        engine.sweep(&mut comm, &mut store, &mp, 0, Direction::Forward, &k2, 7);
+        assert_eq!(engine.builds(), 3);
+        // Different kernel shape (field list) → rebuild.
+        let mut store2 = allocate_rank_store(
+            0,
+            &mp,
+            &grid,
+            &[FieldDef::new("u", 0), FieldDef::new("v", 0)],
+        );
+        store2.init_field(1, init_value);
+        let k3 = PrefixSumKernel::new(1);
+        engine.sweep(&mut comm, &mut store2, &mp, 0, Direction::Forward, &k3, 7);
+        assert_eq!(engine.builds(), 4);
+        // Steady state again.
+        engine.sweep(&mut comm, &mut store2, &mp, 0, Direction::Forward, &k3, 7);
+        assert_eq!(engine.builds(), 4);
+        assert!(engine.build_ns() > 0);
+    }
+
+    #[test]
+    fn message_lens_cover_the_wire() {
+        // Aggregated: one length per phase boundary; pipelined: the chunk
+        // spans. Both must sum (over phases) to the same payload.
+        let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![2, 2, 2]));
+        let grid = grid_for(&mp, &[8, 8, 8]);
+        let k = PrefixSumKernel::new(0);
+        let store = allocate_rank_store(0, &mp, &grid, &[FieldDef::new("u", 0)]);
+        let agg = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            0,
+            Direction::Forward,
+            &k,
+            0,
+            &SweepOptions::new(1, 1),
+        );
+        let lens = agg.message_lens();
+        // γ_0 = 2 → one boundary; each rank owns 1 tile of 4×4×4 per slab
+        // → 16 lines, clen 1 → one 16-element message.
+        assert_eq!(lens, vec![16]);
+        let pip = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            0,
+            Direction::Forward,
+            &k,
+            0,
+            &SweepOptions::new(1, 1).with_pipeline_chunks(4),
+        );
+        assert_eq!(pip.message_lens(), vec![4]);
+    }
+
+    #[test]
+    fn solver_plan_halo_built_once() {
+        let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![2, 2, 2]));
+        let eta = [8usize, 8, 8];
+        let grid = grid_for(&mp, &eta);
+        let fields = [FieldDef::new("u", 1)];
+        run_threaded(4, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, |g| (g[0] * 100 + g[1] * 10 + g[2]) as f64);
+            let mut plan = SolverPlan::new(SweepOptions::new(8, 1));
+            for _ in 0..3 {
+                plan.exchange_halos(comm, &mut store, &mp, 0, 1, 5000);
+            }
+            assert_eq!(plan.builds(), 1, "halo plan rebuilt");
+            assert!(plan.build_ns() > 0);
+            // Ghosts filled exactly as the per-call exchange fills them.
+            for tile in &store.tiles {
+                let arr = tile.field(0);
+                let origin = &tile.region.origin;
+                for dim in 0..3 {
+                    if origin[dim] > 0 {
+                        let mut idx = vec![0isize; 3];
+                        idx[dim] = -1;
+                        let g: Vec<usize> = (0..3)
+                            .map(|k| (origin[k] as isize + idx[k]) as usize)
+                            .collect();
+                        let want = (g[0] * 100 + g[1] * 10 + g[2]) as f64;
+                        assert_eq!(arr.get(&idx), want, "tile {:?}", tile.coord);
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel shape differs")]
+    fn execute_rejects_wrong_kernel_shape() {
+        let mp = Multipartitioning::from_partitioning(1, Partitioning::new(vec![2, 2, 1]));
+        let grid = grid_for(&mp, &[4, 4, 2]);
+        let mut store = allocate_rank_store(0, &mp, &grid, &[FieldDef::new("u", 0)]);
+        let mut comm = mp_runtime::comm::SerialComm;
+        let k = PrefixSumKernel::new(0);
+        let mut cs = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            0,
+            Direction::Forward,
+            &k,
+            0,
+            &SweepOptions::new(4, 1),
+        );
+        // Same kernel type on a different field: the shape (field list)
+        // differs, so execute must refuse. (The assert fires before any
+        // field access, so the missing field 1 is never touched.)
+        let k2 = PrefixSumKernel::new(1);
+        cs.execute(&mut comm, &mut store, &k2);
+    }
+}

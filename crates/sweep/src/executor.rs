@@ -32,8 +32,7 @@
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::lines::{gather_line_raw, scatter_line_raw};
-use mp_grid::shape::Side;
-use mp_grid::{RankStore, TileGrid};
+use mp_grid::{HaloPlan, RankStore, TileGrid};
 use mp_runtime::comm::{Communicator, Tag};
 use std::time::Instant;
 
@@ -79,26 +78,42 @@ impl SweepOptions {
         self.pipeline_chunks = pipeline_chunks.max(1);
         self
     }
+
+    /// Options from the environment — the single documented place every
+    /// entry point (CLI, examples, benches) reads the sweep knobs from:
+    ///
+    /// | variable            | meaning                           | default |
+    /// |---------------------|-----------------------------------|---------|
+    /// | `MP_SWEEP_BLOCK`    | lines per block                   | 32      |
+    /// | `MP_SWEEP_THREADS`  | worker threads per rank           | 1       |
+    /// | `MP_SWEEP_PIPELINE` | carry sub-messages per boundary   | 1       |
+    ///
+    /// Malformed or out-of-range values (empty, non-numeric, `0`) fall
+    /// back to the default rather than panicking — env knobs must never
+    /// abort a run.
+    pub fn from_env() -> Self {
+        SweepOptions::new(
+            env_usize("MP_SWEEP_BLOCK", 32),
+            env_usize("MP_SWEEP_THREADS", 1),
+        )
+        .with_pipeline_chunks(env_usize("MP_SWEEP_PIPELINE", 1))
+    }
 }
 
-/// `1` unless `name` is set to a positive integer; malformed or
-/// out-of-range values (empty, non-numeric, `0`) fall back to `1` rather
-/// than panicking — env knobs must never abort a run.
-fn env_knob(name: &str) -> usize {
+/// `default` unless `name` is set to a positive integer (see
+/// [`SweepOptions::from_env`] for the fall-back contract).
+fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(1)
-        .max(1)
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
 }
 
 impl Default for SweepOptions {
-    /// Block width 32; thread count from the `MP_SWEEP_THREADS` environment
-    /// variable and pipeline chunk count from `MP_SWEEP_PIPELINE`, each
-    /// when set to a positive integer, else 1.
+    /// [`SweepOptions::from_env`].
     fn default() -> Self {
-        SweepOptions::new(32, env_knob("MP_SWEEP_THREADS"))
-            .with_pipeline_chunks(env_knob("MP_SWEEP_PIPELINE"))
+        SweepOptions::from_env()
     }
 }
 
@@ -140,6 +155,7 @@ pub(crate) struct FieldMeta {
 }
 
 /// One unit of work: a contiguous run of lines of one slab tile.
+#[derive(Debug)]
 pub(crate) struct BlockJob {
     /// Slot into the phase's per-tile metadata (0-based within the slab).
     pub(crate) tile: usize,
@@ -189,21 +205,21 @@ pub(crate) fn make_workers(threads: usize, nfields: usize) -> Vec<WorkerScratch>
 /// one phase.
 pub(crate) struct SharedPhase<'a, K: ?Sized> {
     pub(crate) jobs: &'a [BlockJob],
-    fms: &'a [FieldMeta],
+    pub(crate) fms: &'a [FieldMeta],
     /// Per-(tile, field) strides, flattened `(tile * nfields + f) * d + k`.
-    fm_strides: &'a [usize],
+    pub(crate) fm_strides: &'a [usize],
     /// Per-tile global origins, flattened `tile * d + k`.
-    origins: &'a [usize],
+    pub(crate) origins: &'a [usize],
     /// Per-tile cross-section extents (swept dim forced to 1), same layout.
-    red_exts: &'a [usize],
+    pub(crate) red_exts: &'a [usize],
     /// Per-tile segment length along the swept dimension.
-    seg_lens: &'a [usize],
-    kernel: &'a K,
-    dir: Direction,
-    dim: usize,
-    d: usize,
-    nfields: usize,
-    clen: usize,
+    pub(crate) seg_lens: &'a [usize],
+    pub(crate) kernel: &'a K,
+    pub(crate) dir: Direction,
+    pub(crate) dim: usize,
+    pub(crate) d: usize,
+    pub(crate) nfields: usize,
+    pub(crate) clen: usize,
 }
 
 /// Run one block job: decode its line bases, gather the lines into the
@@ -334,143 +350,6 @@ fn run_block<K: LineSweepKernel + ?Sized>(
     }
 }
 
-/// Per-phase metadata, reused (capacity-wise) across all γ phases so
-/// steady-state phases allocate nothing. Both execution modes (aggregated
-/// and pipelined) collect identical metadata and carve identical job lists
-/// — the pipelined mode only changes which buffer a job's carries land in.
-pub(crate) struct PhaseScratch {
-    origins: Vec<usize>,
-    red_exts: Vec<usize>,
-    seg_lens: Vec<usize>,
-    fms: Vec<FieldMeta>,
-    fm_strides: Vec<usize>,
-    pub(crate) jobs: Vec<BlockJob>,
-    /// Lines in the current slab (carry stream length = `total_lines·clen`).
-    pub(crate) total_lines: usize,
-}
-
-impl PhaseScratch {
-    pub(crate) fn new() -> Self {
-        PhaseScratch {
-            origins: Vec::new(),
-            red_exts: Vec::new(),
-            seg_lens: Vec::new(),
-            fms: Vec::new(),
-            fm_strides: Vec::new(),
-            jobs: Vec::new(),
-            total_lines: 0,
-        }
-    }
-
-    /// Collect the metadata of this rank's tiles in `slab` and carve the
-    /// slab's lines into jobs of at most `bw` lines each, with carry
-    /// offsets relative to the phase's whole carry stream.
-    ///
-    /// # Panics
-    /// Panics if the store does not hold exactly this rank's tiles for the
-    /// slab.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn prepare_slab<K: LineSweepKernel + ?Sized>(
-        &mut self,
-        store: &mut RankStore,
-        mp: &Multipartitioning,
-        rank: u64,
-        dim: usize,
-        slab: u64,
-        kernel: &K,
-        bw: usize,
-    ) {
-        let d = mp.dims();
-        let clen = kernel.carry_len();
-        self.origins.clear();
-        self.red_exts.clear();
-        self.seg_lens.clear();
-        self.fms.clear();
-        self.fm_strides.clear();
-        let mut ntiles = 0usize;
-        let mut total_lines = 0usize;
-        for tile in store.tiles.iter_mut() {
-            if tile.coord[dim] != slab {
-                continue;
-            }
-            ntiles += 1;
-            self.origins.extend_from_slice(&tile.region.origin);
-            {
-                let ext = tile.field(kernel.fields()[0]).interior();
-                self.seg_lens.push(ext[dim]);
-                let ro = self.red_exts.len();
-                self.red_exts.extend_from_slice(ext);
-                self.red_exts[ro + dim] = 1;
-                total_lines += self.red_exts[ro..].iter().product::<usize>();
-            }
-            for &f in kernel.fields() {
-                let arr = tile.field_mut(f);
-                self.fm_strides.extend_from_slice(arr.strides());
-                let base_off = arr.interior_origin_offset();
-                let stride_dim = arr.strides()[dim];
-                let raw = arr.raw_mut();
-                self.fms.push(FieldMeta {
-                    parts: RawParts {
-                        ptr: raw.as_mut_ptr(),
-                        len: raw.len(),
-                    },
-                    base_off,
-                    stride_dim,
-                });
-            }
-        }
-        assert_eq!(
-            ntiles as u64,
-            mp.tiles_per_proc_per_slab(dim),
-            "rank {rank}: store does not hold this rank's tiles for slab {slab} \
-             (was it allocated with allocate_rank_store for this multipartitioning?)"
-        );
-        self.total_lines = total_lines;
-
-        self.jobs.clear();
-        let mut line_base = 0usize;
-        for t in 0..ntiles {
-            let nl_t: usize = self.red_exts[t * d..(t + 1) * d].iter().product();
-            let mut l0 = 0usize;
-            while l0 < nl_t {
-                let nl = bw.min(nl_t - l0);
-                self.jobs.push(BlockJob {
-                    tile: t,
-                    line0: l0,
-                    nlines: nl,
-                    carry_off: (line_base + l0) * clen,
-                });
-                l0 += nl;
-            }
-            line_base += nl_t;
-        }
-    }
-
-    /// The shared read-only view the workers of one phase run against.
-    pub(crate) fn shared<'a, K: LineSweepKernel + ?Sized>(
-        &'a self,
-        kernel: &'a K,
-        mp: &Multipartitioning,
-        dim: usize,
-        dir: Direction,
-    ) -> SharedPhase<'a, K> {
-        SharedPhase {
-            jobs: &self.jobs,
-            fms: &self.fms,
-            fm_strides: &self.fm_strides,
-            origins: &self.origins,
-            red_exts: &self.red_exts,
-            seg_lens: &self.seg_lens,
-            kernel,
-            dir,
-            dim,
-            d: mp.dims(),
-            nfields: kernel.fields().len(),
-            clen: kernel.carry_len(),
-        }
-    }
-}
-
 /// Run the jobs `sh.jobs[range]` against the carry buffer `out`, whose
 /// first element is the phase-global carry element `carry_base` — inline
 /// when a single worker is given, else spread over the workers in
@@ -542,9 +421,15 @@ pub fn multipart_sweep<C: Communicator, K: LineSweepKernel>(
 /// [`multipart_sweep`] with explicit execution options. Results are
 /// identical for every option setting; `block_width` and `threads` trade
 /// only intra-rank execution strategy (the communication schedule stays
-/// byte-identical), while `pipeline_chunks > 1` dispatches to the
-/// [`crate::pipeline`] mode, which ships each phase's carries as that many
-/// eagerly sent sub-messages (same total payload, same byte order).
+/// byte-identical), while `pipeline_chunks > 1` selects the **pipelined**
+/// mode (see [`crate::pipeline`]), which ships each phase's carries as
+/// that many eagerly sent sub-messages (same total payload, same byte
+/// order).
+///
+/// This is now a thin build-then-execute wrapper over
+/// [`crate::compiled::CompiledSweep`]: callers that run the same sweep
+/// repeatedly should hold a [`crate::compiled::SweepEngine`] instead and
+/// amortize the build.
 #[allow(clippy::too_many_arguments)]
 pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
     comm: &mut C,
@@ -556,121 +441,27 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
     tag_base: Tag,
     opts: &SweepOptions,
 ) {
-    if opts.pipeline_chunks > 1 {
-        return crate::pipeline::multipart_sweep_pipelined(
-            comm, store, mp, dim, dir, kernel, tag_base, opts,
-        );
-    }
-    let rank = comm.rank();
-    let gamma = mp.gammas()[dim];
-    let step = dir.step();
-    let slab_order: Vec<u64> = match dir {
-        Direction::Forward => (0..gamma).collect(),
-        Direction::Backward => (0..gamma).rev().collect(),
-    };
-    let clen = kernel.carry_len();
-    let nfields = kernel.fields().len();
-    let bw = opts.block_width.max(1);
-    let upstream = mp.neighbor_rank(rank, dim, -step);
-    let downstream = mp.neighbor_rank(rank, dim, step);
-
-    // Local carry hand-off when the downstream neighbor is this rank itself.
-    let mut local_carry: Vec<f64> = Vec::new();
-    // Locally recycled message buffers (used when the comm has no pool, or
-    // for the self-neighbor path that bypasses it).
-    let mut spare: Vec<Vec<f64>> = Vec::new();
-
-    let mut scratch = PhaseScratch::new();
-    let mut workers = make_workers(opts.threads, nfields);
-
-    for (phase, &slab) in slab_order.iter().enumerate() {
-        // 1. Obtain incoming carries for this phase.
-        let incoming: Option<Vec<f64>> = if phase == 0 {
-            None
-        } else if upstream == rank {
-            Some(std::mem::take(&mut local_carry))
-        } else {
-            Some(comm.recv(upstream, tag_base + phase as u64))
-        };
-
-        // 2. Collect this slab's tile metadata and carve its lines into
-        //    block jobs.
-        scratch.prepare_slab(store, mp, rank, dim, slab, kernel, bw);
-
-        // 3. Prepare the outgoing message: the incoming carries (or initial
-        //    ones at the domain boundary), which the kernels then evolve in
-        //    place — the line-major carry layout IS the wire layout.
-        // Telemetry sites only read the clock when a recorder is installed.
-        let t_pack = comm.tracer().is_some().then(Instant::now);
-        let mut outgoing = comm.take_send_buffer();
-        if outgoing.capacity() == 0 {
-            if let Some(buf) = spare.pop() {
-                outgoing = buf;
-            }
-        }
-        outgoing.clear();
-        outgoing.resize(scratch.total_lines * clen, 0.0);
-        match incoming {
-            None => {
-                if clen > 0 {
-                    let init = kernel.initial_carry(dir);
-                    assert_eq!(init.len(), clen, "initial carry length mismatch");
-                    for c in outgoing.chunks_exact_mut(clen) {
-                        c.copy_from_slice(&init);
-                    }
-                }
-            }
-            Some(buf) => {
-                assert_eq!(
-                    buf.len(),
-                    outgoing.len(),
-                    "carry message not fully consumed"
-                );
-                outgoing.copy_from_slice(&buf);
-                if upstream == rank {
-                    spare.push(buf);
-                } else {
-                    comm.recycle(buf);
-                }
-            }
-        }
-
-        if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
-            tr.pack(t0);
-        }
-
-        // 4. Run the jobs — inline, or spread over worker threads.
-        let t_run = comm.tracer().is_some().then(Instant::now);
-        let njobs = scratch.jobs.len();
-        let shared = scratch.shared(kernel, mp, dim, dir);
-        run_jobs(
-            &shared,
-            0..njobs,
-            RawParts::of(&mut outgoing),
-            0,
-            &mut workers,
-        );
-        if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
-            tr.compute(t0, phase as u64, njobs as u64, scratch.total_lines as u64);
-        }
-
-        // 5. Ship carries downstream (unless this was the last phase).
-        if phase + 1 < slab_order.len() {
-            if downstream == rank {
-                local_carry = outgoing;
-            } else {
-                comm.send(downstream, tag_base + phase as u64 + 1, outgoing);
-            }
-        } else {
-            comm.recycle(outgoing);
-        }
-    }
+    let mut cs = crate::compiled::CompiledSweep::build(
+        mp,
+        comm.rank(),
+        store,
+        dim,
+        dir,
+        kernel,
+        tag_base,
+        opts,
+    );
+    cs.execute(comm, store, kernel);
 }
 
 /// Exchange `width` ghost layers of `field` across all tile faces, in both
 /// directions of every dimension, with per-(dimension, direction)
 /// aggregation: each rank sends at most one message per neighbor per
 /// direction. Ghosts at the physical domain boundary are left untouched.
+///
+/// Builds a fresh [`HaloPlan`] per call; timestepping drivers should hold
+/// one in a [`crate::compiled::SolverPlan`] and reuse it via
+/// [`exchange_halos_planned`].
 pub fn exchange_halos<C: Communicator>(
     comm: &mut C,
     store: &mut RankStore,
@@ -680,72 +471,69 @@ pub fn exchange_halos<C: Communicator>(
     tag_base: Tag,
 ) {
     let rank = comm.rank();
-    let d = mp.dims();
-    for dim in 0..d {
-        if mp.gammas()[dim] < 2 {
-            continue;
+    let plan = HaloPlan::build(store, mp.gammas(), width, |dm, st| {
+        mp.neighbor_rank(rank, dm, st)
+    });
+    exchange_halos_planned(comm, store, field, tag_base, &plan);
+}
+
+/// [`exchange_halos`] against a precomputed [`HaloPlan`]: the per-call tile
+/// enumeration and buffer sizing are gone, faces are packed into a pooled
+/// buffer ([`Communicator::take_send_buffer`]), and consumed messages are
+/// recycled. The wire schedule (tags, message count, payload bytes) is
+/// identical to the unplanned path.
+pub fn exchange_halos_planned<C: Communicator>(
+    comm: &mut C,
+    store: &mut RankStore,
+    field: usize,
+    tag_base: Tag,
+    plan: &HaloPlan,
+) {
+    let rank = comm.rank();
+    let width = plan.width();
+    for dp in plan.dirs() {
+        let tag = tag_base + dp.tag_off;
+
+        let t_pack = comm.tracer().is_some().then(Instant::now);
+        let mut payload = comm.take_send_buffer();
+        payload.clear();
+        for &t in &dp.send_tiles {
+            store.tiles[t]
+                .field(field)
+                .pack_face_into(dp.dim, dp.side_send, width, &mut payload);
         }
-        for (dir_idx, step) in [(0u64, 1i64), (1, -1)] {
-            let tag = tag_base + (dim as u64) * 2 + dir_idx;
-            let to = mp.neighbor_rank(rank, dim, step);
-            // Faces to send: tiles having an interior neighbor `step` away.
-            let side_send = if step > 0 { Side::High } else { Side::Low };
-            let side_recv = side_send.opposite();
-            let sendable: Vec<usize> = store
-                .tiles
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| {
-                    let c = t.coord[dim] as i64 + step;
-                    c >= 0 && c < mp.gammas()[dim] as i64
-                })
-                .map(|(i, _)| i)
-                .collect();
-            let receivable: Vec<usize> = store
-                .tiles
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| {
-                    let c = t.coord[dim] as i64 - step;
-                    c >= 0 && c < mp.gammas()[dim] as i64
-                })
-                .map(|(i, _)| i)
-                .collect();
-
-            let t_pack = comm.tracer().is_some().then(Instant::now);
-            let mut payload = Vec::new();
-            for &t in &sendable {
-                payload.extend(store.tiles[t].field(field).pack_face(dim, side_send, width));
-            }
-            if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
-                tr.pack(t0);
-            }
-
-            let received: Vec<f64> = if to == rank {
-                payload
-            } else {
-                comm.send(to, tag, payload);
-                let from = mp.neighbor_rank(rank, dim, -step);
-                comm.recv(from, tag)
-            };
-
-            let t_unpack = comm.tracer().is_some().then(Instant::now);
-            let mut cursor = 0usize;
-            for &t in &receivable {
-                let n = store.tiles[t].field(field).face_len(dim, width);
-                store.tiles[t].field_mut(field).unpack_ghost(
-                    dim,
-                    side_recv,
-                    width,
-                    &received[cursor..cursor + n],
-                );
-                cursor += n;
-            }
-            assert_eq!(cursor, received.len(), "halo message not fully consumed");
-            if let (Some(t0), Some(tr)) = (t_unpack, comm.tracer()) {
-                tr.unpack(t0);
-            }
+        debug_assert_eq!(payload.len(), dp.send_len, "halo plan stale for store");
+        if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
+            tr.pack(t0);
         }
+
+        let received: Vec<f64> = if dp.to == rank {
+            payload
+        } else {
+            comm.send(dp.to, tag, payload);
+            comm.recv(dp.from, tag)
+        };
+        assert_eq!(
+            received.len(),
+            dp.recv_len,
+            "halo message not fully consumed"
+        );
+
+        let t_unpack = comm.tracer().is_some().then(Instant::now);
+        let mut cursor = 0usize;
+        for (&t, &n) in dp.recv_tiles.iter().zip(&dp.recv_lens) {
+            store.tiles[t].field_mut(field).unpack_ghost(
+                dp.dim,
+                dp.side_recv,
+                width,
+                &received[cursor..cursor + n],
+            );
+            cursor += n;
+        }
+        if let (Some(t0), Some(tr)) = (t_unpack, comm.tracer()) {
+            tr.unpack(t0);
+        }
+        comm.recycle(received);
     }
 }
 

@@ -10,6 +10,10 @@
 //!   tridiagonal solve into two directional sweeps;
 //! * [`executor`] — the functional multipartitioned sweep executor (phase
 //!   loop, aggregated carry messages, halo exchange);
+//! * [`compiled`] — build-once / execute-many sweep plans:
+//!   [`compiled::CompiledSweep`], the per-`(dim, direction)` cache
+//!   [`compiled::SweepEngine`], and the driver-level
+//!   [`compiled::SolverPlan`];
 //! * [`pipeline`] — the pipelined execution mode: per-phase carries split
 //!   into eagerly sent sub-messages that overlap with block computation;
 //! * [`baselines`] — the two classical alternatives the paper positions
@@ -24,6 +28,7 @@
 pub mod baselines;
 pub mod batch;
 pub mod block;
+pub mod compiled;
 pub mod executor;
 pub mod penta;
 pub mod pipeline;
@@ -39,8 +44,10 @@ mod tests_trace;
 
 pub use batch::BatchedKernel;
 pub use block::{block_thomas_solve, BlockCoeffs, BlockTriBackwardKernel, BlockTriForwardKernel};
+pub use compiled::{CompiledSweep, PlanKey, SolverPlan, SweepEngine};
 pub use executor::{
-    allocate_rank_store, exchange_halos, multipart_sweep, multipart_sweep_opts, SweepOptions,
+    allocate_rank_store, exchange_halos, exchange_halos_planned, multipart_sweep,
+    multipart_sweep_opts, SweepOptions,
 };
 pub use penta::{penta_solve, PentaBackwardKernel, PentaForwardKernel};
 pub use recurrence::{

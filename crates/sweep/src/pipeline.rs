@@ -7,15 +7,15 @@
 //! term `(γ_i − 1)(K2 + K3(p)·η/η_i)` sits on the critical path with zero
 //! overlap. This module trades message granularity against that
 //! serialization: each phase's block jobs are split into
-//! [`SweepOptions::pipeline_chunks`] contiguous **chunks**, and a chunk's
+//! [`crate::executor::SweepOptions::pipeline_chunks`] contiguous **chunks**, and a chunk's
 //! carry sub-message is sent the moment its jobs finish — while the
 //! remaining chunks are still computing, and while the *downstream* rank
 //! can already start on the slab lines the early sub-messages cover.
 //!
 //! **Chunking rule.** A phase's jobs (identical to the aggregated mode's,
-//! carved by the executor's internal `PhaseScratch`) are split into
-//! `k_eff = min(pipeline_chunks, njobs)` chunks; chunk `j` holds the job
-//! range `[j·njobs/k_eff, (j+1)·njobs/k_eff)`. Because jobs cover the
+//! carved at plan-build time by [`crate::compiled::CompiledSweep`]) are
+//! split into `k_eff = min(pipeline_chunks, njobs)` chunks; chunk `j`
+//! holds the job range `[j·njobs/k_eff, (j+1)·njobs/k_eff)`. Because jobs cover the
 //! phase's carry stream contiguously and in order, chunk `j`'s carries are
 //! the contiguous element span from its first job's `carry_off` to its
 //! last job's end — the concatenation of the sub-messages is byte-for-byte
@@ -34,181 +34,25 @@
 //! **Tag layout.** Sub-messages reuse the phase tags of the aggregated
 //! schedule (`tag_base + phase + 1` on the way out, `tag_base + phase`
 //! on the way in): per-`(sender, receiver, tag)` FIFO delivery is part of
-//! the [`Communicator`] contract, so chunk order needs no extra tag bits,
+//! the [`mp_runtime::comm::Communicator`] contract, so chunk order needs no extra tag bits,
 //! and eager arrivals for the *next* phase live under the next phase's
-//! tag, where [`Communicator::try_recv`] can drain them without touching
-//! the current phase's stream.
+//! tag, where [`mp_runtime::comm::Communicator::try_recv`] can drain them without touching
+//! the current phase's stream. The drain is bounded by the next phase's
+//! exact chunk count (known from the compiled plan): solvers re-execute
+//! the same plan every timestep on the same tags, so an over-eager drain
+//! would swallow the *next sweep's* chunks a sweep early.
 //!
 //! **Copy-free carry relay.** The aggregated mode copies each incoming
 //! message wholesale into a fresh outgoing buffer before evolving it. Here
 //! a chunk's buffer is *relayed by ownership*: received (or swapped in via
-//! [`Communicator::recv_into`]), evolved in place by the chunk's jobs, and
-//! sent onward by move — eliminating one full carry-stream copy per phase.
-
-use crate::executor::{make_workers, run_jobs, PhaseScratch, RawParts, SweepOptions};
-use crate::recurrence::LineSweepKernel;
-use mp_core::multipart::{Direction, Multipartitioning};
-use mp_grid::RankStore;
-use mp_runtime::comm::{Communicator, Tag};
-use std::collections::VecDeque;
-use std::time::Instant;
-
-/// The pipelined twin of [`crate::executor::multipart_sweep_opts`];
-/// dispatched to when `opts.pipeline_chunks > 1`. Results are bitwise
-/// identical to the aggregated mode; the wire carries the same bytes in
-/// the same order, split into `min(pipeline_chunks, njobs)` sub-messages
-/// per phase boundary.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn multipart_sweep_pipelined<C: Communicator, K: LineSweepKernel>(
-    comm: &mut C,
-    store: &mut RankStore,
-    mp: &Multipartitioning,
-    dim: usize,
-    dir: Direction,
-    kernel: &K,
-    tag_base: Tag,
-    opts: &SweepOptions,
-) {
-    let rank = comm.rank();
-    let gamma = mp.gammas()[dim];
-    let step = dir.step();
-    let slab_order: Vec<u64> = match dir {
-        Direction::Forward => (0..gamma).collect(),
-        Direction::Backward => (0..gamma).rev().collect(),
-    };
-    let clen = kernel.carry_len();
-    let nfields = kernel.fields().len();
-    let bw = opts.block_width.max(1);
-    let kmax = opts.pipeline_chunks.max(1);
-    let upstream = mp.neighbor_rank(rank, dim, -step);
-    let downstream = mp.neighbor_rank(rank, dim, step);
-
-    let mut scratch = PhaseScratch::new();
-    let mut workers = make_workers(opts.threads, nfields);
-
-    // Double-buffered carry store: sub-messages for the *current* phase
-    // are popped from `cur` (front = oldest, matching FIFO chunk order);
-    // eager arrivals for the *next* phase are drained into `next` so they
-    // can never be confused with the current phase's remainder.
-    let mut cur: VecDeque<Vec<f64>> = VecDeque::new();
-    let mut next: VecDeque<Vec<f64>> = VecDeque::new();
-    // Self-neighbor hand-off (upstream == rank == downstream): finished
-    // chunks queue locally instead of crossing the network.
-    let mut local_cur: VecDeque<Vec<f64>> = VecDeque::new();
-    let mut local_next: VecDeque<Vec<f64>> = VecDeque::new();
-
-    for (phase, &slab) in slab_order.iter().enumerate() {
-        scratch.prepare_slab(store, mp, rank, dim, slab, kernel, bw);
-        let njobs = scratch.jobs.len();
-        let k_eff = kmax.min(njobs).max(1);
-        let last_phase = phase + 1 == slab_order.len();
-        let tag_in = tag_base + phase as u64;
-        let tag_out = tag_base + phase as u64 + 1;
-
-        // Rotate the double buffer: what was prefetched for "next" during
-        // the previous phase is this phase's incoming stream.
-        std::mem::swap(&mut cur, &mut next);
-        std::mem::swap(&mut local_cur, &mut local_next);
-        debug_assert!(next.is_empty() && local_next.is_empty());
-
-        let shared = scratch.shared(kernel, mp, dim, dir);
-
-        for j in 0..k_eff {
-            // Chunk j's job range and carry element span. Jobs cover the
-            // carry stream contiguously, so the span runs from the first
-            // job's offset to the last job's end.
-            let jlo = j * njobs / k_eff;
-            let jhi = ((j + 1) * njobs / k_eff).max(jlo);
-            let (elo, ehi) = if jlo == jhi {
-                (0, 0) // empty slab: one empty chunk
-            } else {
-                let last = &shared.jobs[jhi - 1];
-                (
-                    shared.jobs[jlo].carry_off,
-                    last.carry_off + last.nlines * clen,
-                )
-            };
-
-            // 1. Obtain the chunk's carry buffer: initial carries at the
-            //    domain boundary, the local queue for self-neighbor
-            //    schedules, a prefetched sub-message, or a blocking recv.
-            let mut cbuf: Vec<f64> = if phase == 0 {
-                let mut b = comm.take_send_buffer();
-                b.clear();
-                b.resize(ehi - elo, 0.0);
-                if clen > 0 {
-                    let init = kernel.initial_carry(dir);
-                    assert_eq!(init.len(), clen, "initial carry length mismatch");
-                    for c in b.chunks_exact_mut(clen) {
-                        c.copy_from_slice(&init);
-                    }
-                }
-                b
-            } else if upstream == rank {
-                local_cur
-                    .pop_front()
-                    .expect("self-neighbor chunk hand-off out of sync")
-            } else if let Some(b) = cur.pop_front() {
-                b
-            } else {
-                comm.recv(upstream, tag_in)
-            };
-            assert_eq!(
-                cbuf.len(),
-                ehi - elo,
-                "carry sub-message length mismatch (phase {phase}, chunk {j} of {k_eff}): \
-                 ranks must run the same block_width and pipeline_chunks"
-            );
-
-            // 2. Evolve the chunk's carries in place through its jobs.
-            // (One compute span per chunk — in a trace the per-chunk spans
-            // interleave with comm-wait, which is the overlap this mode
-            // exists to create.)
-            let t_run = comm.tracer().is_some().then(Instant::now);
-            run_jobs(
-                &shared,
-                jlo..jhi,
-                RawParts::of(&mut cbuf),
-                elo,
-                &mut workers,
-            );
-            if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
-                tr.compute(
-                    t0,
-                    phase as u64,
-                    (jhi - jlo) as u64,
-                    ((ehi - elo) / clen.max(1)) as u64,
-                );
-            }
-
-            // 3. Eagerly ship the finished chunk downstream — by move, no
-            //    copy: the received buffer *becomes* the outgoing one.
-            if last_phase {
-                comm.recycle(cbuf);
-            } else if downstream == rank {
-                local_next.push_back(cbuf);
-            } else {
-                comm.send(downstream, tag_out, cbuf);
-            }
-
-            // 4. Opportunistically drain next-phase arrivals into the
-            //    store while this phase still has chunks to compute.
-            if !last_phase && upstream != rank {
-                while next.len() < kmax {
-                    match comm.try_recv(upstream, tag_out) {
-                        Some(m) => next.push_back(m),
-                        None => break,
-                    }
-                }
-            }
-        }
-        assert!(
-            cur.is_empty() && local_cur.is_empty(),
-            "phase {phase}: more sub-messages arrived than chunks exist \
-             (ranks disagree on pipeline_chunks?)"
-        );
-    }
-}
+//! [`mp_runtime::comm::Communicator::recv_into`]), evolved in place by the
+//! chunk's jobs, and sent onward by move — eliminating one full
+//! carry-stream copy per phase.
+//!
+//! The phase loop itself lives in [`crate::compiled::CompiledSweep`]
+//! (`execute` with `pipeline_chunks > 1`), where the chunk spans are
+//! precomputed at plan-build time; this module documents the protocol and
+//! holds its conformance tests.
 
 #[cfg(test)]
 mod tests {
@@ -435,20 +279,27 @@ mod tests {
 
     #[test]
     fn env_knob_invalid_values_fall_back() {
-        // MP_SWEEP_PIPELINE parsing mirrors MP_SWEEP_THREADS: garbage and
-        // zero fall back to 1 instead of panicking. (Set-and-unset in one
+        // SweepOptions::from_env parsing: garbage and zero fall back to
+        // each knob's default instead of panicking. (Set-and-unset in one
         // test to avoid env races across parallel tests.)
         for bad in ["", "banana", "0", "-3", "1.5"] {
             std::env::set_var("MP_SWEEP_PIPELINE", bad);
             std::env::set_var("MP_SWEEP_THREADS", bad);
-            let o = SweepOptions::default();
+            std::env::set_var("MP_SWEEP_BLOCK", bad);
+            let o = SweepOptions::from_env();
             assert_eq!(o.pipeline_chunks, 1, "value {bad:?}");
             assert_eq!(o.threads, 1, "value {bad:?}");
+            assert_eq!(o.block_width, 32, "value {bad:?}");
         }
         std::env::set_var("MP_SWEEP_PIPELINE", "4");
-        assert_eq!(SweepOptions::default().pipeline_chunks, 4);
+        std::env::set_var("MP_SWEEP_BLOCK", "16");
+        let o = SweepOptions::from_env();
+        assert_eq!(o.pipeline_chunks, 4);
+        assert_eq!(o.block_width, 16);
         std::env::remove_var("MP_SWEEP_PIPELINE");
         std::env::remove_var("MP_SWEEP_THREADS");
-        assert_eq!(SweepOptions::default().pipeline_chunks, 1);
+        std::env::remove_var("MP_SWEEP_BLOCK");
+        let o = SweepOptions::default(); // Default == from_env
+        assert_eq!((o.block_width, o.threads, o.pipeline_chunks), (32, 1, 1));
     }
 }

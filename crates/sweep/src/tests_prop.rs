@@ -541,6 +541,183 @@ fn random_pipelined_configs_match_blocked_executor() {
 }
 
 #[test]
+fn random_compiled_plans_match_per_call_path() {
+    // The compiled-plan property: across randomized
+    // (p, γ, η, block_width, threads, pipeline_chunks), executing through a
+    // cached `SweepEngine` — 10 sweeps cycling every (dim, direction) — is
+    // bitwise identical to 10 fresh `multipart_sweep_opts` calls, sends
+    // exactly the same message and element counts, and compiles each
+    // distinct (dim, direction) exactly once.
+    use crate::compiled::SweepEngine;
+    use crate::executor::{allocate_rank_store, multipart_sweep_opts, SweepOptions};
+    use crate::recurrence::PrefixSumKernel;
+    use mp_core::multipart::Multipartitioning;
+    use mp_core::partition::Partitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::run_threaded;
+
+    cases(0x7509, 8, |rng| {
+        let (p, gammas): (u64, Vec<u64>) = match rng.usize_in(0, 5) {
+            0 => (2, vec![2, 2, 1]),
+            1 => (4, vec![2, 2, 2]),
+            2 => (4, vec![4, 2, 2]),
+            3 => (2, vec![4, 2, 2]),
+            4 => (3, vec![3, 3, 1]),
+            _ => (6, vec![6, 3, 2]),
+        };
+        let part = Partitioning::new(gammas);
+        assert!(part.is_valid(p), "test premise");
+        let mp = Multipartitioning::from_partitioning(p, part);
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| {
+                let g = g as usize;
+                g * rng.usize_in(2, 4) + rng.usize_in(0, g.max(2) - 1)
+            })
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let opts = SweepOptions::new(rng.usize_in(1, 32), rng.usize_in(1, 3))
+            .with_pipeline_chunks(rng.usize_in(1, 4));
+        let init = |g: &[usize]| ((g[0] * 5 + g[1] * 3 + g[2] * 7) % 13) as f64 - 6.0;
+        let fields = [FieldDef::new("u", 0)];
+        let k = PrefixSumKernel::new(0);
+        // 10 sweeps cycling all six (dim, direction) pairs. Tags are keyed
+        // to (dim, direction) — the solver pattern — so revisiting a pair is
+        // a cache hit and the engine compiles each pair exactly once.
+        let schedule: Vec<(usize, Direction, u64)> = (0..10)
+            .map(|s| {
+                let dim = s % 3;
+                let (dir, d) = if (s / 3) % 2 == 0 {
+                    (Direction::Forward, 0)
+                } else {
+                    (Direction::Backward, 1)
+                };
+                (dim, dir, (dim as u64 * 2 + d) * 1_000)
+            })
+            .collect();
+
+        let fresh = run_threaded(p, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, init);
+            for &(dim, dir, tag) in &schedule {
+                multipart_sweep_opts(comm, &mut store, &mp, dim, dir, &k, tag, &opts);
+            }
+            (store, comm.sent_messages, comm.sent_elements)
+        });
+        let engine = run_threaded(p, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, init);
+            let mut eng = SweepEngine::new(opts.clone());
+            for &(dim, dir, tag) in &schedule {
+                eng.sweep(comm, &mut store, &mp, dim, dir, &k, tag);
+            }
+            (store, comm.sent_messages, comm.sent_elements, eng.builds())
+        });
+
+        let mut want = ArrayD::zeros(&eta);
+        let mut got = ArrayD::zeros(&eta);
+        let (mut fm, mut fe, mut em, mut ee) = (0u64, 0u64, 0u64, 0u64);
+        for ((store_f, m_f, e_f), (store_e, m_e, e_e, builds)) in fresh.iter().zip(engine.iter()) {
+            store_f.gather_into(0, &mut want);
+            store_e.gather_into(0, &mut got);
+            fm += m_f;
+            fe += e_f;
+            em += m_e;
+            ee += e_e;
+            assert_eq!(*builds, 6, "one compile per (dim, direction) pair");
+        }
+        assert_eq!(
+            got.max_abs_diff(&want),
+            0.0,
+            "p={p} eta={eta:?} {opts:?}: engine path not bitwise equal"
+        );
+        assert_eq!((em, ee), (fm, fe), "message schedule changed: {opts:?}");
+    });
+}
+
+#[test]
+fn random_engine_reuse_sends_identical_counts() {
+    // Satellite invariant: a cached `SweepEngine` reused for 10 identical
+    // sweeps sends exactly the same message and element counts as 10 fresh
+    // per-call executions, and builds its plan exactly once.
+    use crate::compiled::SweepEngine;
+    use crate::executor::{allocate_rank_store, multipart_sweep_opts, SweepOptions};
+    use crate::recurrence::FirstOrderKernel;
+    use mp_core::cost::CostModel;
+    use mp_core::multipart::Multipartitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::run_threaded;
+
+    cases(0x7509, 6, |rng| {
+        let p = rng.u64_in(2, 6);
+        let dim = rng.usize_in(0, 2);
+        let dir = if rng.bool() {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        };
+        let a = rng.f64_in(-0.9, 0.9);
+        let k = FirstOrderKernel::new(0, a);
+        let mp = Multipartitioning::optimal(p, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| g as usize + rng.usize_in(0, 7))
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let opts = SweepOptions::new(rng.usize_in(1, 16), rng.usize_in(1, 3))
+            .with_pipeline_chunks(rng.usize_in(1, 3));
+        let init = |g: &[usize]| ((g[0] * 5 + g[1] * 3 + g[2] * 7) % 11) as f64 - 5.0;
+        let fields = [FieldDef::new("u", 0)];
+
+        let fresh = run_threaded(p, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, init);
+            for _ in 0..10 {
+                multipart_sweep_opts(comm, &mut store, &mp, dim, dir, &k, 55, &opts);
+            }
+            (store, comm.sent_messages, comm.sent_elements)
+        });
+        let engine = run_threaded(p, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, init);
+            let mut eng = SweepEngine::new(opts.clone());
+            for _ in 0..10 {
+                eng.sweep(comm, &mut store, &mp, dim, dir, &k, 55);
+            }
+            (store, comm.sent_messages, comm.sent_elements, eng.builds())
+        });
+
+        let mut want = ArrayD::zeros(&eta);
+        let mut got = ArrayD::zeros(&eta);
+        for ((store_f, fm, fe), (store_e, em, ee, builds)) in fresh.iter().zip(engine.iter()) {
+            store_f.gather_into(0, &mut want);
+            store_e.gather_into(0, &mut got);
+            assert_eq!(
+                (em, ee),
+                (fm, fe),
+                "p={p} eta={eta:?} dim={dim} {dir:?} {opts:?}: counters diverge"
+            );
+            assert_eq!(*builds, 1, "identical sweeps must compile exactly once");
+        }
+        assert_eq!(
+            got.max_abs_diff(&want),
+            0.0,
+            "engine result not bitwise equal"
+        );
+    });
+}
+
+#[test]
 fn prefix_sum_any_split_bitwise() {
     cases(0x7503, 64, |rng| {
         use crate::recurrence::PrefixSumKernel;

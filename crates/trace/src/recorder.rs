@@ -280,6 +280,13 @@ impl SweepRecorder {
         self.push_span(SpanKind::Stage { name: name.into() }, start, Instant::now());
     }
 
+    /// Record a plan-build span ending now (a [`SpanKind::Stage`] named
+    /// `"plan_build"`), keeping one-time compilation cost separate from the
+    /// per-timestep execute spans so amortization is visible in the trace.
+    pub fn plan_build(&mut self, start: Instant) {
+        self.stage(start, "plan_build");
+    }
+
     /// Record a zero-duration [`SpanKind::Send`] event now, counting one
     /// message of `elements` elements towards `peer`.
     pub fn record_send(&mut self, peer: u64, elements: u64) {
