@@ -461,8 +461,10 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
             sp.run(comm, iters.min(1));
             let builds_first = sp.plan.builds();
             let build_ns = sp.plan.build_ns();
+            let pool_spawned_first = sp.pool_threads_spawned();
             sp.run(comm, iters.saturating_sub(1));
             let rebuilds = sp.plan.builds() - builds_first;
+            let pool_grew = sp.pool_threads_spawned() - pool_spawned_first;
             let trace = comm
                 .trace
                 .take()
@@ -475,6 +477,7 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
                 builds_first,
                 build_ns,
                 rebuilds,
+                (pool_spawned_first, pool_grew, sp.pool_dispatches()),
             )
         })
     };
@@ -484,7 +487,9 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     let mut traces = Vec::with_capacity(results.len());
     let mut plan_builds = 0u64;
     let mut plan_build_ns = 0u64;
-    for (trace, msgs, elems, builds_first, build_ns, rebuilds) in results {
+    let mut pool_workers = 0usize;
+    let mut pool_dispatches = 0u64;
+    for (trace, msgs, elems, builds_first, build_ns, rebuilds, pool) in results {
         if trace.stats.sent_messages() != msgs || trace.stats.sent_elements() != elems {
             return err(format!(
                 "telemetry mismatch on rank {}: recorder saw {} msgs / {} elements, \
@@ -503,8 +508,20 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
                 trace.rank
             ));
         }
+        // Like rebuilds, steady-state thread spawns are a contract: the
+        // persistent pool is fully populated during timestep 1.
+        let (spawned_first, grew, dispatches) = pool;
+        if grew != 0 {
+            return err(format!(
+                "rank {} spawned {grew} worker thread(s) after timestep 1 \
+                 ({spawned_first} in the pool after the first)",
+                trace.rank
+            ));
+        }
         plan_builds = plan_builds.max(builds_first);
         plan_build_ns = plan_build_ns.max(build_ns);
+        pool_workers = pool_workers.max(spawned_first);
+        pool_dispatches = pool_dispatches.max(dispatches);
         traces.push(trace);
     }
     let nranks = traces.len();
@@ -552,6 +569,13 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
          amortized plan-build cost: {:.3} ms/iteration\n",
         build_ms / (iters.max(1) as f64)
     ));
+    if pool_workers > 0 {
+        rep.push_str(&format!(
+            "worker pool: {pool_workers} persistent worker(s)/rank, \
+             {pool_dispatches} phase dispatches (busiest rank), \
+             0 thread spawns after timestep 1 ✓\n"
+        ));
+    }
 
     // §3.1 cost model: predicted per-sweep times and the objective the
     // partition search minimized, next to what this run measured.
@@ -748,6 +772,36 @@ mod tests {
         assert!(tf
             .meta
             .contains(&("pipeline_chunks".to_string(), "2".to_string())));
+    }
+
+    #[test]
+    fn profile_pooled_threads_report_zero_steady_state_spawns() {
+        let dir = std::env::temp_dir().join("mpart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile_pooled.json");
+        let out = runv(&[
+            "profile",
+            "4",
+            "--eta",
+            "8x8x8",
+            "--iters",
+            "3",
+            "--threads",
+            "2",
+            "--chunks",
+            "2",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        // cmd_profile errors out if any rank spawned a worker after
+        // timestep 1, so reaching the report at all asserts the pool is
+        // persistent; the report then shows the pool accounting.
+        assert!(
+            out.contains("worker pool: 1 persistent worker(s)/rank"),
+            "{out}"
+        );
+        assert!(out.contains("0 thread spawns after timestep 1"), "{out}");
     }
 
     #[test]

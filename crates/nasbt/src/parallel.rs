@@ -218,6 +218,18 @@ impl ParallelBt {
         }
     }
 
+    /// Worker threads the plan's persistent pool holds (0 single-threaded).
+    /// Flat across steady-state timesteps — the zero-spawn assertion the
+    /// profile smoke checks.
+    pub fn pool_threads_spawned(&self) -> usize {
+        self.plan.pool_threads_spawned()
+    }
+
+    /// Phases dispatched through the persistent pool so far.
+    pub fn pool_dispatches(&self) -> u64 {
+        self.plan.pool_dispatches()
+    }
+
     /// Global L2 norm over all components (collective).
     pub fn norm<C: Communicator>(&mut self, comm: &mut C) -> f64 {
         let mut local = 0.0;

@@ -260,6 +260,18 @@ impl ParallelSp {
         }
     }
 
+    /// Worker threads the plan's persistent pool holds (0 single-threaded).
+    /// Flat across steady-state timesteps — the zero-spawn assertion the
+    /// profile smoke checks.
+    pub fn pool_threads_spawned(&self) -> usize {
+        self.plan.pool_threads_spawned()
+    }
+
+    /// Phases dispatched through the persistent pool so far.
+    pub fn pool_dispatches(&self) -> u64 {
+        self.plan.pool_dispatches()
+    }
+
     /// Run `iterations`, recording the global solution norm after each one
     /// (one collective per iteration, as real SP's verification does).
     pub fn run_with_norms<C: Communicator>(&mut self, comm: &mut C, iterations: usize) -> Vec<f64> {

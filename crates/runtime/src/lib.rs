@@ -3,9 +3,10 @@
 //! Two interchangeable backends behind one mental model (MPI-style tagged
 //! point-to-point messages between `p` ranks):
 //!
-//! * [`threaded`] — real execution, one OS thread per rank over
-//!   `std::sync::mpsc` channels; proves functional correctness of the
-//!   sweep engines.
+//! * [`threaded`] — real execution, one OS thread per rank over lock-free
+//!   per-(sender, receiver) SPSC rings (with the original `std::sync::mpsc`
+//!   channels kept as an A/B baseline, see [`threaded::Transport`]); proves
+//!   functional correctness of the sweep engines.
 //! * [`sim`] — a discrete-event simulator that charges virtual time for the
 //!   exact same schedules, using the Hockney-style [`machine::MachineModel`];
 //!   produces the performance curves (the evaluation in the paper ran on an
@@ -26,10 +27,11 @@
 
 pub mod comm;
 pub mod machine;
+mod ring;
 pub mod sim;
 pub mod threaded;
 
 pub use comm::{Communicator, SerialComm, Tag};
 pub use machine::MachineModel;
 pub use sim::{RankTimes, SimEvent, SimNet, SimStats};
-pub use threaded::{run_threaded, ThreadedComm};
+pub use threaded::{run_threaded, run_threaded_with, ThreadedComm, Transport};

@@ -1,18 +1,35 @@
-//! In-process threaded backend: one OS thread per rank, `std::sync::mpsc`
-//! channels for transport.
+//! In-process threaded backend: one OS thread per rank.
 //!
 //! This backend is for *functional* execution — proving that the
 //! multipartitioned sweeps compute exactly what a serial run computes. (On
 //! the wall-clock side a single machine is not 81 CPUs; performance curves
 //! come from the discrete-event [`crate::sim`] backend instead.)
+//!
+//! Two transports carry the messages ([`Transport`]):
+//!
+//! * [`Transport::Ring`] (the default) — one lock-free SPSC ring per
+//!   `(sender, receiver)` pair (the `ring` module): a send publishes the
+//!   payload `Vec` into a pre-allocated slot (no lock, no copy, no
+//!   allocation), and a blocking receive spins for [`ThreadedComm`]'s
+//!   `MP_COMM_SPIN` budget before parking on a doorbell the sender rings.
+//! * [`Transport::Mpsc`] — the original global `std::sync::mpsc` channels,
+//!   kept as the reference implementation and A/B baseline (the
+//!   `transport` bench group and the schedule-identity property tests
+//!   compare the two).
+//!
+//! Both transports implement the same [`Communicator`] contract (FIFO per
+//! `(sender, receiver, tag)`), so every schedule is byte-identical across
+//! them.
 
 use crate::comm::{Communicator, Tag};
+use crate::ring::{RingNet, SpscRing};
 use mp_trace::SweepRecorder;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::Instant;
 
-/// A tagged message in flight.
+/// A tagged message in flight (mpsc transport).
 #[derive(Debug)]
 struct Envelope {
     from: u64,
@@ -25,21 +42,92 @@ struct Envelope {
 /// pool captures all the reuse without pinning memory after a burst.
 const RECYCLE_POOL_CAP: usize = 8;
 
+/// Ring-pops a blocked receiver performs before parking, unless
+/// `MP_COMM_SPIN` overrides it.
+const DEFAULT_SPIN: u32 = 200;
+
+/// `MP_COMM_SPIN`: ring-pop attempts a blocked receive busy-polls before
+/// parking. `0` parks immediately; malformed values fall back to the
+/// default (env knobs must never abort a run).
+fn spin_from_env() -> u32 {
+    std::env::var("MP_COMM_SPIN")
+        .ok()
+        .and_then(|s| s.trim().parse::<u32>().ok())
+        .unwrap_or(DEFAULT_SPIN)
+}
+
+/// Which wire [`run_threaded_with`] moves messages over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Per-(sender, receiver) lock-free SPSC rings with spin-then-park
+    /// blocking receives (the default; see the `ring` module).
+    Ring,
+    /// Global `std::sync::mpsc` channels — the original transport, kept as
+    /// a reference implementation and A/B measurement baseline.
+    Mpsc,
+}
+
+impl Transport {
+    /// `MP_COMM_TRANSPORT=mpsc` selects [`Transport::Mpsc`]; anything else
+    /// (unset, empty, or malformed) selects the default [`Transport::Ring`].
+    pub fn from_env() -> Self {
+        match std::env::var("MP_COMM_TRANSPORT") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("mpsc") => Transport::Mpsc,
+            _ => Transport::Ring,
+        }
+    }
+}
+
+/// The per-rank endpoint's view of the transport.
+enum Channel {
+    Mpsc {
+        senders: Vec<Sender<Envelope>>,
+        inbox: Receiver<Envelope>,
+    },
+    Ring {
+        net: Arc<RingNet>,
+    },
+}
+
+type Stash = HashMap<(u64, Tag), VecDeque<Vec<f64>>>;
+
+/// Drain `ring` until a `tag` message surfaces, stashing mismatched tags
+/// in FIFO order (the sender is fixed per ring, so only tags can differ).
+fn ring_take(ring: &SpscRing, from: u64, tag: Tag, stash: &mut Stash) -> Option<Vec<f64>> {
+    while let Some((t, payload)) = ring.pop() {
+        if t == tag {
+            return Some(payload);
+        }
+        stash.entry((from, t)).or_default().push_back(payload);
+    }
+    None
+}
+
 /// Per-rank endpoint for the threaded backend.
 pub struct ThreadedComm {
     rank: u64,
     size: u64,
-    senders: Vec<Sender<Envelope>>,
-    inbox: Receiver<Envelope>,
+    channel: Channel,
     /// Messages that arrived before anyone asked for them.
-    stash: HashMap<(u64, Tag), VecDeque<Vec<f64>>>,
+    stash: Stash,
     /// Consumed payloads waiting to back a future send
     /// ([`Communicator::take_send_buffer`]).
     pool: Vec<Vec<f64>>,
+    /// Ring-pop attempts a blocking receive makes before parking
+    /// (`MP_COMM_SPIN`; only the ring transport blocks in two stages).
+    spin_limit: u32,
     /// Counters for observability.
     pub sent_messages: u64,
     /// Total elements sent.
     pub sent_elements: u64,
+    /// Times [`Communicator::take_send_buffer`] found the recycle pool
+    /// empty and had to allocate. Zero across a steady-state window means
+    /// the transport path performed zero allocations in that window.
+    pub pool_misses: u64,
+    /// Retry rounds sends spent yielding on a full ring (ring transport
+    /// only; a correctly sized ring never fills, so nonzero values flag an
+    /// unexpected in-flight pile-up rather than an error).
+    pub send_backpressure: u64,
     /// Telemetry recorder; `None` (the default) disables tracing with no
     /// cost beyond one branch per instrumentation site. Install one with
     /// [`SweepRecorder::with_epoch`] (sharing the epoch across ranks) at
@@ -64,13 +152,22 @@ impl Communicator for ThreadedComm {
         if let Some(tr) = self.trace.as_mut() {
             tr.record_send(to, payload.len() as u64);
         }
-        self.senders[to as usize]
-            .send(Envelope {
-                from: self.rank,
+        match &mut self.channel {
+            Channel::Mpsc { senders, .. } => senders[to as usize]
+                .send(Envelope {
+                    from: self.rank,
+                    tag,
+                    payload,
+                })
+                .expect("receiver hung up"),
+            Channel::Ring { net } => net.send(
+                self.rank as usize,
+                to as usize,
                 tag,
                 payload,
-            })
-            .expect("receiver hung up");
+                &mut self.send_backpressure,
+            ),
+        }
     }
 
     fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64> {
@@ -81,22 +178,71 @@ impl Communicator for ThreadedComm {
         }
         // Only a genuine block (stash miss) is worth a comm-wait span;
         // stash hits above return untimed.
-        let t0 = self.trace.is_some().then(Instant::now);
-        loop {
-            let env = self
-                .inbox
-                .recv()
-                .expect("all senders dropped while waiting for a message");
-            if env.from == from && env.tag == tag {
-                if let (Some(t0), Some(tr)) = (t0, self.trace.as_mut()) {
+        let ThreadedComm {
+            rank,
+            channel,
+            stash,
+            spin_limit,
+            trace,
+            ..
+        } = self;
+        let t0 = trace.is_some().then(Instant::now);
+        match channel {
+            Channel::Mpsc { inbox, .. } => loop {
+                let env = inbox
+                    .recv()
+                    .expect("all senders dropped while waiting for a message");
+                if env.from == from && env.tag == tag {
+                    if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
+                        tr.comm_wait(t0, from, tag);
+                    }
+                    return env.payload;
+                }
+                stash
+                    .entry((env.from, env.tag))
+                    .or_default()
+                    .push_back(env.payload);
+            },
+            Channel::Ring { net } => {
+                let ring = net.ring(from as usize, *rank as usize);
+                // Stage 0: already published.
+                if let Some(p) = ring_take(ring, from, tag, stash) {
+                    if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
+                        tr.comm_wait(t0, from, tag);
+                    }
+                    return p;
+                }
+                // Stage 1: spin — cheap pops, no syscall, no yield.
+                for _ in 0..*spin_limit {
+                    std::hint::spin_loop();
+                    if let Some(p) = ring_take(ring, from, tag, stash) {
+                        if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
+                            tr.comm_spin(t0, from, tag);
+                            tr.comm_wait(t0, from, tag);
+                        }
+                        return p;
+                    }
+                }
+                // Stage 2: park until the sender rings the doorbell.
+                let t_park = trace.is_some().then(Instant::now);
+                if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
+                    if *spin_limit > 0 {
+                        tr.comm_spin(t0, from, tag);
+                    }
+                }
+                let mut got = None;
+                net.park_until(*rank as usize, || {
+                    got = ring_take(ring, from, tag, stash);
+                    got.is_some()
+                });
+                if let (Some(tp), Some(tr)) = (t_park, trace.as_mut()) {
+                    tr.comm_park(tp, from, tag);
+                }
+                if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
                     tr.comm_wait(t0, from, tag);
                 }
-                return env.payload;
+                got.expect("park_until returned without a message")
             }
-            self.stash
-                .entry((env.from, env.tag))
-                .or_default()
-                .push_back(env.payload);
         }
     }
 
@@ -106,18 +252,35 @@ impl Communicator for ThreadedComm {
                 return Some(p);
             }
         }
-        // Drain whatever already sits in the channel; stash mismatches so
-        // FIFO order per (from, tag) is preserved for later receives.
-        while let Ok(env) = self.inbox.try_recv() {
-            if env.from == from && env.tag == tag {
-                return Some(env.payload);
+        let ThreadedComm {
+            rank,
+            channel,
+            stash,
+            ..
+        } = self;
+        match channel {
+            Channel::Mpsc { inbox, .. } => {
+                // Drain whatever already sits in the channel; stash
+                // mismatches so FIFO order per (from, tag) is preserved for
+                // later receives.
+                while let Ok(env) = inbox.try_recv() {
+                    if env.from == from && env.tag == tag {
+                        return Some(env.payload);
+                    }
+                    stash
+                        .entry((env.from, env.tag))
+                        .or_default()
+                        .push_back(env.payload);
+                }
+                None
             }
-            self.stash
-                .entry((env.from, env.tag))
-                .or_default()
-                .push_back(env.payload);
+            // One pass over the sender's ring — a nonblocking probe never
+            // spins: callers (the pipelined drain) treat `None` as "not
+            // yet" and go back to useful work or a blocking receive.
+            Channel::Ring { net } => {
+                ring_take(net.ring(from as usize, *rank as usize), from, tag, stash)
+            }
         }
-        None
     }
 
     fn tracer(&mut self) -> Option<&mut SweepRecorder> {
@@ -130,7 +293,10 @@ impl Communicator for ThreadedComm {
                 buf.clear();
                 buf
             }
-            None => Vec::new(),
+            None => {
+                self.pool_misses += 1;
+                Vec::new()
+            }
         }
     }
 
@@ -169,8 +335,85 @@ impl Communicator for ThreadedComm {
     }
 }
 
-/// Run `f` on `p` ranks, each on its own thread, and collect the per-rank
-/// return values (index = rank).
+/// Run `f` on `p` ranks, each on its own thread, over an explicit
+/// [`Transport`], and collect the per-rank return values (index = rank).
+/// [`run_threaded`] is the env-selected convenience wrapper.
+///
+/// # Panics
+/// Propagates any rank's panic.
+pub fn run_threaded_with<R, F>(p: u64, transport: Transport, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync,
+{
+    assert!(p >= 1);
+    let spin_limit = spin_from_env();
+    let channels: Vec<Channel> = match transport {
+        Transport::Mpsc => {
+            let mut senders = Vec::with_capacity(p as usize);
+            let mut receivers = Vec::with_capacity(p as usize);
+            for _ in 0..p {
+                let (s, r) = channel();
+                senders.push(s);
+                receivers.push(r);
+            }
+            receivers
+                .into_iter()
+                .map(|inbox| Channel::Mpsc {
+                    senders: senders.clone(),
+                    inbox,
+                })
+                .collect()
+        }
+        Transport::Ring => {
+            let net = Arc::new(RingNet::new(p as usize));
+            (0..p)
+                .map(|_| Channel::Ring {
+                    net: Arc::clone(&net),
+                })
+                .collect()
+        }
+    };
+    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, channel)| {
+                let f = &f;
+                scope.spawn(move || {
+                    if let Channel::Ring { net } = &channel {
+                        net.register(rank);
+                    }
+                    let mut comm = ThreadedComm {
+                        rank: rank as u64,
+                        size: p,
+                        channel,
+                        stash: HashMap::new(),
+                        pool: Vec::new(),
+                        spin_limit,
+                        sent_messages: 0,
+                        sent_elements: 0,
+                        pool_misses: 0,
+                        send_backpressure: 0,
+                        trace: None,
+                    };
+                    f(&mut comm)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(r) => results[rank] = Some(r),
+                Err(e) => std::panic::resume_unwind(e),
+            }
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+/// Run `f` on `p` ranks over the env-selected transport
+/// ([`Transport::from_env`]; rings unless `MP_COMM_TRANSPORT=mpsc`).
 ///
 /// ```
 /// use mp_runtime::{run_threaded, Communicator};
@@ -193,46 +436,7 @@ where
     R: Send,
     F: Fn(&mut ThreadedComm) -> R + Send + Sync,
 {
-    assert!(p >= 1);
-    let mut senders = Vec::with_capacity(p as usize);
-    let mut receivers = Vec::with_capacity(p as usize);
-    for _ in 0..p {
-        let (s, r) = channel();
-        senders.push(s);
-        receivers.push(r);
-    }
-    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(rank, inbox)| {
-                let senders = senders.clone();
-                let f = &f;
-                scope.spawn(move || {
-                    let mut comm = ThreadedComm {
-                        rank: rank as u64,
-                        size: p,
-                        senders,
-                        inbox,
-                        stash: HashMap::new(),
-                        pool: Vec::new(),
-                        sent_messages: 0,
-                        sent_elements: 0,
-                        trace: None,
-                    };
-                    f(&mut comm)
-                })
-            })
-            .collect();
-        for (rank, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(r) => results[rank] = Some(r),
-                Err(e) => std::panic::resume_unwind(e),
-            }
-        }
-    });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    run_threaded_with(p, Transport::from_env(), f)
 }
 
 #[cfg(test)]
@@ -259,43 +463,66 @@ mod tests {
     }
 
     #[test]
+    fn mpsc_transport_still_works() {
+        // The A/B baseline transport must keep the full contract.
+        let p = 4u64;
+        let sums = run_threaded_with(p, Transport::Mpsc, |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % p;
+            let prev = (me + p - 1) % p;
+            let mut val = me as f64;
+            for hop in 0..p {
+                comm.send(next, hop, vec![val]);
+                val = comm.recv(prev, hop)[0];
+            }
+            comm.barrier();
+            val
+        });
+        assert_eq!(sums, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
     fn out_of_order_tags() {
         // Rank 0 sends tags 2,1,0; rank 1 receives 0,1,2 — stash must hold
         // the early arrivals.
-        let res = run_threaded(2, |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 2, vec![2.0]);
-                comm.send(1, 1, vec![1.0]);
-                comm.send(1, 0, vec![0.0]);
-                0.0
-            } else {
-                let a = comm.recv(0, 0)[0];
-                let b = comm.recv(0, 1)[0];
-                let c = comm.recv(0, 2)[0];
-                a * 100.0 + b * 10.0 + c
-            }
-        });
-        assert_eq!(res[1], 12.0);
+        for transport in [Transport::Ring, Transport::Mpsc] {
+            let res = run_threaded_with(2, transport, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 2, vec![2.0]);
+                    comm.send(1, 1, vec![1.0]);
+                    comm.send(1, 0, vec![0.0]);
+                    0.0
+                } else {
+                    let a = comm.recv(0, 0)[0];
+                    let b = comm.recv(0, 1)[0];
+                    let c = comm.recv(0, 2)[0];
+                    a * 100.0 + b * 10.0 + c
+                }
+            });
+            assert_eq!(res[1], 12.0, "{transport:?}");
+        }
     }
 
     #[test]
     fn fifo_per_tag() {
-        let res = run_threaded(2, |comm| {
-            if comm.rank() == 0 {
-                for k in 0..5 {
-                    comm.send(1, 7, vec![k as f64]);
+        for transport in [Transport::Ring, Transport::Mpsc] {
+            let res = run_threaded_with(2, transport, |comm| {
+                if comm.rank() == 0 {
+                    for k in 0..5 {
+                        comm.send(1, 7, vec![k as f64]);
+                    }
+                    0.0
+                } else {
+                    let mut order = Vec::new();
+                    for _ in 0..5 {
+                        order.push(comm.recv(0, 7)[0]);
+                    }
+                    assert_eq!(order, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+                    1.0
                 }
-                0.0
-            } else {
-                let mut order = Vec::new();
-                for _ in 0..5 {
-                    order.push(comm.recv(0, 7)[0]);
-                }
-                assert_eq!(order, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
-                1.0
-            }
-        });
-        assert_eq!(res[1], 1.0);
+            });
+            assert_eq!(res[1], 1.0, "{transport:?}");
+        }
     }
 
     #[test]
@@ -414,6 +641,8 @@ mod tests {
                 }
                 assert_eq!(comm.sent_messages, total);
                 assert_eq!(comm.sent_elements, 3 * total);
+                // Only the very first take missed the (then empty) pool.
+                assert_eq!(comm.pool_misses, 1);
                 0.0
             } else {
                 for k in 0..4 {
@@ -451,29 +680,31 @@ mod tests {
 
     #[test]
     fn try_recv_stashes_mismatches_in_order() {
-        let res = run_threaded(2, |comm| {
-            if comm.rank() == 0 {
-                comm.send(1, 8, vec![1.0]);
-                comm.send(1, 8, vec![2.0]);
-                comm.send(1, 9, vec![3.0]);
-                0.0
-            } else {
-                // Wait for the tag-9 message via try_recv; the two tag-8
-                // messages arrive first and must be stashed FIFO.
-                let nine = loop {
-                    if let Some(p) = comm.try_recv(0, 9) {
-                        break p;
-                    }
-                    std::thread::yield_now();
-                };
-                assert_eq!(nine, vec![3.0]);
-                assert_eq!(comm.try_recv(0, 8), Some(vec![1.0]));
-                assert_eq!(comm.recv(0, 8), vec![2.0]);
-                assert_eq!(comm.try_recv(0, 8), None);
-                1.0
-            }
-        });
-        assert_eq!(res[1], 1.0);
+        for transport in [Transport::Ring, Transport::Mpsc] {
+            let res = run_threaded_with(2, transport, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 8, vec![1.0]);
+                    comm.send(1, 8, vec![2.0]);
+                    comm.send(1, 9, vec![3.0]);
+                    0.0
+                } else {
+                    // Wait for the tag-9 message via try_recv; the two tag-8
+                    // messages arrive first and must be stashed FIFO.
+                    let nine = loop {
+                        if let Some(p) = comm.try_recv(0, 9) {
+                            break p;
+                        }
+                        std::thread::yield_now();
+                    };
+                    assert_eq!(nine, vec![3.0]);
+                    assert_eq!(comm.try_recv(0, 8), Some(vec![1.0]));
+                    assert_eq!(comm.recv(0, 8), vec![2.0]);
+                    assert_eq!(comm.try_recv(0, 8), None);
+                    1.0
+                }
+            });
+            assert_eq!(res[1], 1.0, "{transport:?}");
+        }
     }
 
     #[test]
@@ -525,6 +756,7 @@ mod tests {
             // capacity.
             let buf = comm.take_send_buffer();
             assert!(buf.is_empty() && buf.capacity() >= 128);
+            assert_eq!(comm.pool_misses, 0, "reserved sizes must not miss");
             0.0
         });
         assert_eq!(res.len(), 1);
@@ -560,6 +792,57 @@ mod tests {
     }
 
     #[test]
+    fn blocked_ring_recv_records_spin_then_park() {
+        // Rank 1 holds its message back long past any spin budget, so rank
+        // 0's blocking receive must go through both stages — and the trace
+        // must show the split: a spin span, a park span, and the enclosing
+        // comm-wait covering the whole blocked interval.
+        let epoch = Instant::now();
+        let res = run_threaded_with(2, Transport::Ring, move |comm| {
+            if comm.rank() == 0 {
+                comm.trace = Some(SweepRecorder::with_epoch(0, epoch));
+                let got = comm.recv(1, 3);
+                assert_eq!(got, vec![7.0]);
+                comm.trace.take().unwrap().stats().clone()
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                comm.send(0, 3, vec![7.0]);
+                mp_trace::SweepStats::default()
+            }
+        });
+        let s = &res[0];
+        assert!(s.comm_wait_ns >= 20_000_000, "wait {} ns", s.comm_wait_ns);
+        assert!(s.comm_park_ns > 0, "receiver never parked");
+        // The split stays inside the enclosing wait (modulo the few ns
+        // between the two clock reads at each stage boundary).
+        assert!(s.comm_park_ns <= s.comm_wait_ns);
+    }
+
+    #[test]
+    fn full_ring_backpressure_is_counted_not_fatal() {
+        // Rank 1 sleeps long enough for rank 0 to fill the 256-slot ring;
+        // the overflow sends must spin (counted) and every message must
+        // still arrive in order.
+        let n = crate::ring::RING_CAP as u64 + 16;
+        let res = run_threaded_with(2, Transport::Ring, move |comm| {
+            if comm.rank() == 0 {
+                for k in 0..n {
+                    comm.send(1, 0, vec![k as f64]);
+                }
+                comm.send_backpressure
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                for k in 0..n {
+                    assert_eq!(comm.recv(0, 0), vec![k as f64]);
+                }
+                comm.send_backpressure
+            }
+        });
+        assert!(res[0] > 0, "overfilling the ring must count backpressure");
+        assert_eq!(res[1], 0);
+    }
+
+    #[test]
     fn no_tracer_by_default() {
         run_threaded(2, |comm| {
             assert!(comm.tracer().is_none());
@@ -584,5 +867,29 @@ mod tests {
         });
         assert_eq!(res[0], (1, 3));
         assert_eq!(res[1], (0, 0));
+    }
+
+    #[test]
+    fn transport_from_env_parses() {
+        // Set-and-unset in one test to avoid env races across parallel
+        // tests (both transports are functionally interchangeable, so a
+        // racing run_threaded stays correct either way).
+        std::env::set_var("MP_COMM_TRANSPORT", "mpsc");
+        assert_eq!(Transport::from_env(), Transport::Mpsc);
+        std::env::set_var("MP_COMM_TRANSPORT", "MPSC");
+        assert_eq!(Transport::from_env(), Transport::Mpsc);
+        std::env::set_var("MP_COMM_TRANSPORT", "banana");
+        assert_eq!(Transport::from_env(), Transport::Ring);
+        std::env::remove_var("MP_COMM_TRANSPORT");
+        assert_eq!(Transport::from_env(), Transport::Ring);
+        // Spin budget: malformed falls back, 0 is a valid "park at once".
+        std::env::set_var("MP_COMM_SPIN", "banana");
+        assert_eq!(spin_from_env(), DEFAULT_SPIN);
+        std::env::set_var("MP_COMM_SPIN", "0");
+        assert_eq!(spin_from_env(), 0);
+        std::env::set_var("MP_COMM_SPIN", "5000");
+        assert_eq!(spin_from_env(), 5000);
+        std::env::remove_var("MP_COMM_SPIN");
+        assert_eq!(spin_from_env(), DEFAULT_SPIN);
     }
 }

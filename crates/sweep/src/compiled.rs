@@ -31,12 +31,14 @@ use crate::executor::{
     exchange_halos_planned, make_workers, BlockJob, FieldMeta, RawParts, SharedPhase, SweepOptions,
     WorkerScratch,
 };
+use crate::pool::WorkerPool;
 use crate::recurrence::LineSweepKernel;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_core::plan::SweepPlan;
 use mp_grid::{HaloPlan, RankStore};
 use mp_runtime::comm::{Communicator, Tag};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// What a [`CompiledSweep`] was built for — compared by [`SweepEngine`] to
@@ -104,6 +106,60 @@ struct PhasePlan {
     total_lines: usize,
     /// Pipelined chunk spans (`pipeline_chunks = 1` → one chunk).
     chunks: Vec<ChunkSpan>,
+    /// Per-worker job spans for the whole phase (aggregated mode),
+    /// width-balanced by line count at build time so steady-state dispatch
+    /// does no span arithmetic and no allocation.
+    wspans: Vec<(usize, usize)>,
+    /// Per-chunk per-worker job spans (pipelined mode), same balancing.
+    chunk_wspans: Vec<Vec<(usize, usize)>>,
+}
+
+/// Split `jobs[lo..hi]` into at most `nworkers` contiguous spans balanced
+/// by **line weight** (`BlockJob::nlines`), not job count. The last job of
+/// a tile is usually narrower than `block_width`, so the old
+/// `wi · njobs / nworkers` split by count could hand one worker a run of
+/// full-width blocks and another a run of remainders — with two tiles per
+/// slab and two workers that was a 2× compute imbalance every phase. Spans
+/// are closed greedily when their cumulative weight crosses the
+/// proportional target (choosing the nearer side of the boundary job),
+/// while always leaving at least one job for each remaining worker.
+fn balanced_spans(jobs: &[BlockJob], lo: usize, hi: usize, nworkers: usize) -> Vec<(usize, usize)> {
+    let njobs = hi.saturating_sub(lo);
+    if njobs == 0 {
+        return Vec::new();
+    }
+    let nw = nworkers.max(1).min(njobs);
+    if nw == 1 {
+        return vec![(lo, hi)];
+    }
+    let total: usize = jobs[lo..hi].iter().map(|j| j.nlines).sum();
+    let mut spans: Vec<(usize, usize)> = Vec::with_capacity(nw);
+    let mut start = lo;
+    let mut cum = 0usize;
+    for j in lo..hi {
+        cum += jobs[j].nlines;
+        if spans.len() + 1 == nw {
+            break; // everything left belongs to the last span
+        }
+        let jobs_left = hi - (j + 1);
+        let workers_left = nw - spans.len() - 1;
+        if jobs_left == 0 {
+            break;
+        }
+        // Proportional target for the spans closed so far plus this one,
+        // scaled by nw to stay in integers: close when the midpoint of
+        // adding the next job crosses it (nearest-boundary rounding).
+        let target = (spans.len() + 1) * total;
+        let next = jobs[j + 1].nlines;
+        let close = jobs_left == workers_left
+            || (jobs_left > workers_left && 2 * cum * nw + next * nw >= 2 * target);
+        if close {
+            spans.push((start, j + 1));
+            start = j + 1;
+        }
+    }
+    spans.push((start, hi));
+    spans
 }
 
 /// A fully compiled directional sweep for one rank: schedule + metadata +
@@ -123,6 +179,12 @@ pub struct CompiledSweep {
     fms: Vec<FieldMeta>,
     /// Per-worker block buffers, reused across phases and executes.
     workers: Vec<WorkerScratch>,
+    /// Persistent worker pool for phase dispatch (`None` = single-threaded
+    /// or pool disabled → spawn-per-phase baseline). Shared across an
+    /// engine's plans via [`CompiledSweep::build_with_pool`].
+    pool: Option<Arc<WorkerPool>>,
+    /// What `opts.pool` was at build time (compared by `matches`).
+    pool_enabled: bool,
     /// Locally recycled message buffers (self-neighbor path / pool-less comms).
     spare: Vec<Vec<f64>>,
     /// Local carry hand-off buffer for self-neighbor schedules.
@@ -153,6 +215,27 @@ impl CompiledSweep {
         tag_base: Tag,
         opts: &SweepOptions,
     ) -> Self {
+        let pool = (opts.pool && opts.threads.max(1) > 1)
+            .then(|| Arc::new(WorkerPool::new(opts.threads.max(1) - 1)));
+        Self::build_with_pool(mp, rank, store, dim, dir, kernel, tag_base, opts, pool)
+    }
+
+    /// [`CompiledSweep::build`] with an explicit (possibly shared) worker
+    /// pool — [`SweepEngine`] uses this so all of its plans dispatch onto
+    /// one pool instead of spawning `threads − 1` workers per plan. `None`
+    /// with `threads > 1` selects the spawn-per-phase baseline.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn build_with_pool<K: LineSweepKernel + ?Sized>(
+        mp: &Multipartitioning,
+        rank: u64,
+        store: &RankStore,
+        dim: usize,
+        dir: Direction,
+        kernel: &K,
+        tag_base: Tag,
+        opts: &SweepOptions,
+        pool: Option<Arc<WorkerPool>>,
+    ) -> Self {
         let d = mp.dims();
         let gamma = mp.gammas()[dim];
         let step = dir.step();
@@ -178,6 +261,8 @@ impl CompiledSweep {
                 jobs: Vec::new(),
                 total_lines: 0,
                 chunks: Vec::new(),
+                wspans: Vec::new(),
+                chunk_wspans: Vec::new(),
             };
             for (ti, tile) in store.tiles.iter().enumerate() {
                 if tile.coord[dim] != slab {
@@ -242,6 +327,15 @@ impl CompiledSweep {
                 };
                 pp.chunks.push(ChunkSpan { jlo, jhi, elo, ehi });
             }
+            // Precompute the per-worker job spans (line-weight balanced) so
+            // steady-state phases dispatch with zero span arithmetic.
+            let threads = opts.threads.max(1);
+            pp.wspans = balanced_spans(&pp.jobs, 0, njobs, threads);
+            pp.chunk_wspans = pp
+                .chunks
+                .iter()
+                .map(|c| balanced_spans(&pp.jobs, c.jlo, c.jhi, threads))
+                .collect();
             phases.push(pp);
         }
 
@@ -265,6 +359,8 @@ impl CompiledSweep {
             phases,
             fms: Vec::with_capacity(mp.tiles_per_proc_per_slab(dim) as usize * nfields),
             workers: make_workers(opts.threads, nfields),
+            pool,
+            pool_enabled: opts.pool,
             spare: Vec::new(),
             local_carry: Vec::new(),
         };
@@ -301,6 +397,7 @@ impl CompiledSweep {
             && self.key.block_width == opts.block_width.max(1)
             && self.key.pipeline_chunks == opts.pipeline_chunks.max(1)
             && self.threads == opts.threads.max(1)
+            && self.pool_enabled == opts.pool
     }
 
     /// The distinct message lengths (in elements) this plan sends, for
@@ -416,6 +513,7 @@ impl CompiledSweep {
             phases,
             fms,
             workers,
+            pool,
             spare,
             local_carry,
             ..
@@ -482,7 +580,14 @@ impl CompiledSweep {
             let t_run = comm.tracer().is_some().then(Instant::now);
             let njobs = pp.jobs.len();
             let shared = shared_phase(pp, fms, kernel, key, *d);
-            crate::executor::run_jobs(&shared, 0..njobs, RawParts::of(&mut outgoing), 0, workers);
+            crate::executor::run_jobs(
+                &shared,
+                &pp.wspans,
+                RawParts::of(&mut outgoing),
+                0,
+                workers,
+                pool.as_deref(),
+            );
             if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
                 tr.compute(t0, phase as u64, njobs as u64, pp.total_lines as u64);
             }
@@ -515,6 +620,7 @@ impl CompiledSweep {
             phases,
             fms,
             workers,
+            pool,
             ..
         } = self;
         let clen = key.carry_len;
@@ -588,7 +694,14 @@ impl CompiledSweep {
 
                 // 2. Evolve the chunk's carries in place through its jobs.
                 let t_run = comm.tracer().is_some().then(Instant::now);
-                crate::executor::run_jobs(&shared, jlo..jhi, RawParts::of(&mut cbuf), elo, workers);
+                crate::executor::run_jobs(
+                    &shared,
+                    &pp.chunk_wspans[j],
+                    RawParts::of(&mut cbuf),
+                    elo,
+                    workers,
+                    pool.as_deref(),
+                );
                 if let (Some(t0), Some(tr)) = (t_run, comm.tracer()) {
                     tr.compute(
                         t0,
@@ -681,6 +794,9 @@ pub struct SweepEngine {
     opts: SweepOptions,
     /// Slot `dim * 2 + dir_idx` (`Forward` = 0, `Backward` = 1).
     slots: Vec<Option<CompiledSweep>>,
+    /// One persistent worker pool shared by every plan in the engine,
+    /// created lazily on the first multi-threaded build.
+    pool: Option<Arc<WorkerPool>>,
     builds: u64,
     build_ns: u64,
 }
@@ -691,9 +807,22 @@ impl SweepEngine {
         SweepEngine {
             opts,
             slots: Vec::new(),
+            pool: None,
             builds: 0,
             build_ns: 0,
         }
+    }
+
+    /// Worker threads the engine's persistent pool holds (0 when running
+    /// single-threaded or with the pool disabled). Flat across steady
+    /// state: sweeps after warm-up spawn no threads.
+    pub fn pool_threads_spawned(&self) -> usize {
+        self.pool.as_ref().map_or(0, |p| p.threads_spawned())
+    }
+
+    /// Phases dispatched through the persistent pool so far.
+    pub fn pool_dispatches(&self) -> u64 {
+        self.pool.as_ref().map_or(0, |p| p.dispatches())
     }
 
     /// The options every sweep runs with.
@@ -744,7 +873,10 @@ impl SweepEngine {
             // the zero-overhead telemetry contract (clock never read in
             // steady state when tracing is off) is preserved.
             let t0 = Instant::now();
-            let cs = CompiledSweep::build(
+            if self.pool.is_none() && self.opts.pool && self.opts.threads.max(1) > 1 {
+                self.pool = Some(Arc::new(WorkerPool::new(self.opts.threads.max(1) - 1)));
+            }
+            let cs = CompiledSweep::build_with_pool(
                 mp,
                 comm.rank(),
                 store,
@@ -753,6 +885,7 @@ impl SweepEngine {
                 kernel,
                 tag_base,
                 &self.opts,
+                self.pool.clone(),
             );
             self.builds += 1;
             self.build_ns += t0.elapsed().as_nanos() as u64;
@@ -805,6 +938,17 @@ impl SolverPlan {
     /// Total nanoseconds spent building plans (sweeps + halos).
     pub fn build_ns(&self) -> u64 {
         self.engine.build_ns() + self.halo_build_ns
+    }
+
+    /// Worker threads the engine's persistent pool holds (see
+    /// [`SweepEngine::pool_threads_spawned`]).
+    pub fn pool_threads_spawned(&self) -> usize {
+        self.engine.pool_threads_spawned()
+    }
+
+    /// Phases dispatched through the persistent pool so far.
+    pub fn pool_dispatches(&self) -> u64 {
+        self.engine.pool_dispatches()
     }
 
     /// Execute one directional sweep through the cached engine.
@@ -1088,6 +1232,197 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// The span balancer splits by line weight, not job count: with the
+    /// classic tail pattern (full blocks followed by 1-line remainders) a
+    /// count split would give one worker all the full blocks.
+    #[test]
+    fn balanced_spans_split_by_line_weight() {
+        let mk = |nlines: &[usize]| -> Vec<BlockJob> {
+            let mut off = 0;
+            nlines
+                .iter()
+                .map(|&nl| {
+                    let j = BlockJob {
+                        tile: 0,
+                        line0: 0,
+                        nlines: nl,
+                        carry_off: off,
+                    };
+                    off += nl;
+                    j
+                })
+                .collect()
+        };
+        let weight = |jobs: &[BlockJob], (lo, hi): (usize, usize)| -> usize {
+            jobs[lo..hi].iter().map(|j| j.nlines).sum()
+        };
+
+        // Two tiles of 4 full blocks + 4 single-line remainders.
+        let jobs = mk(&[32, 32, 32, 32, 1, 1, 1, 1]);
+        let spans = balanced_spans(&jobs, 0, jobs.len(), 2);
+        assert_eq!(spans, vec![(0, 2), (2, 8)]);
+        let (w0, w1) = (weight(&jobs, spans[0]), weight(&jobs, spans[1]));
+        assert!(w0.abs_diff(w1) <= 32, "imbalance {w0} vs {w1}");
+        // (The old count split handed worker 0 jobs 0..4 = 128 lines and
+        // worker 1 jobs 4..8 = 4 lines.)
+
+        // Spans tile the range exactly, in order, for many shapes.
+        for (nlines, nw) in [
+            (vec![10usize, 10, 10, 10], 2usize),
+            (vec![10, 10, 10], 3),
+            (vec![7], 4),
+            (vec![5, 1, 1, 1, 1, 1, 9], 3),
+            (vec![32; 13], 4),
+        ] {
+            let jobs = mk(&nlines);
+            let spans = balanced_spans(&jobs, 0, jobs.len(), nw);
+            assert!(spans.len() <= nw && !spans.is_empty());
+            assert_eq!(spans[0].0, 0);
+            assert_eq!(spans.last().unwrap().1, jobs.len());
+            for w in spans.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "spans not contiguous: {spans:?}");
+                assert!(w[0].0 < w[0].1, "empty span: {spans:?}");
+            }
+        }
+        // Sub-ranges (pipelined chunks) balance within the chunk.
+        let jobs = mk(&[8, 8, 8, 8, 8, 8]);
+        assert_eq!(balanced_spans(&jobs, 2, 6, 2), vec![(2, 4), (4, 6)]);
+        assert_eq!(balanced_spans(&jobs, 3, 3, 2), Vec::<(usize, usize)>::new());
+    }
+
+    /// The tentpole assertion: after warm-up, sweeping through an engine
+    /// spawns zero threads (pool dispatch only) and allocates zero
+    /// transport buffers (recycle pool always hits), in both aggregated
+    /// and pipelined modes.
+    #[test]
+    fn steady_state_spawns_and_allocates_nothing() {
+        let mp = Multipartitioning::optimal(6, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta = [12usize, 13, 11];
+        let k = FirstOrderKernel::new(0, 0.8);
+        let fields = [FieldDef::new("u", 0)];
+        for opts in [
+            SweepOptions::new(4, 3),
+            SweepOptions::new(8, 2).with_pipeline_chunks(3),
+        ] {
+            let grid = grid_for(&mp, &eta);
+            let o = opts.clone();
+            run_threaded(mp.p, |comm| {
+                let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+                store.init_field(0, init_value);
+                let mut engine = SweepEngine::new(o.clone());
+                // Warm-up: builds the plans (spawning the pool once) and
+                // populates the communicator's recycle pool.
+                for dim in 0..3 {
+                    engine.sweep(comm, &mut store, &mp, dim, Direction::Forward, &k, 1000);
+                    engine.sweep(comm, &mut store, &mp, dim, Direction::Backward, &k, 2000);
+                }
+                comm.barrier();
+                let spawned = engine.pool_threads_spawned();
+                let dispatches = engine.pool_dispatches();
+                let misses = comm.pool_misses;
+                assert_eq!(spawned, o.threads - 1, "pool holds threads − 1 workers");
+                assert!(dispatches > 0, "warm-up phases must dispatch the pool");
+                // Steady state: 10 more timesteps of all six sweeps.
+                for _ in 0..10 {
+                    for dim in 0..3 {
+                        engine.sweep(comm, &mut store, &mp, dim, Direction::Forward, &k, 1000);
+                        engine.sweep(comm, &mut store, &mp, dim, Direction::Backward, &k, 2000);
+                    }
+                }
+                comm.barrier();
+                assert_eq!(
+                    engine.pool_threads_spawned(),
+                    spawned,
+                    "steady state spawned threads"
+                );
+                assert!(
+                    engine.pool_dispatches() > dispatches,
+                    "steady state stopped using the pool"
+                );
+                assert_eq!(
+                    comm.pool_misses, misses,
+                    "steady state allocated transport buffers"
+                );
+                assert_eq!(engine.builds(), 6, "steady state rebuilt plans");
+            });
+        }
+    }
+
+    /// Pool on vs pool off: bitwise-identical results and an identical
+    /// wire schedule (the pool changes thread orchestration only).
+    #[test]
+    fn pool_matches_spawn_per_phase_exactly() {
+        let mp = Multipartitioning::optimal(6, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta = [12usize, 13, 11];
+        let k = FirstOrderKernel::new(0, 0.8);
+        let fields = [FieldDef::new("u", 0)];
+        let grid = grid_for(&mp, &eta);
+        let run = |opts: SweepOptions| {
+            let (mp, grid, k, fields) = (&mp, &grid, &k, &fields);
+            run_threaded(mp.p, move |comm| {
+                let mut store = allocate_rank_store(comm.rank(), mp, grid, fields);
+                store.init_field(0, init_value);
+                let mut engine = SweepEngine::new(opts.clone());
+                for _ in 0..5 {
+                    for dim in 0..3 {
+                        engine.sweep(comm, &mut store, mp, dim, Direction::Forward, k, 1000);
+                    }
+                }
+                (store, comm.sent_messages, comm.sent_elements)
+            })
+        };
+        let pooled = run(SweepOptions::new(8, 3).with_pipeline_chunks(2));
+        let spawned = run(SweepOptions::new(8, 3)
+            .with_pipeline_chunks(2)
+            .with_pool(false));
+        let mut a = ArrayD::zeros(&eta);
+        let mut b = ArrayD::zeros(&eta);
+        for ((ps, m1, e1), (ss, m2, e2)) in pooled.iter().zip(spawned.iter()) {
+            ps.gather_into(0, &mut a);
+            ss.gather_into(0, &mut b);
+            assert_eq!((m1, e1), (m2, e2), "pool changed the wire schedule");
+        }
+        assert_eq!(a.max_abs_diff(&b), 0.0, "pool changed results");
+    }
+
+    /// Toggling the pool option re-keys the engine's plans (the dispatch
+    /// path is part of what a plan was built for), like `threads` does.
+    #[test]
+    fn engine_rebuilds_on_pool_toggle() {
+        let mp = Multipartitioning::from_partitioning(1, Partitioning::new(vec![2, 2, 1]));
+        let grid = grid_for(&mp, &[4, 4, 2]);
+        let k = PrefixSumKernel::new(0);
+        let mut comm = mp_runtime::comm::SerialComm;
+        let mut store = allocate_rank_store(0, &mp, &grid, &[FieldDef::new("u", 0)]);
+        store.init_field(0, init_value);
+        let cs = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            0,
+            Direction::Forward,
+            &k,
+            0,
+            &SweepOptions::new(4, 1),
+        );
+        assert!(cs.matches(&mp, 0, Direction::Forward, 0, &k, &SweepOptions::new(4, 1)));
+        assert!(!cs.matches(
+            &mp,
+            0,
+            Direction::Forward,
+            0,
+            &k,
+            &SweepOptions::new(4, 1).with_pool(false)
+        ));
+        // And through the engine: same sweep, toggled pool → rebuild.
+        let mut engine = SweepEngine::new(SweepOptions::new(4, 1));
+        engine.sweep(&mut comm, &mut store, &mp, 0, Direction::Forward, &k, 0);
+        assert_eq!(engine.builds(), 1);
+        // threads = 1 → no pool threads regardless of the option.
+        assert_eq!(engine.pool_threads_spawned(), 0);
+        assert_eq!(engine.pool_dispatches(), 0);
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct SweepOptions {
     /// only the message granularity changes (`k` sub-messages carrying the
     /// same total payload). All ranks of one sweep must use the same value.
     pub pipeline_chunks: usize,
+    /// Execute phases on a persistent [`crate::pool::WorkerPool`] (the
+    /// default) instead of spawning a fresh thread scope per phase. Only
+    /// meaningful with `threads > 1`; results and the wire schedule are
+    /// identical either way — `false` keeps the spawn-per-phase path as an
+    /// A/B baseline.
+    pub pool: bool,
 }
 
 impl SweepOptions {
@@ -69,6 +75,7 @@ impl SweepOptions {
             block_width: block_width.max(1),
             threads: threads.max(1),
             pipeline_chunks: 1,
+            pool: true,
         }
     }
 
@@ -76,6 +83,12 @@ impl SweepOptions {
     /// boundary (clamped to ≥ 1).
     pub fn with_pipeline_chunks(mut self, pipeline_chunks: usize) -> Self {
         self.pipeline_chunks = pipeline_chunks.max(1);
+        self
+    }
+
+    /// Same options with the persistent worker pool enabled or disabled.
+    pub fn with_pool(mut self, pool: bool) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -87,16 +100,20 @@ impl SweepOptions {
     /// | `MP_SWEEP_BLOCK`    | lines per block                   | 32      |
     /// | `MP_SWEEP_THREADS`  | worker threads per rank           | 1       |
     /// | `MP_SWEEP_PIPELINE` | carry sub-messages per boundary   | 1       |
+    /// | `MP_SWEEP_POOL`     | persistent worker pool on/off     | on      |
     ///
-    /// Malformed or out-of-range values (empty, non-numeric, `0`) fall
-    /// back to the default rather than panicking — env knobs must never
-    /// abort a run.
+    /// Malformed or out-of-range values (empty, non-numeric, `0` for the
+    /// numeric knobs) fall back to the default rather than panicking — env
+    /// knobs must never abort a run. `MP_SWEEP_POOL` is a switch: `0`,
+    /// `false`, or `off` (any case) disable the pool; everything else —
+    /// including unset or malformed — keeps it on.
     pub fn from_env() -> Self {
         SweepOptions::new(
             env_usize("MP_SWEEP_BLOCK", 32),
             env_usize("MP_SWEEP_THREADS", 1),
         )
         .with_pipeline_chunks(env_usize("MP_SWEEP_PIPELINE", 1))
+        .with_pool(env_switch("MP_SWEEP_POOL"))
     }
 }
 
@@ -108,6 +125,15 @@ fn env_usize(name: &str, default: usize) -> usize {
         .and_then(|s| s.trim().parse::<usize>().ok())
         .filter(|&v| v > 0)
         .unwrap_or(default)
+}
+
+/// On/off switch defaulting to on: only an explicit `0` / `false` / `off`
+/// turns it off (see [`SweepOptions::from_env`]).
+fn env_switch(name: &str) -> bool {
+    !std::env::var(name).is_ok_and(|s| {
+        let v = s.trim().to_ascii_lowercase();
+        v == "0" || v == "false" || v == "off"
+    })
 }
 
 impl Default for SweepOptions {
@@ -350,33 +376,60 @@ fn run_block<K: LineSweepKernel + ?Sized>(
     }
 }
 
-/// Run the jobs `sh.jobs[range]` against the carry buffer `out`, whose
-/// first element is the phase-global carry element `carry_base` — inline
-/// when a single worker is given, else spread over the workers in
-/// contiguous static ranges (jobs touch disjoint lines and disjoint carry
-/// ranges, so they are independent).
+/// Pointer to the worker scratch array, shareable with pool workers. Each
+/// worker dereferences only its own slot (`base + wi`), so slots are never
+/// aliased across threads.
+struct ScratchPtr(*mut WorkerScratch);
+unsafe impl Send for ScratchPtr {}
+unsafe impl Sync for ScratchPtr {}
+
+/// Run the per-worker job spans (absolute, non-empty index ranges into
+/// `sh.jobs`, precomputed load-balanced at plan-build time) against the
+/// carry buffer `out`, whose first element is the phase-global carry
+/// element `carry_base`. A single span runs inline on the caller; multiple
+/// spans run one per worker — on the persistent `pool` when given (zero
+/// thread spawns), else on a fresh thread scope (the A/B baseline). Jobs
+/// touch disjoint lines and disjoint carry ranges, so spans are
+/// independent.
 pub(crate) fn run_jobs<K: LineSweepKernel + ?Sized>(
     sh: &SharedPhase<'_, K>,
-    range: std::ops::Range<usize>,
+    spans: &[(usize, usize)],
     out: RawParts,
     carry_base: usize,
     workers: &mut [WorkerScratch],
+    pool: Option<&crate::pool::WorkerPool>,
 ) {
-    let jobs = &sh.jobs[range];
-    let njobs = jobs.len();
-    let nthreads = workers.len().min(njobs.max(1));
-    if nthreads <= 1 {
+    let nw = spans.len();
+    if nw == 0 {
+        return;
+    }
+    if nw == 1 {
+        let (lo, hi) = spans[0];
         let w = &mut workers[0];
-        for job in jobs {
+        for job in &sh.jobs[lo..hi] {
             run_block(sh, job, out, carry_base, w);
         }
+        return;
+    }
+    debug_assert!(workers.len() >= nw, "fewer scratch sets than spans");
+    if let Some(pool) = pool {
+        let base = ScratchPtr(workers.as_mut_ptr());
+        let task = move |wi: usize| {
+            let base = &base;
+            let (lo, hi) = spans[wi];
+            // SAFETY: the pool dispatches each worker index exactly once
+            // per run, so scratch slot `wi` is exclusively this worker's.
+            let w = unsafe { &mut *base.0.add(wi) };
+            for job in &sh.jobs[lo..hi] {
+                run_block(sh, job, out, carry_base, w);
+            }
+        };
+        pool.run(nw, &task);
     } else {
         std::thread::scope(|s| {
-            for (wi, w) in workers[..nthreads].iter_mut().enumerate() {
+            for ((lo, hi), w) in spans.iter().copied().zip(workers.iter_mut()) {
                 s.spawn(move || {
-                    let lo = wi * njobs / nthreads;
-                    let hi = (wi + 1) * njobs / nthreads;
-                    for job in &jobs[lo..hi] {
+                    for job in &sh.jobs[lo..hi] {
                         run_block(sh, job, out, carry_base, w);
                     }
                 });

@@ -16,6 +16,8 @@
 //!   [`compiled::SolverPlan`];
 //! * [`pipeline`] — the pipelined execution mode: per-phase carries split
 //!   into eagerly sent sub-messages that overlap with block computation;
+//! * [`pool`] — the persistent per-rank [`pool::WorkerPool`] that executes
+//!   phases without per-phase thread spawns;
 //! * [`baselines`] — the two classical alternatives the paper positions
 //!   against: static block unipartitioning with wavefront pipelining, and
 //!   dynamic block partitioning with transposes;
@@ -32,6 +34,7 @@ pub mod compiled;
 pub mod executor;
 pub mod penta;
 pub mod pipeline;
+pub mod pool;
 pub mod recurrence;
 pub mod simulate;
 pub mod thomas;
@@ -50,6 +53,7 @@ pub use executor::{
     multipart_sweep_opts, SweepOptions,
 };
 pub use penta::{penta_solve, PentaBackwardKernel, PentaForwardKernel};
+pub use pool::WorkerPool;
 pub use recurrence::{
     per_line_sweep_block, FirstOrderKernel, LineSweepKernel, PrefixSumKernel, SegmentCtx,
 };

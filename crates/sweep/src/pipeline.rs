@@ -296,10 +296,25 @@ mod tests {
         let o = SweepOptions::from_env();
         assert_eq!(o.pipeline_chunks, 4);
         assert_eq!(o.block_width, 16);
+        // MP_SWEEP_POOL is a switch defaulting to on: only an explicit
+        // 0/false/off disables it; garbage keeps the default.
+        for (val, want) in [
+            ("0", false),
+            ("false", false),
+            ("OFF", false),
+            ("1", true),
+            ("banana", true),
+            ("", true),
+        ] {
+            std::env::set_var("MP_SWEEP_POOL", val);
+            assert_eq!(SweepOptions::from_env().pool, want, "value {val:?}");
+        }
         std::env::remove_var("MP_SWEEP_PIPELINE");
         std::env::remove_var("MP_SWEEP_THREADS");
         std::env::remove_var("MP_SWEEP_BLOCK");
+        std::env::remove_var("MP_SWEEP_POOL");
         let o = SweepOptions::default(); // Default == from_env
         assert_eq!((o.block_width, o.threads, o.pipeline_chunks), (32, 1, 1));
+        assert!(o.pool, "pool defaults to on");
     }
 }

@@ -48,6 +48,8 @@ fn kind_name(kind: &SpanKind) -> &str {
     match kind {
         SpanKind::Compute { .. } => "compute",
         SpanKind::CommWait { .. } => "wait",
+        SpanKind::CommSpin { .. } => "spin",
+        SpanKind::CommPark { .. } => "park",
         SpanKind::Pack => "pack",
         SpanKind::Unpack => "unpack",
         SpanKind::Send { .. } => "send",
@@ -58,7 +60,10 @@ fn kind_name(kind: &SpanKind) -> &str {
 fn kind_cat(kind: &SpanKind) -> &'static str {
     match kind {
         SpanKind::Compute { .. } => "compute",
-        SpanKind::CommWait { .. } | SpanKind::Send { .. } => "comm",
+        SpanKind::CommWait { .. }
+        | SpanKind::CommSpin { .. }
+        | SpanKind::CommPark { .. }
+        | SpanKind::Send { .. } => "comm",
         SpanKind::Pack | SpanKind::Unpack => "pack",
         SpanKind::Stage { .. } => "stage",
     }
@@ -66,7 +71,10 @@ fn kind_cat(kind: &SpanKind) -> &'static str {
 
 fn kind_lane(kind: &SpanKind) -> u64 {
     match kind {
-        SpanKind::CommWait { .. } | SpanKind::Send { .. } => LANE_COMM,
+        SpanKind::CommWait { .. }
+        | SpanKind::CommSpin { .. }
+        | SpanKind::CommPark { .. }
+        | SpanKind::Send { .. } => LANE_COMM,
         _ => LANE_COMPUTE,
     }
 }
@@ -170,7 +178,9 @@ impl TraceFile {
                             ",\"args\":{{\"phase\":{phase},\"jobs\":{jobs},\"lines\":{lines}}}"
                         );
                     }
-                    SpanKind::CommWait { peer, tag } => {
+                    SpanKind::CommWait { peer, tag }
+                    | SpanKind::CommSpin { peer, tag }
+                    | SpanKind::CommPark { peer, tag } => {
                         let _ = write!(line, ",\"args\":{{\"peer\":{peer},\"tag\":{tag}}}");
                     }
                     SpanKind::Send { peer, elements } => {
@@ -240,6 +250,14 @@ impl TraceFile {
                     lines: arg("lines").unwrap_or(0),
                 },
                 ("comm", "wait") => SpanKind::CommWait {
+                    peer: arg("peer").unwrap_or(0),
+                    tag: arg("tag").unwrap_or(0),
+                },
+                ("comm", "spin") => SpanKind::CommSpin {
+                    peer: arg("peer").unwrap_or(0),
+                    tag: arg("tag").unwrap_or(0),
+                },
+                ("comm", "park") => SpanKind::CommPark {
                     peer: arg("peer").unwrap_or(0),
                     tag: arg("tag").unwrap_or(0),
                 },
@@ -339,6 +357,16 @@ mod tests {
                     start_ns: 1_300_000,
                     end_ns: 1_450_001,
                     kind: SpanKind::CommWait { peer: 1, tag: 9 },
+                },
+                TraceEvent {
+                    start_ns: 1_300_000,
+                    end_ns: 1_350_000,
+                    kind: SpanKind::CommSpin { peer: 1, tag: 9 },
+                },
+                TraceEvent {
+                    start_ns: 1_350_000,
+                    end_ns: 1_450_001,
+                    kind: SpanKind::CommPark { peer: 1, tag: 9 },
                 },
                 TraceEvent {
                     start_ns: 1_450_001,

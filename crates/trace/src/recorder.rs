@@ -34,7 +34,29 @@ pub enum SpanKind {
         lines: u64,
     },
     /// Blocked in `recv`/`recv_into` waiting for a message to arrive.
+    /// Covers the *whole* blocked interval; transports that wait in two
+    /// stages additionally record the [`SpanKind::CommSpin`] /
+    /// [`SpanKind::CommPark`] sub-spans inside it.
     CommWait {
+        /// Rank the message was awaited from.
+        peer: u64,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Busy-wait portion of a blocked receive: the receiver polled its
+    /// incoming ring without yielding the CPU. Always nested inside the
+    /// enclosing [`SpanKind::CommWait`]; its duration is *not* added to
+    /// [`SweepStats::comm_wait_ns`] again.
+    CommSpin {
+        /// Rank the message was awaited from.
+        peer: u64,
+        /// Message tag.
+        tag: u64,
+    },
+    /// Parked portion of a blocked receive: the receiver gave the CPU back
+    /// (`thread::park`) until a sender's doorbell woke it. Nested inside
+    /// the enclosing [`SpanKind::CommWait`], like [`SpanKind::CommSpin`].
+    CommPark {
         /// Rank the message was awaited from.
         peer: u64,
         /// Message tag.
@@ -90,6 +112,13 @@ pub struct SweepStats {
     pub compute_ns: u64,
     /// Nanoseconds blocked in [`SpanKind::CommWait`] spans.
     pub comm_wait_ns: u64,
+    /// Nanoseconds busy-polling inside blocked receives
+    /// ([`SpanKind::CommSpin`]); a sub-split of `comm_wait_ns`, not an
+    /// addition to it.
+    pub comm_spin_ns: u64,
+    /// Nanoseconds parked inside blocked receives
+    /// ([`SpanKind::CommPark`]); the other half of the spin-vs-park split.
+    pub comm_park_ns: u64,
     /// Nanoseconds inside [`SpanKind::Pack`] spans.
     pub pack_ns: u64,
     /// Nanoseconds inside [`SpanKind::Unpack`] spans.
@@ -119,6 +148,8 @@ impl SweepStats {
                 self.phase_compute_ns[idx] += dur;
             }
             SpanKind::CommWait { .. } => self.comm_wait_ns += dur,
+            SpanKind::CommSpin { .. } => self.comm_spin_ns += dur,
+            SpanKind::CommPark { .. } => self.comm_park_ns += dur,
             SpanKind::Pack => self.pack_ns += dur,
             SpanKind::Unpack => self.unpack_ns += dur,
             SpanKind::Stage { .. } => self.stage_ns += dur,
@@ -265,6 +296,19 @@ impl SweepRecorder {
         self.push_span(SpanKind::CommWait { peer, tag }, start, Instant::now());
     }
 
+    /// Record a [`SpanKind::CommSpin`] span ending now (the busy-poll
+    /// stage of a blocked receive; record it the moment polling stops,
+    /// whether a message arrived or the receiver moves on to parking).
+    pub fn comm_spin(&mut self, start: Instant, peer: u64, tag: u64) {
+        self.push_span(SpanKind::CommSpin { peer, tag }, start, Instant::now());
+    }
+
+    /// Record a [`SpanKind::CommPark`] span ending now (the parked stage
+    /// of a blocked receive, from first park to wakeup-with-message).
+    pub fn comm_park(&mut self, start: Instant, peer: u64, tag: u64) {
+        self.push_span(SpanKind::CommPark { peer, tag }, start, Instant::now());
+    }
+
     /// Record a [`SpanKind::Pack`] span ending now.
     pub fn pack(&mut self, start: Instant) {
         self.push_span(SpanKind::Pack, start, Instant::now());
@@ -340,6 +384,9 @@ mod tests {
             },
         ));
         s.apply(&ev(100, 150, SpanKind::CommWait { peer: 1, tag: 7 }));
+        // Spin/park sub-spans split the wait without double-counting it.
+        s.apply(&ev(100, 120, SpanKind::CommSpin { peer: 1, tag: 7 }));
+        s.apply(&ev(120, 150, SpanKind::CommPark { peer: 1, tag: 7 }));
         s.apply(&ev(150, 160, SpanKind::Pack));
         s.apply(&ev(160, 180, SpanKind::Unpack));
         s.apply(&ev(180, 190, SpanKind::Stage { name: "rhs".into() }));
@@ -361,6 +408,8 @@ mod tests {
         ));
         assert_eq!(s.compute_ns, 100);
         assert_eq!(s.comm_wait_ns, 50);
+        assert_eq!(s.comm_spin_ns, 20);
+        assert_eq!(s.comm_park_ns, 30);
         assert_eq!(s.pack_ns, 10);
         assert_eq!(s.unpack_ns, 20);
         assert_eq!(s.stage_ns, 10);
