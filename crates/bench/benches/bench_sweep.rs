@@ -332,6 +332,159 @@ fn bench_sweep(c: &mut Criterion) {
         group.finish();
     }
 
+    // Vectorized vs scalar sweep microkernels on identical line-minor
+    // blocks, per kernel and per line count. nlines = 1 is the degenerate
+    // all-tail case (pure scalar either way), 4 is one full lane group, 64
+    // and 256 are the steady-state shapes the blocked executor feeds. On
+    // hosts without AVX2+FMA only the scalar rows are emitted.
+    {
+        use mp_core::multipart::Direction;
+        use mp_grid::AlignedVec;
+        use mp_sweep::recurrence::{LineSweepKernel, SegmentCtx};
+        use mp_sweep::simd::{avx2_available, SimdLevel};
+        use mp_sweep::{
+            PentaBackwardKernel, PentaForwardKernel, ThomasBackwardKernel, ThomasForwardKernel,
+        };
+
+        let seg_len = 64usize;
+        let levels: &[SimdLevel] = if avx2_available() {
+            &[SimdLevel::Avx2, SimdLevel::Scalar]
+        } else {
+            &[SimdLevel::Scalar]
+        };
+        let mut group = c.benchmark_group("simd_kernels");
+        group.sample_size(30);
+
+        // One line-minor field buffer: element k of line l at k·nl + l.
+        let fill = |nl: usize, f: fn(usize, usize) -> f64| -> AlignedVec {
+            let mut b = AlignedVec::new();
+            b.resize(seg_len * nl, 0.0);
+            for k in 0..seg_len {
+                for l in 0..nl {
+                    b[k * nl + l] = f(k, l);
+                }
+            }
+            b
+        };
+
+        for &nl in &[1usize, 4, 64, 256] {
+            let fctxs: Vec<SegmentCtx> = (0..nl)
+                .map(|_| SegmentCtx::origin(1, 0, Direction::Forward))
+                .collect();
+            let bctxs: Vec<SegmentCtx> = (0..nl)
+                .map(|_| SegmentCtx::origin(1, 0, Direction::Backward))
+                .collect();
+            let small = |k: usize, l: usize| ((k * 7 + l * 3) % 9) as f64 * 0.1 - 0.4;
+            let diag = |k: usize, l: usize| 2.0 + ((k + l) % 5) as f64 * 0.1;
+            let rhs = |k: usize, l: usize| ((k * 11 + l * 5) % 17) as f64 - 8.0;
+            group.throughput(Throughput::Elements((seg_len * nl) as u64));
+
+            // One benched configuration: (name, kernel, dir, ctxs, block
+            // fields, line-major carries).
+            type SimdCase<'a> = (
+                &'a str,
+                &'a dyn LineSweepKernel,
+                Direction,
+                &'a [SegmentCtx],
+                Vec<AlignedVec>,
+                Vec<f64>,
+            );
+            let thomas_fwd = ThomasForwardKernel::new(0, 1, 2, 3);
+            let thomas_bwd = ThomasBackwardKernel::new(0, 1);
+            let penta_fwd = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
+            let penta_bwd = PentaBackwardKernel::new(0, 1, 2);
+            let prefix = PrefixSumKernel::new(0);
+            let first = mp_sweep::FirstOrderKernel::new(0, 0.8);
+            let cases: Vec<SimdCase> = vec![
+                (
+                    "thomas_fwd",
+                    &thomas_fwd,
+                    Direction::Forward,
+                    &fctxs,
+                    vec![
+                        fill(nl, small),
+                        fill(nl, diag),
+                        fill(nl, small),
+                        fill(nl, rhs),
+                    ],
+                    (0..nl).flat_map(|_| [0.0, 0.0]).collect(),
+                ),
+                (
+                    "thomas_bwd",
+                    &thomas_bwd,
+                    Direction::Backward,
+                    &bctxs,
+                    vec![fill(nl, small), fill(nl, rhs)],
+                    (0..nl).flat_map(|l| [0.5, (l % 2) as f64]).collect(),
+                ),
+                (
+                    "penta_fwd",
+                    &penta_fwd,
+                    Direction::Forward,
+                    &fctxs,
+                    vec![
+                        fill(nl, small),
+                        fill(nl, small),
+                        fill(nl, diag),
+                        fill(nl, small),
+                        fill(nl, small),
+                        fill(nl, rhs),
+                    ],
+                    vec![0.0; nl * 6],
+                ),
+                (
+                    "penta_bwd",
+                    &penta_bwd,
+                    Direction::Backward,
+                    &bctxs,
+                    vec![fill(nl, small), fill(nl, small), fill(nl, rhs)],
+                    (0..nl).flat_map(|l| [0.5, -0.5, (l % 3) as f64]).collect(),
+                ),
+                (
+                    "prefix_sum",
+                    &prefix,
+                    Direction::Forward,
+                    &fctxs,
+                    vec![fill(nl, rhs)],
+                    vec![0.0; nl],
+                ),
+                (
+                    "first_order",
+                    &first,
+                    Direction::Forward,
+                    &fctxs,
+                    vec![fill(nl, rhs)],
+                    vec![0.0; nl],
+                ),
+            ];
+            for (name, kern, dir, ctxs, block0, carries0) in &cases {
+                for &level in levels {
+                    group.bench_with_input(
+                        BenchmarkId::new(format!("{name}_nl{nl}"), level),
+                        &nl,
+                        |b, _| {
+                            b.iter(|| {
+                                let mut block = block0.clone();
+                                let mut carries = carries0.clone();
+                                kern.sweep_block_simd(
+                                    level,
+                                    *dir,
+                                    nl,
+                                    seg_len,
+                                    &mut carries,
+                                    &mut block,
+                                    ctxs,
+                                );
+                                black_box(carries[0])
+                            })
+                        },
+                    );
+                }
+            }
+        }
+        group.finish();
+    }
+
     // Cost of producing one simulated data point (Table 1 machinery).
     let mut group = c.benchmark_group("simulated_sweep_replay");
     for &p in &[16u64, 50, 81] {

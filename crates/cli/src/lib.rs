@@ -363,9 +363,9 @@ struct ProfileConfig {
 fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
     const PROFILE_USAGE: &str = "usage: mpart profile <p> [--class S|W|A|B] \
          [--eta <N>x<N>x<N>] [--iters N] [--block W] [--threads T] \
-         [--chunks K] [--out FILE]\n\
-         (--block/--threads/--chunks default from MP_SWEEP_BLOCK / \
-         MP_SWEEP_THREADS / MP_SWEEP_PIPELINE)";
+         [--chunks K] [--simd auto|avx2|scalar] [--out FILE]\n\
+         (--block/--threads/--chunks/--simd default from MP_SWEEP_BLOCK / \
+         MP_SWEEP_THREADS / MP_SWEEP_PIPELINE / MP_SWEEP_SIMD)";
     let mut pos: Vec<&String> = Vec::new();
     let mut class = mp_nassp::Class::S;
     let mut eta_override: Option<[usize; 3]> = None;
@@ -375,11 +375,13 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
     let mut block = env_opts.block_width;
     let mut threads = env_opts.threads;
     let mut chunks = env_opts.pipeline_chunks;
+    let mut simd = env_opts.simd;
     let mut out = String::from("mpart_trace.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--class" | "--eta" | "--iters" | "--block" | "--threads" | "--chunks" | "--out" => {
+            "--class" | "--eta" | "--iters" | "--block" | "--threads" | "--chunks" | "--simd"
+            | "--out" => {
                 let v = it
                     .next()
                     .ok_or_else(|| CliError(format!("{a} needs a value\n{PROFILE_USAGE}")))?;
@@ -402,6 +404,16 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
                     "--block" => block = parse_u64(v, "block width")? as usize,
                     "--threads" => threads = parse_u64(v, "thread count")? as usize,
                     "--chunks" => chunks = parse_u64(v, "pipeline chunk count")? as usize,
+                    // Unlike the forgiving env knob, an explicit flag with a
+                    // bogus value is an error.
+                    "--simd" => {
+                        simd = match v.trim().to_ascii_lowercase().as_str() {
+                            "auto" => mp_sweep::SimdMode::Auto,
+                            "avx2" => mp_sweep::SimdMode::Avx2,
+                            "scalar" => mp_sweep::SimdMode::Scalar,
+                            _ => return err(format!("unknown simd mode '{v}' (auto|avx2|scalar)")),
+                        };
+                    }
                     "--out" => out = v.clone(),
                     _ => unreachable!(),
                 }
@@ -427,7 +439,9 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
         eta,
         dt,
         iters,
-        opts: mp_sweep::SweepOptions::new(block, threads).with_pipeline_chunks(chunks),
+        opts: mp_sweep::SweepOptions::new(block, threads)
+            .with_pipeline_chunks(chunks)
+            .with_simd(simd),
         out,
     })
 }
@@ -530,6 +544,9 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     } else {
         "aggregated"
     };
+    // The level every compiled plan resolved to — requested mode plus what
+    // the hardware actually supports.
+    let simd = cfg.opts.simd.resolve();
     let tf = TraceFile::new(traces)
         .with_meta("app", "nas-sp")
         .with_meta("class", cfg.class.to_string())
@@ -539,14 +556,15 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
         .with_meta("mode", mode)
         .with_meta("block_width", cfg.opts.block_width.to_string())
         .with_meta("threads", cfg.opts.threads.to_string())
-        .with_meta("pipeline_chunks", cfg.opts.pipeline_chunks.to_string());
+        .with_meta("pipeline_chunks", cfg.opts.pipeline_chunks.to_string())
+        .with_meta("simd", simd.name());
     std::fs::write(out, tf.to_chrome_json())
         .map_err(|e| CliError(format!("cannot write '{out}': {e}")))?;
 
     let part = &mp.partitioning;
     let mut rep = format!(
         "SP {}×{}×{} on p = {p}, {iters} iteration(s), {mode} sweeps \
-         (block_width {}, threads {}, chunks {})\n\
+         (block_width {}, threads {}, chunks {}, simd {} [requested {}])\n\
          γ = {:?}, modulus vector m̄ = {:?}\n\n",
         eta[0],
         eta[1],
@@ -554,6 +572,8 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
         cfg.opts.block_width,
         cfg.opts.threads,
         cfg.opts.pipeline_chunks,
+        simd,
+        cfg.opts.simd,
         part.gammas,
         mp.mapping.m
     );
@@ -730,6 +750,12 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("aggregated sweeps"), "{out}");
+        // The report names the resolved vectorization level — derived from
+        // the same env-seeded options the command uses, so the assertion
+        // holds under an MP_SWEEP_SIMD override (CI runs the whole suite
+        // forced scalar) as well as on non-AVX2 hosts.
+        let simd = mp_sweep::SweepOptions::from_env().simd.resolve();
+        assert!(out.contains(&format!("simd {simd}")), "{out}");
         assert!(out.contains("makespan"), "{out}");
         assert!(out.contains("4/4 ranks match exactly"), "{out}");
         assert!(out.contains("Σ γ_i λ_i"), "{out}");
@@ -745,6 +771,35 @@ mod tests {
         assert!(tf
             .meta
             .contains(&("mode".to_string(), "aggregated".to_string())));
+        assert!(tf
+            .meta
+            .contains(&("simd".to_string(), simd.name().to_string())));
+    }
+
+    #[test]
+    fn profile_forced_scalar_simd_reported() {
+        let dir = std::env::temp_dir().join("mpart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profile_scalar_simd.json");
+        let out = runv(&[
+            "profile",
+            "4",
+            "--eta",
+            "8x8x8",
+            "--iters",
+            "1",
+            "--simd",
+            "scalar",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("simd scalar [requested scalar]"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let tf = mp_trace::TraceFile::parse_chrome_json(&text).unwrap();
+        assert!(tf
+            .meta
+            .contains(&("simd".to_string(), "scalar".to_string())));
     }
 
     #[test]
@@ -816,6 +871,8 @@ mod tests {
         assert!(e.0.contains("needs a value"));
         let e = runv(&["profile", "4", "--bogus", "1"]).unwrap_err();
         assert!(e.0.contains("unknown flag"));
+        let e = runv(&["profile", "4", "--simd", "sse9"]).unwrap_err();
+        assert!(e.0.contains("unknown simd mode"));
     }
 
     #[test]

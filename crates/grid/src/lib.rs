@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aligned;
 pub mod array;
 pub mod codec;
 pub mod dist;
@@ -21,6 +22,7 @@ pub mod shape;
 pub mod tile;
 pub mod view;
 
+pub use aligned::AlignedVec;
 pub use array::ArrayD;
 pub use codec::{decode_rank_store, encode_rank_store, CodecError};
 pub use dist::{FieldDef, RankStore, TileData};

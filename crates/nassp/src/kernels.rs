@@ -10,8 +10,9 @@
 
 use crate::problem::SpProblem;
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
 use mp_sweep::penta::eliminate_row;
-use mp_sweep::recurrence::{LineSweepKernel, SegmentCtx};
+use mp_sweep::recurrence::{debug_assert_block_aligned, LineSweepKernel, SegmentCtx};
 
 /// Pentadiagonal forward elimination with coefficients generated from
 /// [`SpProblem::penta_coefficients`].
@@ -85,11 +86,12 @@ impl LineSweepKernel for SpPentaForwardKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Forward);
         debug_assert_eq!(carries.len(), 6 * nlines);
+        debug_assert_block_aligned(block);
         if nlines == 0 {
             return;
         }
@@ -189,11 +191,12 @@ impl LineSweepKernel for SpTriForwardKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Forward);
         debug_assert_eq!(carries.len(), 2 * nlines);
+        debug_assert_block_aligned(block);
         if nlines == 0 {
             return;
         }
@@ -352,7 +355,7 @@ mod tests {
         };
 
         let penta = SpPentaForwardKernel::new(prob, 0, 1, 2);
-        let blk0 = vec![vals(0), vals(1), vals(2)];
+        let blk0: Vec<AlignedVec> = vec![vals(0).into(), vals(1).into(), vals(2).into()];
         let carry0 = vec![0.0; nlines * penta.carry_len()];
         let mut got_blk = blk0.clone();
         let mut got_carry = carry0.clone();
@@ -379,7 +382,7 @@ mod tests {
         assert_eq!(got_blk, want_blk);
 
         let tri = SpTriForwardKernel::new(SpProblem::new([6, 11, 7], 0.01), 0, 1);
-        let blk0 = vec![vals(3), vals(4)];
+        let blk0: Vec<AlignedVec> = vec![vals(3).into(), vals(4).into()];
         let carry0 = vec![0.0; nlines * tri.carry_len()];
         let mut got_blk = blk0.clone();
         let mut got_carry = carry0.clone();

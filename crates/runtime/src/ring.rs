@@ -177,10 +177,15 @@ impl RingNet {
             std::thread::yield_now();
         }
         // Pair with the receiver's pre-park fence: after the release store
-        // of `tail`, decide whether the receiver needs a wakeup.
+        // of `tail`, decide whether the receiver needs a wakeup. The plain
+        // load is enough for the handshake — the fence pairing guarantees
+        // either this load sees `asleep == true` or the receiver's ready
+        // check (after its own fence) sees the publish. The swap only
+        // claims the wakeup, so an awake receiver costs a read, not a
+        // locked RMW, on every send.
         fence(Ordering::SeqCst);
         let bell = &self.doorbells[to];
-        if bell.asleep.swap(false, Ordering::SeqCst) {
+        if bell.asleep.load(Ordering::SeqCst) && bell.asleep.swap(false, Ordering::SeqCst) {
             if let Some(t) = bell.thread.get() {
                 t.unpark();
             }

@@ -43,17 +43,33 @@ struct Envelope {
 const RECYCLE_POOL_CAP: usize = 8;
 
 /// Ring-pops a blocked receiver performs before parking, unless
-/// `MP_COMM_SPIN` overrides it.
+/// `MP_COMM_SPIN` overrides it — used when each rank can plausibly have a
+/// core to itself, so the awaited sender is genuinely making progress.
 const DEFAULT_SPIN: u32 = 200;
 
-/// `MP_COMM_SPIN`: ring-pop attempts a blocked receive busy-polls before
-/// parking. `0` parks immediately; malformed values fall back to the
-/// default (env knobs must never abort a run).
-fn spin_from_env() -> u32 {
+/// Spin default when ranks outnumber cores: park immediately. Spinning is
+/// a bet that the sender is running *right now* on another core; with the
+/// host oversubscribed the bet always loses — the receiver burns the very
+/// timeslice the sender needs to publish the message, and every spin pass
+/// delays it further. (This is what made the ring transport measurably
+/// slower than the always-blocking mpsc baseline on small hosts.)
+const OVERSUBSCRIBED_SPIN: u32 = 0;
+
+/// The spin budget for a `p`-rank run: `MP_COMM_SPIN` if set and
+/// well-formed, else [`DEFAULT_SPIN`] with at least one core per rank and
+/// [`OVERSUBSCRIBED_SPIN`] otherwise. Malformed values fall back to the
+/// same core-aware default (env knobs must never abort a run).
+fn spin_for(p: u64) -> u32 {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let default = if (p as usize) > cores {
+        OVERSUBSCRIBED_SPIN
+    } else {
+        DEFAULT_SPIN
+    };
     std::env::var("MP_COMM_SPIN")
         .ok()
         .and_then(|s| s.trim().parse::<u32>().ok())
-        .unwrap_or(DEFAULT_SPIN)
+        .unwrap_or(default)
 }
 
 /// Which wire [`run_threaded_with`] moves messages over.
@@ -347,7 +363,7 @@ where
     F: Fn(&mut ThreadedComm) -> R + Send + Sync,
 {
     assert!(p >= 1);
-    let spin_limit = spin_from_env();
+    let spin_limit = spin_for(p);
     let channels: Vec<Channel> = match transport {
         Transport::Mpsc => {
             let mut senders = Vec::with_capacity(p as usize);
@@ -882,14 +898,22 @@ mod tests {
         assert_eq!(Transport::from_env(), Transport::Ring);
         std::env::remove_var("MP_COMM_TRANSPORT");
         assert_eq!(Transport::from_env(), Transport::Ring);
-        // Spin budget: malformed falls back, 0 is a valid "park at once".
-        std::env::set_var("MP_COMM_SPIN", "banana");
-        assert_eq!(spin_from_env(), DEFAULT_SPIN);
+        // Spin budget: explicit values always win, 0 is a valid "park at
+        // once", and the default is core-aware — full spin when every rank
+        // can have a core, park-immediately when ranks oversubscribe.
         std::env::set_var("MP_COMM_SPIN", "0");
-        assert_eq!(spin_from_env(), 0);
+        assert_eq!(spin_for(1), 0);
         std::env::set_var("MP_COMM_SPIN", "5000");
-        assert_eq!(spin_from_env(), 5000);
+        assert_eq!(spin_for(1_000_000), 5000);
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get()) as u64;
+        for bad in ["banana", ""] {
+            std::env::set_var("MP_COMM_SPIN", bad);
+            assert_eq!(spin_for(1), DEFAULT_SPIN, "value {bad:?}");
+            assert_eq!(spin_for(cores), DEFAULT_SPIN, "value {bad:?}");
+            assert_eq!(spin_for(cores + 1), OVERSUBSCRIBED_SPIN, "value {bad:?}");
+        }
         std::env::remove_var("MP_COMM_SPIN");
-        assert_eq!(spin_from_env(), DEFAULT_SPIN);
+        assert_eq!(spin_for(cores), DEFAULT_SPIN);
+        assert_eq!(spin_for(cores + 1), OVERSUBSCRIBED_SPIN);
     }
 }

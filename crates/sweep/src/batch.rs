@@ -9,7 +9,9 @@
 //! the whole batch.
 
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use crate::simd::SimdLevel;
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
 
 /// A batch of kernels executed within a single sweep.
 ///
@@ -85,12 +87,35 @@ impl<K: LineSweepKernel> LineSweepKernel for BatchedKernel<K> {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        self.sweep_block_simd(
+            SimdLevel::Scalar,
+            dir,
+            nlines,
+            seg_len,
+            carries,
+            block,
+            ctxs,
+        );
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
         ctxs: &[SegmentCtx],
     ) {
         // The batch's line-major carry interleaves the members' carries per
         // line; each member's blocked path wants its own carries contiguous.
-        // De-interleave into one scratch buffer, reused across members.
+        // De-interleave into one scratch buffer, reused across members. The
+        // resolved SIMD level is forwarded to each member so a batch of
+        // Thomas/penta solves vectorizes exactly like the standalone kernels.
         let total = self.carry_len();
         debug_assert_eq!(carries.len(), nlines * total);
         let max_clen = self.members.iter().map(|k| k.carry_len()).max().unwrap();
@@ -105,7 +130,7 @@ impl<K: LineSweepKernel> LineSweepKernel for BatchedKernel<K> {
                 sc[l * clen..(l + 1) * clen]
                     .copy_from_slice(&carries[l * total + off..l * total + off + clen]);
             }
-            k.sweep_block(dir, nlines, seg_len, sc, b, ctxs);
+            k.sweep_block_simd(level, dir, nlines, seg_len, sc, b, ctxs);
             for l in 0..nlines {
                 carries[l * total + off..l * total + off + clen]
                     .copy_from_slice(&sc[l * clen..(l + 1) * clen]);

@@ -22,8 +22,9 @@
 // iterator zips would obscure the stencil structure.
 #![allow(clippy::needless_range_loop)]
 
-use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use crate::recurrence::{debug_assert_block_aligned, LineSweepKernel, SegmentCtx};
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
 
 /// An N×N block (row-major).
 pub type Mat<const N: usize> = [[f64; N]; N];
@@ -309,12 +310,13 @@ impl<const N: usize, S: BlockCoeffs<N>> LineSweepKernel for BlockTriForwardKerne
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Forward);
         let clen = N * N + N;
         debug_assert_eq!(carries.len(), nlines * clen);
+        debug_assert_block_aligned(block);
         // Per-element work here is a 5×5 inverse — lanes can't be usefully
         // vectorized, so iterate line-outer over the line-minor layout
         // (stride `nlines`), which still skips the fallback's copies.
@@ -442,12 +444,13 @@ impl<const N: usize> LineSweepKernel for BlockTriBackwardKernel<N> {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Backward);
         let clen = N + 1;
         debug_assert_eq!(carries.len(), nlines * clen);
+        debug_assert_block_aligned(block);
         for l in 0..nlines {
             let carry = &mut carries[l * clen..(l + 1) * clen];
             let mut x_next: VecN<N> = [0.0; N];
@@ -733,7 +736,7 @@ mod tests {
         let bwd = BlockTriBackwardKernel::<3>::new(&scratch_idx, &rhs_idx);
 
         let mut next = rng(17);
-        let mk_block = |next: &mut dyn FnMut() -> f64| -> Vec<Vec<f64>> {
+        let mk_block = |next: &mut dyn FnMut() -> f64| -> Vec<AlignedVec> {
             (0..12)
                 .map(|_| (0..seg_len * nlines).map(|_| next()).collect())
                 .collect()

@@ -33,6 +33,7 @@ use crate::executor::{
 };
 use crate::pool::WorkerPool;
 use crate::recurrence::LineSweepKernel;
+use crate::simd::{SimdLevel, SimdMode};
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_core::plan::SweepPlan;
 use mp_grid::{HaloPlan, RankStore};
@@ -63,6 +64,9 @@ pub struct PlanKey {
     pub block_width: usize,
     /// Carry sub-messages per phase boundary (1 = aggregated).
     pub pipeline_chunks: usize,
+    /// Requested SIMD dispatch mode (resolved to a concrete level once at
+    /// build time — see [`CompiledSweep::simd_level`]).
+    pub simd: SimdMode,
 }
 
 /// One pipelined chunk: a contiguous job range and its carry element span
@@ -185,6 +189,9 @@ pub struct CompiledSweep {
     pool: Option<Arc<WorkerPool>>,
     /// What `opts.pool` was at build time (compared by `matches`).
     pool_enabled: bool,
+    /// SIMD level resolved once at build time from `key.simd` and the
+    /// hardware — steady-state execution never re-detects features.
+    simd: SimdLevel,
     /// Locally recycled message buffers (self-neighbor path / pool-less comms).
     spare: Vec<Vec<f64>>,
     /// Local carry hand-off buffer for self-neighbor schedules.
@@ -350,6 +357,7 @@ impl CompiledSweep {
                 carry_len: clen,
                 block_width: bw,
                 pipeline_chunks: kmax,
+                simd: opts.simd,
             },
             rank,
             d,
@@ -361,6 +369,7 @@ impl CompiledSweep {
             workers: make_workers(opts.threads, nfields),
             pool,
             pool_enabled: opts.pool,
+            simd: opts.simd.resolve(),
             spare: Vec::new(),
             local_carry: Vec::new(),
         };
@@ -373,6 +382,12 @@ impl CompiledSweep {
     /// What this plan was built for.
     pub fn key(&self) -> &PlanKey {
         &self.key
+    }
+
+    /// The SIMD level every block job runs at, resolved once at build time
+    /// from the requested [`SweepOptions::simd`] mode and the hardware.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.simd
     }
 
     /// True when the plan can serve a call with these parameters without
@@ -396,6 +411,7 @@ impl CompiledSweep {
             && self.key.carry_len == kernel.carry_len()
             && self.key.block_width == opts.block_width.max(1)
             && self.key.pipeline_chunks == opts.pipeline_chunks.max(1)
+            && self.key.simd == opts.simd
             && self.threads == opts.threads.max(1)
             && self.pool_enabled == opts.pool
     }
@@ -514,6 +530,7 @@ impl CompiledSweep {
             fms,
             workers,
             pool,
+            simd,
             spare,
             local_carry,
             ..
@@ -579,7 +596,7 @@ impl CompiledSweep {
             // 4. Run the jobs — inline, or spread over worker threads.
             let t_run = comm.tracer().is_some().then(Instant::now);
             let njobs = pp.jobs.len();
-            let shared = shared_phase(pp, fms, kernel, key, *d);
+            let shared = shared_phase(pp, fms, kernel, key, *d, *simd);
             crate::executor::run_jobs(
                 &shared,
                 &pp.wspans,
@@ -621,6 +638,7 @@ impl CompiledSweep {
             fms,
             workers,
             pool,
+            simd,
             ..
         } = self;
         let clen = key.carry_len;
@@ -658,7 +676,7 @@ impl CompiledSweep {
             debug_assert!(next.is_empty() && local_next.is_empty());
 
             refresh_fms(fms, pp, store, &key.fields);
-            let shared = shared_phase(pp, fms, kernel, key, *d);
+            let shared = shared_phase(pp, fms, kernel, key, *d, *simd);
 
             for (j, span) in pp.chunks.iter().enumerate() {
                 let ChunkSpan { jlo, jhi, elo, ehi } = *span;
@@ -768,6 +786,7 @@ fn shared_phase<'a, K: LineSweepKernel + ?Sized>(
     kernel: &'a K,
     key: &PlanKey,
     d: usize,
+    simd: SimdLevel,
 ) -> SharedPhase<'a, K> {
     SharedPhase {
         jobs: &pp.jobs,
@@ -782,6 +801,7 @@ fn shared_phase<'a, K: LineSweepKernel + ?Sized>(
         d,
         nfields: key.fields.len(),
         clen: key.carry_len,
+        simd,
     }
 }
 

@@ -30,9 +30,10 @@
 //! `compute_rhs`), with the same per-direction aggregation.
 
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use crate::simd::{SimdLevel, SimdMode};
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_grid::lines::{gather_line_raw, scatter_line_raw};
-use mp_grid::{HaloPlan, RankStore, TileGrid};
+use mp_grid::{AlignedVec, HaloPlan, RankStore, TileGrid};
 use mp_runtime::comm::{Communicator, Tag};
 use std::time::Instant;
 
@@ -65,6 +66,14 @@ pub struct SweepOptions {
     /// identical either way — `false` keeps the spawn-per-phase path as an
     /// A/B baseline.
     pub pool: bool,
+    /// Which kernel vectorization level to use (see [`crate::simd`]):
+    /// [`SimdMode::Auto`] (the default) resolves to the widest path the CPU
+    /// supports at plan-build time, [`SimdMode::Avx2`] forces the AVX2 path
+    /// (panics at plan build if the CPU lacks it), [`SimdMode::Scalar`]
+    /// forces the portable scalar path. Results are bitwise identical in
+    /// every mode; the knob exists for A/B measurement and as an escape
+    /// hatch.
+    pub simd: SimdMode,
 }
 
 impl SweepOptions {
@@ -76,6 +85,7 @@ impl SweepOptions {
             threads: threads.max(1),
             pipeline_chunks: 1,
             pool: true,
+            simd: SimdMode::Auto,
         }
     }
 
@@ -92,6 +102,12 @@ impl SweepOptions {
         self
     }
 
+    /// Same options with an explicit kernel vectorization mode.
+    pub fn with_simd(mut self, simd: SimdMode) -> Self {
+        self.simd = simd;
+        self
+    }
+
     /// Options from the environment — the single documented place every
     /// entry point (CLI, examples, benches) reads the sweep knobs from:
     ///
@@ -101,6 +117,7 @@ impl SweepOptions {
     /// | `MP_SWEEP_THREADS`  | worker threads per rank           | 1       |
     /// | `MP_SWEEP_PIPELINE` | carry sub-messages per boundary   | 1       |
     /// | `MP_SWEEP_POOL`     | persistent worker pool on/off     | on      |
+    /// | `MP_SWEEP_SIMD`     | kernel path: `auto`/`avx2`/`scalar` | auto  |
     ///
     /// Malformed or out-of-range values (empty, non-numeric, `0` for the
     /// numeric knobs) fall back to the default rather than panicking — env
@@ -114,6 +131,7 @@ impl SweepOptions {
         )
         .with_pipeline_chunks(env_usize("MP_SWEEP_PIPELINE", 1))
         .with_pool(env_switch("MP_SWEEP_POOL"))
+        .with_simd(SimdMode::from_env())
     }
 }
 
@@ -199,8 +217,9 @@ pub(crate) struct BlockJob {
 /// shared, so workers never contend and phases never allocate in steady
 /// state.
 pub(crate) struct WorkerScratch {
-    /// One line-minor block buffer per kernel field.
-    bufs: Vec<Vec<f64>>,
+    /// One line-minor block buffer per kernel field (64-byte aligned so the
+    /// vectorized kernels can use aligned loads).
+    bufs: Vec<AlignedVec>,
     /// Per-line contexts, mutated in place.
     ctxs: Vec<SegmentCtx>,
     /// Per-(line, field) element offsets, flattened `l * nfields + f`.
@@ -212,7 +231,7 @@ pub(crate) struct WorkerScratch {
 impl WorkerScratch {
     fn new(nfields: usize) -> Self {
         WorkerScratch {
-            bufs: vec![Vec::new(); nfields],
+            bufs: vec![AlignedVec::new(); nfields],
             ctxs: Vec::new(),
             offsets: Vec::new(),
             base: Vec::new(),
@@ -246,6 +265,9 @@ pub(crate) struct SharedPhase<'a, K: ?Sized> {
     pub(crate) d: usize,
     pub(crate) nfields: usize,
     pub(crate) clen: usize,
+    /// Vectorization level resolved once at plan-build time — steady-state
+    /// execution never re-detects CPU features.
+    pub(crate) simd: SimdLevel,
 }
 
 /// Run one block job: decode its line bases, gather the lines into the
@@ -354,7 +376,7 @@ fn run_block<K: LineSweepKernel + ?Sized>(
     let carries = unsafe { std::slice::from_raw_parts_mut(out.ptr.add(off), nl * sh.clen) };
 
     sh.kernel
-        .sweep_block(sh.dir, nl, seg_len, carries, bufs, &ctxs[..nl]);
+        .sweep_block_simd(sh.simd, sh.dir, nl, seg_len, carries, bufs, &ctxs[..nl]);
 
     for (f, buf) in bufs.iter().enumerate() {
         let fm = &sh.fms[t * nf + f];

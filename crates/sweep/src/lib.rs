@@ -18,6 +18,8 @@
 //!   into eagerly sent sub-messages that overlap with block computation;
 //! * [`pool`] — the persistent per-rank [`pool::WorkerPool`] that executes
 //!   phases without per-phase thread spawns;
+//! * [`simd`] — lane-vectorized (AVX2) fast paths for the hot kernels with
+//!   plan-time runtime dispatch, bitwise identical to the scalar paths;
 //! * [`baselines`] — the two classical alternatives the paper positions
 //!   against: static block unipartitioning with wavefront pipelining, and
 //!   dynamic block partitioning with transposes;
@@ -36,6 +38,7 @@ pub mod penta;
 pub mod pipeline;
 pub mod pool;
 pub mod recurrence;
+pub mod simd;
 pub mod simulate;
 pub mod thomas;
 pub mod verify;
@@ -57,4 +60,5 @@ pub use pool::WorkerPool;
 pub use recurrence::{
     per_line_sweep_block, FirstOrderKernel, LineSweepKernel, PrefixSumKernel, SegmentCtx,
 };
+pub use simd::{SimdLevel, SimdMode};
 pub use thomas::{thomas_solve, ThomasBackwardKernel, ThomasForwardKernel};

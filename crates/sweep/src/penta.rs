@@ -21,8 +21,10 @@
 // iterator zips would obscure the stencil structure.
 #![allow(clippy::needless_range_loop)]
 
-use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use crate::recurrence::{debug_assert_block_aligned, LineSweepKernel, SegmentCtx};
+use crate::simd::SimdLevel;
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
 
 /// Eliminate one row given the two previous eliminated rows.
 ///
@@ -196,11 +198,12 @@ impl LineSweepKernel for PentaForwardKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Forward);
         debug_assert_eq!(carries.len(), 6 * nlines);
+        debug_assert_block_aligned(block);
         let (ead, cfb) = block.split_at_mut(3);
         for k in 0..seg_len {
             let r = k * nlines;
@@ -229,6 +232,41 @@ impl LineSweepKernel for PentaForwardKernel {
                 cl[2] = row.2;
             }
         }
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx2 {
+            assert_eq!(dir, Direction::Forward);
+            debug_assert_eq!(carries.len(), 6 * nlines);
+            debug_assert_block_aligned(block);
+            let (ead, cfb) = block.split_at_mut(3);
+            let (cc, fb) = cfb.split_at_mut(1);
+            let (ff, bb) = fb.split_at_mut(1);
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            unsafe {
+                crate::simd::avx2::penta_forward(
+                    nlines,
+                    seg_len,
+                    carries,
+                    [&ead[0], &ead[1], &ead[2]],
+                    &mut cc[0],
+                    &mut ff[0],
+                    &mut bb[0],
+                );
+            }
+            return;
+        }
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 
@@ -296,11 +334,12 @@ impl LineSweepKernel for PentaBackwardKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Backward);
         debug_assert_eq!(carries.len(), 3 * nlines);
+        debug_assert_block_aligned(block);
         let (cf, bb) = block.split_at_mut(2);
         let bb = &mut bb[0];
         for k in 0..seg_len {
@@ -321,6 +360,33 @@ impl LineSweepKernel for PentaBackwardKernel {
                 }
             }
         }
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx2 {
+            assert_eq!(dir, Direction::Backward);
+            debug_assert_eq!(carries.len(), 3 * nlines);
+            debug_assert_block_aligned(block);
+            let (cf, bb) = block.split_at_mut(2);
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            unsafe {
+                crate::simd::avx2::penta_backward(
+                    nlines, seg_len, carries, &cf[0], &cf[1], &mut bb[0],
+                );
+            }
+            return;
+        }
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 

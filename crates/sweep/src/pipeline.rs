@@ -309,12 +309,26 @@ mod tests {
             std::env::set_var("MP_SWEEP_POOL", val);
             assert_eq!(SweepOptions::from_env().pool, want, "value {val:?}");
         }
+        // MP_SWEEP_SIMD picks the dispatch mode; anything unrecognized
+        // (including garbage) falls back to auto rather than erroring.
+        for (val, want) in [
+            ("scalar", crate::SimdMode::Scalar),
+            ("AVX2", crate::SimdMode::Avx2),
+            (" auto ", crate::SimdMode::Auto),
+            ("banana", crate::SimdMode::Auto),
+            ("", crate::SimdMode::Auto),
+        ] {
+            std::env::set_var("MP_SWEEP_SIMD", val);
+            assert_eq!(SweepOptions::from_env().simd, want, "value {val:?}");
+        }
         std::env::remove_var("MP_SWEEP_PIPELINE");
         std::env::remove_var("MP_SWEEP_THREADS");
         std::env::remove_var("MP_SWEEP_BLOCK");
         std::env::remove_var("MP_SWEEP_POOL");
+        std::env::remove_var("MP_SWEEP_SIMD");
         let o = SweepOptions::default(); // Default == from_env
         assert_eq!((o.block_width, o.threads, o.pipeline_chunks), (32, 1, 1));
         assert!(o.pool, "pool defaults to on");
+        assert_eq!(o.simd, crate::SimdMode::Auto, "simd defaults to auto");
     }
 }

@@ -12,6 +12,26 @@
 //! the property the verification tests lean on.
 
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
+
+/// Debug-build check of the blocked-kernel alignment contract: every field
+/// buffer handed to [`LineSweepKernel::sweep_block`] starts on a 64-byte
+/// boundary ([`mp_grid::aligned::ALIGN`]). [`AlignedVec`] guarantees this by
+/// construction; the assert pins the contract at every kernel entry so a
+/// future caller that fabricates buffers some other way fails loudly in
+/// debug builds instead of silently running the vector path on unaligned
+/// memory.
+#[inline]
+pub fn debug_assert_block_aligned(block: &[AlignedVec]) {
+    if cfg!(debug_assertions) {
+        for (f, b) in block.iter().enumerate() {
+            debug_assert!(
+                b.is_empty() || (b.as_ptr() as usize).is_multiple_of(mp_grid::aligned::ALIGN),
+                "sweep_block field {f} buffer is not 64-byte aligned"
+            );
+        }
+    }
+}
 
 /// Where a segment sits in the global domain — lets kernels compute
 /// position-dependent coefficients on the fly instead of storing them in
@@ -114,10 +134,32 @@ pub trait LineSweepKernel: Sync {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         ctxs: &[SegmentCtx],
     ) {
         per_line_sweep_block(self, dir, nlines, seg_len, carries, block, ctxs);
+    }
+
+    /// Like [`LineSweepKernel::sweep_block`], but with the vectorization
+    /// level the plan resolved at build time. Kernels with a SIMD fast path
+    /// (Thomas, penta, prefix/first-order — see [`crate::simd`]) override
+    /// this and branch once on `level`; every other kernel inherits this
+    /// default and ignores it, so the scalar blocked paths stay the single
+    /// source of truth for the arithmetic. Overrides must remain **bitwise
+    /// identical** to `sweep_block` for every input.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_block_simd(
+        &self,
+        level: crate::simd::SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        let _ = level;
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 
@@ -130,12 +172,13 @@ pub fn per_line_sweep_block<K: LineSweepKernel + ?Sized>(
     nlines: usize,
     seg_len: usize,
     carries: &mut [f64],
-    block: &mut [Vec<f64>],
+    block: &mut [AlignedVec],
     ctxs: &[SegmentCtx],
 ) {
     let clen = kernel.carry_len();
     debug_assert_eq!(carries.len(), nlines * clen);
     debug_assert_eq!(ctxs.len(), nlines);
+    debug_assert_block_aligned(block);
     let mut seg: Vec<Vec<f64>> = vec![vec![0.0; seg_len]; block.len()];
     for l in 0..nlines {
         for (s, b) in seg.iter_mut().zip(block.iter()) {
@@ -206,10 +249,11 @@ impl LineSweepKernel for PrefixSumKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         debug_assert_eq!(carries.len(), nlines);
+        debug_assert_block_aligned(block);
         let buf = &mut block[0];
         for k in 0..seg_len {
             let row = &mut buf[k * nlines..(k + 1) * nlines];
@@ -218,6 +262,27 @@ impl LineSweepKernel for PrefixSumKernel {
                 *v = *acc;
             }
         }
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: crate::simd::SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level == crate::simd::SimdLevel::Avx2 {
+            debug_assert_eq!(carries.len(), nlines);
+            debug_assert_block_aligned(block);
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            unsafe { crate::simd::avx2::prefix_sum(nlines, seg_len, carries, &mut block[0]) };
+            return;
+        }
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 
@@ -271,10 +336,11 @@ impl LineSweepKernel for FirstOrderKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         debug_assert_eq!(carries.len(), nlines);
+        debug_assert_block_aligned(block);
         let buf = &mut block[0];
         for k in 0..seg_len {
             let row = &mut buf[k * nlines..(k + 1) * nlines];
@@ -283,6 +349,29 @@ impl LineSweepKernel for FirstOrderKernel {
                 *prev = *v;
             }
         }
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: crate::simd::SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level == crate::simd::SimdLevel::Avx2 {
+            debug_assert_eq!(carries.len(), nlines);
+            debug_assert_block_aligned(block);
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            unsafe {
+                crate::simd::avx2::first_order(self.a, nlines, seg_len, carries, &mut block[0]);
+            }
+            return;
+        }
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 
@@ -364,10 +453,11 @@ mod tests {
     }
 
     /// Pack per-line data into a line-minor block buffer.
-    fn pack_block(lines: &[Vec<f64>]) -> Vec<f64> {
+    fn pack_block(lines: &[Vec<f64>]) -> AlignedVec {
         let nl = lines.len();
         let n = lines[0].len();
-        let mut out = vec![0.0; n * nl];
+        let mut out = AlignedVec::new();
+        out.resize(n * nl, 0.0);
         for (l, line) in lines.iter().enumerate() {
             for (k, &v) in line.iter().enumerate() {
                 out[k * nl + l] = v;

@@ -1,0 +1,580 @@
+//! Lane-vectorized sweep microkernels with runtime dispatch.
+//!
+//! The blocked kernels operate on **line-minor** buffers (element `k` of
+//! line `l` at `buf[k·nlines + l]`), so consecutive lanes of a 256-bit
+//! vector are consecutive *lines* — independent recurrences. Vectorizing
+//! across lines therefore performs, per line, exactly the arithmetic of the
+//! scalar blocked loop: same operations, same order, each individually
+//! IEEE-rounded. That makes the AVX2 paths here **bitwise identical** to
+//! the scalar kernels (asserted exhaustively by the property tests), which
+//! in turn keeps every distributed-equals-serial guarantee of the repo
+//! intact regardless of which path a rank happens to dispatch to.
+//!
+//! Two deliberate consequences of the bitwise contract:
+//!
+//! * **No FMA contraction.** `b − a·c` is computed as a rounded multiply
+//!   followed by a rounded subtract (`_mm256_mul_pd` + `_mm256_sub_pd`),
+//!   never `_mm256_fnmadd_pd` — a fused operation rounds once and would
+//!   produce different bits than the scalar path. FMA presence is still
+//!   part of the dispatch gate (every AVX2 CPU the kernels target has it,
+//!   and keeping the gate strict leaves room to add contracted *non-exact*
+//!   kernels later without re-detecting).
+//! * **Branchless boundary handling.** Data-dependent branches in the
+//!   scalar kernels (the Thomas back-substitution validity flag, the penta
+//!   back-substitution count) become vector compares + blends that
+//!   reproduce the scalar selects lane-for-lane.
+//!
+//! Dispatch is resolved **once at plan-build time**: [`SimdMode`] (the
+//! `SweepOptions::simd` knob / `MP_SWEEP_SIMD` env var) resolves to a
+//! [`SimdLevel`] via `is_x86_feature_detected!`, and the level is recorded
+//! in the compiled plan — steady-state execution is branch-free and never
+//! re-detects CPU features. Lane groups of 4 lines run vectorized; the
+//! `nlines % 4` tail lines run the scalar recurrence per line (identical
+//! arithmetic, just unrolled by lane), so any block width works.
+
+// Scalar tail loops index `carries[l]` alongside `buf[k·nlines + l]`; the
+// raw index mirrors the lane code above each tail.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// Requested vectorization mode — the `SweepOptions::simd` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdMode {
+    /// Use the widest path the CPU supports (the default).
+    Auto,
+    /// Prefer the AVX2 path. Falls back to scalar when the CPU lacks
+    /// AVX2+FMA — env knobs must never abort a run; `mpart profile` reports
+    /// the path actually dispatched.
+    Avx2,
+    /// Force the portable scalar path (A/B baseline, escape hatch).
+    Scalar,
+}
+
+impl SimdMode {
+    /// Parse a knob value: `auto`, `avx2`, or `scalar` (any case,
+    /// surrounding whitespace ignored). Anything else — including the empty
+    /// string — is `Auto`, per the repo's env-knobs-never-abort contract.
+    pub fn parse(s: &str) -> SimdMode {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "avx2" => SimdMode::Avx2,
+            "scalar" => SimdMode::Scalar,
+            _ => SimdMode::Auto,
+        }
+    }
+
+    /// Mode from the `MP_SWEEP_SIMD` environment variable (unset or
+    /// malformed → [`SimdMode::Auto`]).
+    pub fn from_env() -> SimdMode {
+        std::env::var("MP_SWEEP_SIMD")
+            .map(|s| SimdMode::parse(&s))
+            .unwrap_or(SimdMode::Auto)
+    }
+
+    /// Resolve the mode against the running CPU — the **single** feature
+    /// detection point, called at plan-build time and recorded into the
+    /// compiled plan.
+    pub fn resolve(self) -> SimdLevel {
+        match self {
+            SimdMode::Scalar => SimdLevel::Scalar,
+            SimdMode::Auto | SimdMode::Avx2 => {
+                if avx2_available() {
+                    SimdLevel::Avx2
+                } else {
+                    SimdLevel::Scalar
+                }
+            }
+        }
+    }
+
+    /// The knob's canonical spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdMode::Auto => "auto",
+            SimdMode::Avx2 => "avx2",
+            SimdMode::Scalar => "scalar",
+        }
+    }
+}
+
+impl fmt::Display for SimdMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The vectorization level a plan actually dispatches to (a resolved
+/// [`SimdMode`]). `Avx2` is only ever constructed after feature detection
+/// succeeded, so kernels may call the `avx2` intrinsics unconditionally
+/// when handed this level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar blocked kernels.
+    Scalar,
+    /// 4-lane AVX2 kernels (with scalar tail lines).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// The level's display name (`mpart profile` prints this).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether the AVX2 fast paths can run on this CPU (AVX2 **and** FMA; see
+/// the module docs for why FMA is gated but never contracted).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The AVX2 kernel bodies. Every function is `unsafe` with the same
+/// contract: the caller must have verified AVX2+FMA support (guaranteed by
+/// only reaching these through [`SimdLevel::Avx2`]).
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Lanes per vector iteration (`__m256d` holds 4 `f64`).
+    pub(crate) const LANES: usize = 4;
+
+    /// Transpose the line-major carries of lanes `l0..l0+4` (carry length
+    /// `C` per line) into `C` lane vectors. Done once per lane group, so
+    /// the scalar shuffle cost is amortized over the whole segment.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn load_carries<const C: usize>(carries: &[f64], l0: usize) -> [__m256d; C] {
+        let mut out = [_mm256_setzero_pd(); C];
+        for (j, v) in out.iter_mut().enumerate() {
+            let mut t = [0.0f64; LANES];
+            for (i, ti) in t.iter_mut().enumerate() {
+                *ti = carries[(l0 + i) * C + j];
+            }
+            *v = _mm256_loadu_pd(t.as_ptr());
+        }
+        out
+    }
+
+    /// Inverse of [`load_carries`].
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn store_carries<const C: usize>(carries: &mut [f64], l0: usize, v: &[__m256d; C]) {
+        for (j, vj) in v.iter().enumerate() {
+            let mut t = [0.0f64; LANES];
+            _mm256_storeu_pd(t.as_mut_ptr(), *vj);
+            for (i, ti) in t.iter().enumerate() {
+                carries[(l0 + i) * C + j] = *ti;
+            }
+        }
+    }
+
+    /// Panic like the scalar Thomas kernels when any lane's pivot is zero.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn check_pivot(denom: __m256d, msg: &'static str) {
+        let zero = _mm256_setzero_pd();
+        if _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_EQ_OQ>(denom, zero)) != 0 {
+            panic!("{}", msg);
+        }
+    }
+
+    /// Thomas forward elimination, 4 lines per iteration. Mirrors
+    /// `ThomasForwardKernel::sweep_block`: per line
+    /// `c' = c/(b − a·c'_prev)`, `d' = (d − a·d'_prev)/(b − a·c'_prev)`,
+    /// with the multiply and subtract rounded separately (no FMA) and the
+    /// quotient by vector division — all three correctly rounded, hence
+    /// lane-wise bitwise equal to the scalar loop.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn thomas_forward(
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        aa: &[f64],
+        bb: &[f64],
+        cc: &mut [f64],
+        dd: &mut [f64],
+    ) {
+        // Two lane groups (8 lines) advance together through the segment:
+        // each group's recurrence is a serial multiply–subtract–divide
+        // dependency chain, so a lone group leaves the divider idle most of
+        // the time. Interleaving a second, independent chain roughly doubles
+        // throughput. Lanes still see the exact per-line operation sequence.
+        let full = nlines / LANES * LANES;
+        let paired = full / (2 * LANES) * (2 * LANES);
+        for l0 in (0..paired).step_by(2 * LANES) {
+            let l1 = l0 + LANES;
+            let [mut cp0, mut dp0] = load_carries::<2>(carries, l0);
+            let [mut cp1, mut dp1] = load_carries::<2>(carries, l1);
+            for k in 0..seg_len {
+                let r0 = k * nlines + l0;
+                let r1 = k * nlines + l1;
+                let a0 = _mm256_loadu_pd(aa.as_ptr().add(r0));
+                let a1 = _mm256_loadu_pd(aa.as_ptr().add(r1));
+                let b0 = _mm256_loadu_pd(bb.as_ptr().add(r0));
+                let b1 = _mm256_loadu_pd(bb.as_ptr().add(r1));
+                let denom0 = _mm256_sub_pd(b0, _mm256_mul_pd(a0, cp0));
+                let denom1 = _mm256_sub_pd(b1, _mm256_mul_pd(a1, cp1));
+                check_pivot(denom0, "zero pivot");
+                check_pivot(denom1, "zero pivot");
+                let c0 = _mm256_loadu_pd(cc.as_ptr().add(r0));
+                let c1 = _mm256_loadu_pd(cc.as_ptr().add(r1));
+                let d0 = _mm256_loadu_pd(dd.as_ptr().add(r0));
+                let d1 = _mm256_loadu_pd(dd.as_ptr().add(r1));
+                cp0 = _mm256_div_pd(c0, denom0);
+                cp1 = _mm256_div_pd(c1, denom1);
+                dp0 = _mm256_div_pd(_mm256_sub_pd(d0, _mm256_mul_pd(a0, dp0)), denom0);
+                dp1 = _mm256_div_pd(_mm256_sub_pd(d1, _mm256_mul_pd(a1, dp1)), denom1);
+                _mm256_storeu_pd(cc.as_mut_ptr().add(r0), cp0);
+                _mm256_storeu_pd(cc.as_mut_ptr().add(r1), cp1);
+                _mm256_storeu_pd(dd.as_mut_ptr().add(r0), dp0);
+                _mm256_storeu_pd(dd.as_mut_ptr().add(r1), dp1);
+            }
+            store_carries::<2>(carries, l0, &[cp0, dp0]);
+            store_carries::<2>(carries, l1, &[cp1, dp1]);
+        }
+        for l0 in (paired..full).step_by(LANES) {
+            let [mut cp, mut dp] = load_carries::<2>(carries, l0);
+            for k in 0..seg_len {
+                let r = k * nlines + l0;
+                let a = _mm256_loadu_pd(aa.as_ptr().add(r));
+                let b = _mm256_loadu_pd(bb.as_ptr().add(r));
+                let denom = _mm256_sub_pd(b, _mm256_mul_pd(a, cp));
+                check_pivot(denom, "zero pivot");
+                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
+                let d = _mm256_loadu_pd(dd.as_ptr().add(r));
+                cp = _mm256_div_pd(c, denom);
+                dp = _mm256_div_pd(_mm256_sub_pd(d, _mm256_mul_pd(a, dp)), denom);
+                _mm256_storeu_pd(cc.as_mut_ptr().add(r), cp);
+                _mm256_storeu_pd(dd.as_mut_ptr().add(r), dp);
+            }
+            store_carries::<2>(carries, l0, &[cp, dp]);
+        }
+        // Scalar tail: the remaining `nlines % 4` lines, one at a time with
+        // the carry in registers (same arithmetic as the blocked scalar
+        // kernel, reordered only across independent lines).
+        for l in full..nlines {
+            let mut cp = carries[2 * l];
+            let mut dp = carries[2 * l + 1];
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                let ak = aa[r];
+                let denom = bb[r] - ak * cp;
+                assert!(denom != 0.0, "zero pivot");
+                cp = cc[r] / denom;
+                dp = (dd[r] - ak * dp) / denom;
+                cc[r] = cp;
+                dd[r] = dp;
+            }
+            carries[2 * l] = cp;
+            carries[2 * l + 1] = dp;
+        }
+    }
+
+    /// Thomas back substitution, 4 lines per iteration. The scalar kernel's
+    /// `valid` carry flag (`x = d − c·x_next` once a downstream row exists,
+    /// else `x = d`) becomes a compare + blend; after the first element
+    /// every lane is valid, exactly as in the scalar loop.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn thomas_backward(
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        cc: &[f64],
+        dd: &mut [f64],
+    ) {
+        let zero = _mm256_setzero_pd();
+        let one = _mm256_set1_pd(1.0);
+        let full = nlines / LANES * LANES;
+        for l0 in (0..full).step_by(LANES) {
+            let [mut xv, mut validv] = load_carries::<2>(carries, l0);
+            for k in 0..seg_len {
+                let r = k * nlines + l0;
+                let d = _mm256_loadu_pd(dd.as_ptr().add(r));
+                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
+                let cand = _mm256_sub_pd(d, _mm256_mul_pd(c, xv));
+                // `valid != 0.0` — unordered-NEQ matches scalar `!=` on NaN.
+                let m = _mm256_cmp_pd::<_CMP_NEQ_UQ>(validv, zero);
+                xv = _mm256_blendv_pd(d, cand, m);
+                _mm256_storeu_pd(dd.as_mut_ptr().add(r), xv);
+                validv = one;
+            }
+            store_carries::<2>(carries, l0, &[xv, validv]);
+        }
+        for l in full..nlines {
+            let mut x_next = carries[2 * l];
+            let mut valid = carries[2 * l + 1];
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                let dk = dd[r];
+                let xk = if valid != 0.0 {
+                    dk - cc[r] * x_next
+                } else {
+                    dk
+                };
+                dd[r] = xk;
+                x_next = xk;
+                valid = 1.0;
+            }
+            carries[2 * l] = x_next;
+            carries[2 * l + 1] = valid;
+        }
+    }
+
+    /// Pentadiagonal forward elimination, 4 lines per iteration. Mirrors
+    /// `eliminate_row` operation-for-operation (see `mp-sweep::penta`),
+    /// carrying the two previous eliminated rows (6 values per line) in six
+    /// lane vectors across the whole segment.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn penta_forward(
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        ead: [&[f64]; 3],
+        cc: &mut [f64],
+        ff: &mut [f64],
+        bb: &mut [f64],
+    ) {
+        let [ee, aa, dd] = ead;
+        let full = nlines / LANES * LANES;
+        for l0 in (0..full).step_by(LANES) {
+            // Carry layout per line: [C1, F1, B1, C2, F2, B2] — row i−1
+            // then row i−2, exactly as the scalar kernel stores them.
+            let [mut p1c, mut p1f, mut p1b, mut p2c, mut p2f, mut p2b] =
+                load_carries::<6>(carries, l0);
+            for k in 0..seg_len {
+                let r = k * nlines + l0;
+                let e = _mm256_loadu_pd(ee.as_ptr().add(r));
+                let a = _mm256_loadu_pd(aa.as_ptr().add(r));
+                let d = _mm256_loadu_pd(dd.as_ptr().add(r));
+                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
+                let f = _mm256_loadu_pd(ff.as_ptr().add(r));
+                let b = _mm256_loadu_pd(bb.as_ptr().add(r));
+                // Substitute x_{i−2} via row i−2.
+                let a1 = _mm256_sub_pd(a, _mm256_mul_pd(e, p2c));
+                let d1 = _mm256_sub_pd(d, _mm256_mul_pd(e, p2f));
+                let b1 = _mm256_sub_pd(b, _mm256_mul_pd(e, p2b));
+                // Substitute x_{i−1} via row i−1.
+                let den = _mm256_sub_pd(d1, _mm256_mul_pd(a1, p1c));
+                check_pivot(den, "zero pivot in pentadiagonal elimination");
+                let c1 = _mm256_sub_pd(c, _mm256_mul_pd(a1, p1f));
+                let b2 = _mm256_sub_pd(b1, _mm256_mul_pd(a1, p1b));
+                let nc = _mm256_div_pd(c1, den);
+                let nf = _mm256_div_pd(f, den);
+                let nb = _mm256_div_pd(b2, den);
+                _mm256_storeu_pd(cc.as_mut_ptr().add(r), nc);
+                _mm256_storeu_pd(ff.as_mut_ptr().add(r), nf);
+                _mm256_storeu_pd(bb.as_mut_ptr().add(r), nb);
+                p2c = p1c;
+                p2f = p1f;
+                p2b = p1b;
+                p1c = nc;
+                p1f = nf;
+                p1b = nb;
+            }
+            store_carries::<6>(carries, l0, &[p1c, p1f, p1b, p2c, p2f, p2b]);
+        }
+        for l in full..nlines {
+            let cl = &mut carries[6 * l..6 * l + 6];
+            let mut p1 = (cl[0], cl[1], cl[2]);
+            let mut p2 = (cl[3], cl[4], cl[5]);
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                let row =
+                    crate::penta::eliminate_row((ee[r], aa[r], dd[r], cc[r], ff[r], bb[r]), p1, p2);
+                cc[r] = row.0;
+                ff[r] = row.1;
+                bb[r] = row.2;
+                p2 = p1;
+                p1 = row;
+            }
+            cl[0] = p1.0;
+            cl[1] = p1.1;
+            cl[2] = p1.2;
+            cl[3] = p2.0;
+            cl[4] = p2.1;
+            cl[5] = p2.2;
+        }
+    }
+
+    /// Pentadiagonal back substitution, 4 lines per iteration. The scalar
+    /// kernel's 3-way `count` match (how many downstream solution values
+    /// exist yet: 0, 1, or 2) becomes two `≥` masks and a blend chain that
+    /// keeps the scalar's left-associated `b − C·x₁ − F·x₂` rounding order.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn penta_backward(
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        cc: &[f64],
+        ff: &[f64],
+        bb: &mut [f64],
+    ) {
+        let one = _mm256_set1_pd(1.0);
+        let two = _mm256_set1_pd(2.0);
+        let full = nlines / LANES * LANES;
+        for l0 in (0..full).step_by(LANES) {
+            let [mut x1, mut x2, mut count] = load_carries::<3>(carries, l0);
+            for k in 0..seg_len {
+                let r = k * nlines + l0;
+                let b = _mm256_loadu_pd(bb.as_ptr().add(r));
+                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
+                let f = _mm256_loadu_pd(ff.as_ptr().add(r));
+                // count ∈ {0, 1, 2} exactly (integer-valued f64 arithmetic).
+                let ge1 = _mm256_cmp_pd::<_CMP_GE_OQ>(count, one);
+                let ge2 = _mm256_cmp_pd::<_CMP_GE_OQ>(count, two);
+                let t1 = _mm256_sub_pd(b, _mm256_mul_pd(c, x1));
+                let xa = _mm256_blendv_pd(b, t1, ge1);
+                let t2 = _mm256_sub_pd(xa, _mm256_mul_pd(f, x2));
+                let x = _mm256_blendv_pd(xa, t2, ge2);
+                _mm256_storeu_pd(bb.as_mut_ptr().add(r), x);
+                x2 = x1;
+                x1 = x;
+                // if count < 2 { count += 1 }
+                count = _mm256_blendv_pd(_mm256_add_pd(count, one), count, ge2);
+            }
+            store_carries::<3>(carries, l0, &[x1, x2, count]);
+        }
+        for l in full..nlines {
+            let cl = &mut carries[3 * l..3 * l + 3];
+            let (mut x1, mut x2, mut count) = (cl[0], cl[1], cl[2]);
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                let b = bb[r];
+                let x = match count as u32 {
+                    0 => b,
+                    1 => b - cc[r] * x1,
+                    _ => b - cc[r] * x1 - ff[r] * x2,
+                };
+                bb[r] = x;
+                x2 = x1;
+                x1 = x;
+                if count < 2.0 {
+                    count += 1.0;
+                }
+            }
+            cl[0] = x1;
+            cl[1] = x2;
+            cl[2] = count;
+        }
+    }
+
+    /// Running prefix sum, 4 lines per iteration (`carry_len == 1`, so the
+    /// line-major carries for a lane group are already contiguous).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn prefix_sum(
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        buf: &mut [f64],
+    ) {
+        let full = nlines / LANES * LANES;
+        for l0 in (0..full).step_by(LANES) {
+            let mut acc = _mm256_loadu_pd(carries.as_ptr().add(l0));
+            for k in 0..seg_len {
+                let r = k * nlines + l0;
+                let v = _mm256_loadu_pd(buf.as_ptr().add(r));
+                acc = _mm256_add_pd(acc, v);
+                _mm256_storeu_pd(buf.as_mut_ptr().add(r), acc);
+            }
+            _mm256_storeu_pd(carries.as_mut_ptr().add(l0), acc);
+        }
+        for l in full..nlines {
+            let mut acc = carries[l];
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                acc += buf[r];
+                buf[r] = acc;
+            }
+            carries[l] = acc;
+        }
+    }
+
+    /// First-order recurrence `x[k] = x[k] + a·x[k−1]`, 4 lines per
+    /// iteration.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(crate) unsafe fn first_order(
+        a: f64,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        buf: &mut [f64],
+    ) {
+        let av = _mm256_set1_pd(a);
+        let full = nlines / LANES * LANES;
+        for l0 in (0..full).step_by(LANES) {
+            let mut prev = _mm256_loadu_pd(carries.as_ptr().add(l0));
+            for k in 0..seg_len {
+                let r = k * nlines + l0;
+                let v = _mm256_loadu_pd(buf.as_ptr().add(r));
+                prev = _mm256_add_pd(v, _mm256_mul_pd(av, prev));
+                _mm256_storeu_pd(buf.as_mut_ptr().add(r), prev);
+            }
+            _mm256_storeu_pd(carries.as_mut_ptr().add(l0), prev);
+        }
+        for l in full..nlines {
+            let mut prev = carries[l];
+            for k in 0..seg_len {
+                let r = k * nlines + l;
+                prev = buf[r] + a * prev;
+                buf[r] = prev;
+            }
+            carries[l] = prev;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(SimdMode::parse("auto"), SimdMode::Auto);
+        assert_eq!(SimdMode::parse("AVX2"), SimdMode::Avx2);
+        assert_eq!(SimdMode::parse("  scalar "), SimdMode::Scalar);
+        // Invalid values fall back to Auto — never abort.
+        assert_eq!(SimdMode::parse(""), SimdMode::Auto);
+        assert_eq!(SimdMode::parse("sse9"), SimdMode::Auto);
+        assert_eq!(SimdMode::parse("42"), SimdMode::Auto);
+    }
+
+    #[test]
+    fn resolve_respects_forcing_and_hardware() {
+        assert_eq!(SimdMode::Scalar.resolve(), SimdLevel::Scalar);
+        let auto = SimdMode::Auto.resolve();
+        if avx2_available() {
+            assert_eq!(auto, SimdLevel::Avx2);
+            assert_eq!(SimdMode::Avx2.resolve(), SimdLevel::Avx2);
+        } else {
+            // Forced AVX2 without the hardware degrades, not aborts.
+            assert_eq!(auto, SimdLevel::Scalar);
+            assert_eq!(SimdMode::Avx2.resolve(), SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for m in [SimdMode::Auto, SimdMode::Avx2, SimdMode::Scalar] {
+            assert_eq!(SimdMode::parse(m.name()), m);
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert_eq!(SimdLevel::Avx2.name(), "avx2");
+        assert_eq!(format!("{}", SimdLevel::Scalar), "scalar");
+    }
+}

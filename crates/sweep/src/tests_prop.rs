@@ -6,6 +6,7 @@ use crate::penta::{penta_matvec, penta_solve, PentaBackwardKernel, PentaForwardK
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
 use crate::thomas::{thomas_solve, tridiag_matvec, ThomasBackwardKernel, ThomasForwardKernel};
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
 use mp_testkit::{cases, Rng};
 
 /// Split `n` into segment bounds at random interior cut points.
@@ -182,10 +183,10 @@ fn assert_blocked_matches_reference<K: LineSweepKernel>(
     ctxs: &[SegmentCtx],
 ) {
     let mut got_c = carries.to_vec();
-    let mut got_b = block.to_vec();
+    let mut got_b: Vec<AlignedVec> = block.iter().map(|b| AlignedVec::from_slice(b)).collect();
     kernel.sweep_block(dir, nlines, seg_len, &mut got_c, &mut got_b, ctxs);
     let mut want_c = carries.to_vec();
-    let mut want_b = block.to_vec();
+    let mut want_b: Vec<AlignedVec> = block.iter().map(|b| AlignedVec::from_slice(b)).collect();
     crate::recurrence::per_line_sweep_block(
         kernel,
         dir,
@@ -837,5 +838,360 @@ fn prefix_sum_any_split_bitwise() {
         }
         // bitwise: same additions in the same order
         assert_eq!(parts, whole[0]);
+    });
+}
+
+/// Run `kernel.sweep_block_simd` at the level Auto resolves to on this host
+/// and at the forced scalar level on identical copies of random data; the
+/// results must be bitwise equal. On AVX2+FMA hardware this pits the
+/// vectorized kernels against the portable ones; elsewhere it degenerates
+/// to scalar-vs-scalar (still a valid, if trivial, check).
+fn assert_simd_matches_scalar<K: LineSweepKernel>(
+    kernel: &K,
+    dir: Direction,
+    nlines: usize,
+    seg_len: usize,
+    carries: &[f64],
+    block: &[Vec<f64>],
+    ctxs: &[SegmentCtx],
+) {
+    use crate::simd::{SimdLevel, SimdMode};
+    let level = SimdMode::Auto.resolve();
+    let mut sc_c = carries.to_vec();
+    let mut sc_b: Vec<AlignedVec> = block.iter().map(|b| AlignedVec::from_slice(b)).collect();
+    kernel.sweep_block_simd(
+        SimdLevel::Scalar,
+        dir,
+        nlines,
+        seg_len,
+        &mut sc_c,
+        &mut sc_b,
+        ctxs,
+    );
+    let mut v_c = carries.to_vec();
+    let mut v_b: Vec<AlignedVec> = block.iter().map(|b| AlignedVec::from_slice(b)).collect();
+    kernel.sweep_block_simd(level, dir, nlines, seg_len, &mut v_c, &mut v_b, ctxs);
+    assert_eq!(
+        v_c, sc_c,
+        "{level} carries diverge from scalar at nlines={nlines} n={seg_len}"
+    );
+    assert_eq!(
+        v_b, sc_b,
+        "{level} block diverges from scalar at nlines={nlines} n={seg_len}"
+    );
+}
+
+#[test]
+fn simd_kernels_match_scalar_bitwise() {
+    // Every vectorized kernel — Thomas forward/backward, penta
+    // forward/backward, prefix sum, first-order recurrence — is bitwise
+    // equal to its scalar path across random line counts (including the
+    // nlines % 4 ≠ 0 tail cases), segment lengths, carries, and data.
+    cases(0x750B, 48, |rng| {
+        use crate::recurrence::{FirstOrderKernel, PrefixSumKernel};
+        let nl = rng.usize_in(1, 13);
+        let n = rng.usize_in(1, 24);
+        let ctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Forward))
+            .collect();
+        let bctxs: Vec<SegmentCtx> = (0..nl)
+            .map(|_| SegmentCtx::origin(1, 0, Direction::Backward))
+            .collect();
+
+        // Thomas forward: diagonally dominant per-line systems.
+        let (mut la, mut lb, mut lc, mut ld) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for _ in 0..nl {
+            let nvals = rng.usize_in(8, 19);
+            let vals = rng.f64_vec(nvals, -1.0, 1.0);
+            let (a, b, c, d) = tridiag(n, &vals);
+            la.push(a);
+            lb.push(b);
+            lc.push(c);
+            ld.push(d);
+        }
+        let fwd = ThomasForwardKernel::new(0, 1, 2, 3);
+        let mut carries = Vec::with_capacity(nl * 2);
+        for _ in 0..nl {
+            carries.push(rng.f64_in(-0.4, 0.4));
+            carries.push(rng.f64_in(-2.0, 2.0));
+        }
+        let block = vec![
+            pack_lines(&la),
+            pack_lines(&lb),
+            pack_lines(&lc),
+            pack_lines(&ld),
+        ];
+        assert_simd_matches_scalar(&fwd, Direction::Forward, nl, n, &carries, &block, &ctxs);
+
+        // Thomas backward, mixing boundary (valid = 0) and interior carries.
+        let bwd = ThomasBackwardKernel::new(0, 1);
+        let mut carries = Vec::with_capacity(nl * 2);
+        for _ in 0..nl {
+            carries.push(rng.f64_in(-2.0, 2.0));
+            carries.push(if rng.bool() { 1.0 } else { 0.0 });
+        }
+        let block = vec![pack_lines(&lc), pack_lines(&ld)];
+        assert_simd_matches_scalar(&bwd, Direction::Backward, nl, n, &carries, &block, &bctxs);
+
+        // Penta forward.
+        let mut lines: Vec<Vec<Vec<f64>>> = vec![Vec::new(); 6];
+        for _ in 0..nl {
+            let e = rng.f64_vec(n, -0.3, 0.3);
+            let a = rng.f64_vec(n, -0.3, 0.3);
+            let c = rng.f64_vec(n, -0.3, 0.3);
+            let f = rng.f64_vec(n, -0.3, 0.3);
+            let d: Vec<f64> = (0..n)
+                .map(|k| 1.5 + e[k].abs() + a[k].abs() + c[k].abs() + f[k].abs())
+                .collect();
+            let b = rng.f64_vec(n, -3.0, 3.0);
+            for (slot, v) in lines.iter_mut().zip([e, a, d, c, f, b]) {
+                slot.push(v);
+            }
+        }
+        let pfwd = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
+        let mut carries = Vec::with_capacity(nl * 6);
+        for _ in 0..nl {
+            for _ in 0..2 {
+                carries.push(rng.f64_in(-0.3, 0.3));
+                carries.push(rng.f64_in(-0.3, 0.3));
+                carries.push(rng.f64_in(-2.0, 2.0));
+            }
+        }
+        let block: Vec<Vec<f64>> = lines.iter().map(|ls| pack_lines(ls)).collect();
+        assert_simd_matches_scalar(&pfwd, Direction::Forward, nl, n, &carries, &block, &ctxs);
+
+        // Penta backward, covering all three back-substitution warm-up
+        // states (count 0, 1, ≥ 2).
+        let pbwd = PentaBackwardKernel::new(0, 1, 2);
+        let mut carries = Vec::with_capacity(nl * 3);
+        for _ in 0..nl {
+            carries.push(rng.f64_in(-2.0, 2.0));
+            carries.push(rng.f64_in(-2.0, 2.0));
+            carries.push(rng.usize_in(0, 2) as f64);
+        }
+        let block = vec![
+            pack_lines(&lines[3]),
+            pack_lines(&lines[4]),
+            pack_lines(&lines[5]),
+        ];
+        assert_simd_matches_scalar(&pbwd, Direction::Backward, nl, n, &carries, &block, &bctxs);
+
+        // Prefix sum and first-order recurrence (clen = 1).
+        let psum = PrefixSumKernel::new(0);
+        let carries = rng.f64_vec(nl, -5.0, 5.0);
+        let block = vec![rng.f64_vec(n * nl, -10.0, 10.0)];
+        assert_simd_matches_scalar(&psum, Direction::Forward, nl, n, &carries, &block, &ctxs);
+
+        let fo = FirstOrderKernel::new(0, rng.f64_in(-0.9, 0.9));
+        let carries = rng.f64_vec(nl, -5.0, 5.0);
+        let block = vec![rng.f64_vec(n * nl, -10.0, 10.0)];
+        assert_simd_matches_scalar(&fo, Direction::Forward, nl, n, &carries, &block, &ctxs);
+
+        // A batch forwards the level to its members: a batched pair of
+        // first-order kernels must match its own scalar path too.
+        let batch = crate::batch::BatchedKernel::new(vec![
+            FirstOrderKernel::new(0, rng.f64_in(-0.9, 0.9)),
+            FirstOrderKernel::new(1, rng.f64_in(-0.9, 0.9)),
+        ]);
+        let carries = rng.f64_vec(nl * 2, -5.0, 5.0);
+        let block = vec![
+            rng.f64_vec(n * nl, -10.0, 10.0),
+            rng.f64_vec(n * nl, -10.0, 10.0),
+        ];
+        assert_simd_matches_scalar(&batch, Direction::Forward, nl, n, &carries, &block, &ctxs);
+    });
+}
+
+#[test]
+fn random_simd_executor_configs_match_scalar_bitwise() {
+    // End-to-end: a full multipartitioned sweep with simd = auto is bitwise
+    // equal to the same sweep with simd forced scalar — same field
+    // contents, same per-rank message and element counts — across random
+    // shapes, block widths, thread counts, pipeline depths, and kernels.
+    use crate::compiled::SweepEngine;
+    use crate::executor::{allocate_rank_store, SweepOptions};
+    use crate::recurrence::{FirstOrderKernel, PrefixSumKernel};
+    use crate::simd::SimdMode;
+    use mp_core::multipart::Multipartitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::run_threaded;
+
+    // Field initializers keeping tridiagonal/pentadiagonal sweeps away
+    // from zero pivots: off-diagonals small, diagonal dominant.
+    fn small(g: &[usize]) -> f64 {
+        (((g[0] * 3 + g[1] * 5 + g[2] * 7) % 9) as f64 - 4.0) * 0.1
+    }
+    fn diagv(g: &[usize]) -> f64 {
+        2.0 + ((g[0] + g[1] + g[2]) % 5) as f64 * 0.1
+    }
+    fn rhsv(g: &[usize]) -> f64 {
+        ((g[0] * 11 + g[1] * 4 + g[2] * 2) % 17) as f64 - 8.0
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check<K: LineSweepKernel + Sync>(
+        p: u64,
+        mp: &Multipartitioning,
+        grid: &TileGrid,
+        eta: &[usize],
+        fields: &[FieldDef],
+        inits: &[fn(&[usize]) -> f64],
+        k: &K,
+        base: &SweepOptions,
+        schedule: &[(usize, Direction, u64)],
+    ) {
+        let run = |opts: SweepOptions| {
+            run_threaded(p, move |comm| {
+                let mut store = allocate_rank_store(comm.rank(), mp, grid, fields);
+                for (f, init) in inits.iter().enumerate() {
+                    store.init_field(f, init);
+                }
+                let mut eng = SweepEngine::new(opts.clone());
+                for &(dim, dir, tag) in schedule {
+                    eng.sweep(comm, &mut store, mp, dim, dir, k, tag);
+                }
+                (store, comm.sent_messages, comm.sent_elements)
+            })
+        };
+        let vectored = run(base.clone().with_simd(SimdMode::Auto));
+        let scalar = run(base.clone().with_simd(SimdMode::Scalar));
+        for ((_, m_v, e_v), (_, m_s, e_s)) in vectored.iter().zip(scalar.iter()) {
+            assert_eq!(
+                (m_v, e_v),
+                (m_s, e_s),
+                "p={p} eta={eta:?} {base:?}: simd changed the per-rank schedule"
+            );
+        }
+        let mut got = ArrayD::zeros(eta);
+        let mut want = ArrayD::zeros(eta);
+        for f in 0..fields.len() {
+            for ((vs, _, _), (ss, _, _)) in vectored.iter().zip(scalar.iter()) {
+                vs.gather_into(f, &mut got);
+                ss.gather_into(f, &mut want);
+            }
+            assert_eq!(
+                got.max_abs_diff(&want),
+                0.0,
+                "p={p} eta={eta:?} field {f} {base:?}: simd not bitwise equal to scalar"
+            );
+        }
+    }
+
+    cases(0x750B, 10, |rng| {
+        use mp_core::partition::Partitioning;
+        let (p, gammas): (u64, Vec<u64>) = match rng.usize_in(0, 4) {
+            0 => (2, vec![2, 2, 1]),
+            1 => (4, vec![2, 2, 2]),
+            2 => (4, vec![4, 2, 2]),
+            3 => (3, vec![3, 3, 1]),
+            _ => (6, vec![6, 3, 2]),
+        };
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(gammas));
+        // Extents with deliberate remainders so block tails (nlines % 4 ≠ 0)
+        // occur inside the executor, not just in the kernel-level test.
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| {
+                let g = g as usize;
+                g * rng.usize_in(2, 4) + rng.usize_in(0, g.max(2) - 1)
+            })
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let base = SweepOptions::new(rng.usize_in(1, 40), rng.usize_in(1, 4))
+            .with_pipeline_chunks(rng.usize_in(1, 4));
+        let fwd_sched: Vec<(usize, Direction, u64)> = (0..6)
+            .map(|s| (s % 3, Direction::Forward, (s % 3) as u64 * 1_000))
+            .collect();
+        let both_sched: Vec<(usize, Direction, u64)> = (0..8)
+            .map(|s| {
+                let dim = s % 3;
+                let (dir, d) = if (s / 3) % 2 == 0 {
+                    (Direction::Forward, 0)
+                } else {
+                    (Direction::Backward, 1)
+                };
+                (dim, dir, (dim as u64 * 2 + d) * 1_000)
+            })
+            .collect();
+
+        match rng.usize_in(0, 3) {
+            0 => {
+                let k = FirstOrderKernel::new(0, rng.f64_in(-0.9, 0.9));
+                let fields = [FieldDef::new("u", 0)];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[rhsv],
+                    &k,
+                    &base,
+                    &both_sched,
+                );
+            }
+            1 => {
+                let k = PrefixSumKernel::new(0);
+                let fields = [FieldDef::new("u", 0)];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[rhsv],
+                    &k,
+                    &base,
+                    &both_sched,
+                );
+            }
+            2 => {
+                let k = ThomasForwardKernel::new(0, 1, 2, 3);
+                let fields = [
+                    FieldDef::new("a", 0),
+                    FieldDef::new("b", 0),
+                    FieldDef::new("c", 0),
+                    FieldDef::new("d", 0),
+                ];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[small, diagv, small, rhsv],
+                    &k,
+                    &base,
+                    &fwd_sched,
+                );
+            }
+            _ => {
+                let k = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
+                let fields = [
+                    FieldDef::new("e", 0),
+                    FieldDef::new("a", 0),
+                    FieldDef::new("d", 0),
+                    FieldDef::new("c", 0),
+                    FieldDef::new("f", 0),
+                    FieldDef::new("b", 0),
+                ];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[small, small, diagv, small, small, rhsv],
+                    &k,
+                    &base,
+                    &fwd_sched,
+                );
+            }
+        }
     });
 }

@@ -17,8 +17,10 @@
 // iterator zips would obscure the stencil structure.
 #![allow(clippy::needless_range_loop)]
 
-use crate::recurrence::{LineSweepKernel, SegmentCtx};
+use crate::recurrence::{debug_assert_block_aligned, LineSweepKernel, SegmentCtx};
+use crate::simd::SimdLevel;
 use mp_core::multipart::Direction;
+use mp_grid::AlignedVec;
 
 /// Solve one tridiagonal system in place (serial reference).
 ///
@@ -146,11 +148,12 @@ impl LineSweepKernel for ThomasForwardKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Forward, "elimination runs forward");
         debug_assert_eq!(carries.len(), 2 * nlines);
+        debug_assert_block_aligned(block);
         let (ab, cd) = block.split_at_mut(2);
         let (aa, bb) = (&ab[0], &ab[1]);
         let (cc, dd) = cd.split_at_mut(1);
@@ -169,6 +172,36 @@ impl LineSweepKernel for ThomasForwardKernel {
                 carries[2 * l + 1] = dp;
             }
         }
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx2 {
+            assert_eq!(dir, Direction::Forward, "elimination runs forward");
+            debug_assert_eq!(carries.len(), 2 * nlines);
+            debug_assert_block_aligned(block);
+            let (ab, cd) = block.split_at_mut(2);
+            let (cc, dd) = cd.split_at_mut(1);
+            // SAFETY: `SimdLevel::Avx2` is only ever constructed after
+            // `is_x86_feature_detected!` confirmed avx2+fma (see
+            // `crate::simd::SimdMode::resolve`).
+            unsafe {
+                crate::simd::avx2::thomas_forward(
+                    nlines, seg_len, carries, &ab[0], &ab[1], &mut cc[0], &mut dd[0],
+                );
+            }
+            return;
+        }
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 
@@ -236,11 +269,12 @@ impl LineSweepKernel for ThomasBackwardKernel {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        block: &mut [Vec<f64>],
+        block: &mut [AlignedVec],
         _ctxs: &[SegmentCtx],
     ) {
         assert_eq!(dir, Direction::Backward, "substitution runs backward");
         debug_assert_eq!(carries.len(), 2 * nlines);
+        debug_assert_block_aligned(block);
         let (cc, dd) = block.split_at_mut(1);
         let (cc, dd) = (&cc[0], &mut dd[0]);
         for k in 0..seg_len {
@@ -257,6 +291,31 @@ impl LineSweepKernel for ThomasBackwardKernel {
                 carries[2 * l + 1] = 1.0;
             }
         }
+    }
+
+    fn sweep_block_simd(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        block: &mut [AlignedVec],
+        ctxs: &[SegmentCtx],
+    ) {
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx2 {
+            assert_eq!(dir, Direction::Backward, "substitution runs backward");
+            debug_assert_eq!(carries.len(), 2 * nlines);
+            debug_assert_block_aligned(block);
+            let (cc, dd) = block.split_at_mut(1);
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            unsafe {
+                crate::simd::avx2::thomas_backward(nlines, seg_len, carries, &cc[0], &mut dd[0]);
+            }
+            return;
+        }
+        self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
 }
 
