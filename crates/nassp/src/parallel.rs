@@ -283,6 +283,32 @@ impl ParallelSp {
             .collect()
     }
 
+    /// Deterministic checksum of this rank's interior `u` values: FNV-1a
+    /// over the IEEE-754 bit patterns, tiles in store order. Two runs
+    /// produced bitwise-identical local solutions iff every rank's
+    /// checksum matches. Purely local — no collective — so the chaos
+    /// harness can still compare surviving ranks after a peer has failed.
+    pub fn u_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for t in &self.store.tiles {
+            let arr = t.field(fields::U);
+            let ext = arr.interior().to_vec();
+            let mut idx = vec![0usize; 3];
+            for i in 0..ext[0] {
+                for j in 0..ext[1] {
+                    for k in 0..ext[2] {
+                        idx[0] = i;
+                        idx[1] = j;
+                        idx[2] = k;
+                        h ^= arr.get_i(&idx).to_bits();
+                        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Global L2 norm of `u` (collective).
     pub fn u_norm<C: Communicator>(&mut self, comm: &mut C) -> f64 {
         let local: f64 = self

@@ -6,6 +6,7 @@
 //! values.
 
 use mp_trace::SweepRecorder;
+use std::time::Duration;
 
 /// Message tag. Tags at or above [`RESERVED_TAG_BASE`] are reserved for the
 /// collectives provided by this crate.
@@ -13,6 +14,54 @@ pub type Tag = u64;
 
 /// First tag reserved for internal collectives.
 pub const RESERVED_TAG_BASE: Tag = 1 << 62;
+
+/// Why a bounded receive gave up (see [`CommError`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommErrorKind {
+    /// The deadline elapsed with no matching message. The awaited sender
+    /// may be slow, partitioned, or wedged — but it has not been observed
+    /// to fail.
+    Timeout,
+    /// The run was poisoned: the contained rank unwound (panic or injected
+    /// fault), so the awaited message can never arrive.
+    RankFailed(u64),
+}
+
+/// A failed bounded receive: which message was being waited for, for how
+/// long, and why the wait ended. Returned by
+/// [`Communicator::recv_deadline`]; the infallible [`Communicator::recv`]
+/// raises the same value as a panic payload so that un-plumbed callers
+/// unwind (and poison the run) instead of hanging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommError {
+    /// Rank the message was awaited from.
+    pub from: u64,
+    /// Message tag awaited.
+    pub tag: Tag,
+    /// How long the receiver actually waited before giving up.
+    pub waited: Duration,
+    /// Why the wait ended.
+    pub kind: CommErrorKind,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            CommErrorKind::Timeout => write!(
+                f,
+                "timeout waiting for (from {}, tag {}) after {:.1?}",
+                self.from, self.tag, self.waited
+            ),
+            CommErrorKind::RankFailed(r) => write!(
+                f,
+                "rank {r} failed while waiting for (from {}, tag {}) after {:.1?}",
+                self.from, self.tag, self.waited
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// Point-to-point message-passing endpoint for one rank.
 ///
@@ -32,7 +81,32 @@ pub trait Communicator {
 
     /// Block until a message with `tag` from `from` arrives; return its
     /// payload.
+    ///
+    /// Backends with bounded waiting (the threaded backend) implement this
+    /// on top of [`Communicator::recv_deadline`] with the endpoint's
+    /// configured deadline (`MP_COMM_TIMEOUT_MS`, default off) and raise
+    /// the resulting [`CommError`] as a panic payload on failure — a
+    /// deadline or rank failure turns a would-be hang into an unwind that
+    /// poisons the run.
     fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64>;
+
+    /// Bounded blocking receive: wait at most `deadline` (`None` = forever)
+    /// for a message with `tag` from `from`.
+    ///
+    /// Returns `Err` with a typed [`CommError`] when the deadline elapses
+    /// ([`CommErrorKind::Timeout`]) or the run is poisoned by another
+    /// rank's failure ([`CommErrorKind::RankFailed`]) — instead of hanging
+    /// all `p` ranks on a message that will never arrive. Backends without
+    /// bounded waiting keep the default, which ignores the deadline and
+    /// delegates to the (potentially forever-blocking) [`Communicator::recv`].
+    fn recv_deadline(
+        &mut self,
+        from: u64,
+        tag: Tag,
+        _deadline: Option<Duration>,
+    ) -> Result<Vec<f64>, CommError> {
+        Ok(self.recv(from, tag))
+    }
 
     /// The telemetry recorder attached to this endpoint, if tracing is
     /// enabled. Instrumented callers (the sweep executors, the NAS
@@ -84,6 +158,13 @@ pub trait Communicator {
     /// Called once at plan-build time with the distinct expected lengths
     /// (in elements). Default: no-op — endpoints without a pool ignore it.
     fn reserve_buffers(&mut self, _sizes: &[usize]) {}
+
+    /// Declare this rank's part of the run failed, so peers blocked on
+    /// messages from it unwind with [`CommErrorKind::RankFailed`] instead
+    /// of hanging. Error-plumbed executors call this before returning an
+    /// `Err` from a rank callback. Default: no-op — backends without a
+    /// shared run (the serial backend) have nobody to notify.
+    fn abort(&mut self) {}
 
     /// Synchronize all ranks.
     fn barrier(&mut self) {

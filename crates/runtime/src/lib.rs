@@ -22,16 +22,32 @@
 //! compute/pack spans through [`Communicator::tracer`]), or call
 //! [`SimNet::trace_file`] after a traced simulation. Either way yields a
 //! [`mp_trace::TraceFile`] exportable as Perfetto-loadable Chrome JSON.
+//!
+//! Threaded runs are failure-bounded rather than hang-prone: blocking
+//! receives honor a configurable deadline (`MP_COMM_TIMEOUT_MS`), the
+//! first rank to unwind poisons the shared [`state::RunState`] so every
+//! peer fails fast with a typed [`comm::CommError`] instead of
+//! deadlocking, and a deterministic fault-injection shim
+//! ([`fault::FaultPlan`], `MP_FAULT`) drills exactly those paths. See
+//! `docs/guide/robustness.md` for the failure-mode table and
+//! [`threaded::run_threaded_result`] for the non-panicking entry point.
 
 #![warn(missing_docs)]
 
 pub mod comm;
+pub mod fault;
 pub mod machine;
 mod ring;
 pub mod sim;
+pub mod state;
 pub mod threaded;
 
-pub use comm::{Communicator, SerialComm, Tag};
+pub use comm::{CommError, CommErrorKind, Communicator, SerialComm, Tag};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use machine::MachineModel;
 pub use sim::{RankTimes, SimEvent, SimNet, SimStats};
-pub use threaded::{run_threaded, run_threaded_with, ThreadedComm, Transport};
+pub use state::RunState;
+pub use threaded::{
+    deadline_from_env, panic_payload_message, run_threaded, run_threaded_result, run_threaded_with,
+    RankFailure, RunOpts, ThreadedComm, Transport,
+};

@@ -158,23 +158,36 @@ impl RingNet {
         &self.rings[from * self.p + to]
     }
 
-    /// Publish `payload` on the `from → to` ring and ring `to`'s doorbell
+    /// Publish `msg` on the `from → to` ring and ring `to`'s doorbell
     /// if it is (or is about to be) asleep. Spins (yielding) when the ring
-    /// is full, counting each retry round into `backpressure`.
+    /// is full, counting each retry round into `backpressure`; `full` is
+    /// consulted once per retry round and aborts the send (by panicking in
+    /// the caller-supplied closure) when the receiver can no longer drain —
+    /// e.g. when the run is poisoned — so a sender never spins forever on a
+    /// dead rank's full ring.
+    ///
+    /// `ring_bell = false` suppresses the wakeup (the fault shim's
+    /// swallowed-doorbell drill): the payload is published normally and the
+    /// receiver recovers via its bounded `park_timeout`.
     pub(crate) fn send(
         &self,
         from: usize,
         to: usize,
-        tag: Tag,
-        payload: Vec<f64>,
+        msg: (Tag, Vec<f64>),
         backpressure: &mut u64,
+        ring_bell: bool,
+        full: &mut dyn FnMut(),
     ) {
         let ring = self.ring(from, to);
-        let mut item = (tag, payload);
+        let mut item = msg;
         while let Err(back) = ring.push(item) {
             *backpressure += 1;
             item = back;
+            full();
             std::thread::yield_now();
+        }
+        if !ring_bell {
+            return;
         }
         // Pair with the receiver's pre-park fence: after the release store
         // of `tail`, decide whether the receiver needs a wakeup. The plain
@@ -286,8 +299,36 @@ mod tests {
         // Give the receiver a moment to park, then publish.
         std::thread::sleep(Duration::from_millis(5));
         let mut bp = 0u64;
-        net.send(0, 1, 7, vec![1.0], &mut bp);
+        net.send(0, 1, (7, vec![1.0]), &mut bp, true, &mut || {});
         h.join().unwrap();
         assert_eq!(bp, 0);
+    }
+
+    #[test]
+    fn swallowed_doorbell_still_delivers_within_park_timeout() {
+        // A send whose doorbell is suppressed must still be picked up by
+        // the receiver's bounded park — the belt-and-braces guarantee the
+        // fault shim's swallow drill exists to exercise.
+        let net = Arc::new(RingNet::new(2));
+        let net2 = Arc::clone(&net);
+        let h = std::thread::spawn(move || {
+            net2.register(1);
+            let t0 = std::time::Instant::now();
+            let mut got = None;
+            net2.park_until(1, || {
+                got = net2.ring(0, 1).pop();
+                got.is_some()
+            });
+            (got.unwrap().0, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let mut bp = 0u64;
+        net.send(0, 1, (42, vec![1.0]), &mut bp, false, &mut || {});
+        let (tag, waited) = h.join().unwrap();
+        assert_eq!(tag, 42);
+        assert!(
+            waited < Duration::from_secs(5),
+            "receiver must recover from a lost wakeup, waited {waited:?}"
+        );
     }
 }

@@ -1,0 +1,123 @@
+//! Shared run health for one `run_threaded` world.
+//!
+//! Every transport added since the first threaded backend blocks forever on
+//! a message that never comes: one panicked rank used to deadlock the
+//! remaining `p − 1`. A [`RunState`] is the fix — one atomic epoch shared
+//! by all ranks of a run. While the run is healthy the epoch is 0 and costs
+//! one relaxed load per bounded wait slice; the first rank that unwinds
+//! *poisons* the epoch with its rank id and unparks every registered rank
+//! thread, so every blocked receive returns a typed
+//! [`crate::comm::CommError`] with [`crate::comm::CommErrorKind::RankFailed`]
+//! instead of hanging.
+//!
+//! Poisoning is first-writer-wins: secondary failures (ranks that unwind
+//! *because* the epoch is poisoned) never overwrite the original culprit,
+//! so every rank of a failed run reports the same root-cause rank.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+
+/// Shared health of one multi-rank run. See the module docs.
+///
+/// ```
+/// use mp_runtime::RunState;
+/// let state = RunState::new();
+/// assert_eq!(state.failed(), None);
+/// state.poison(3);
+/// state.poison(5); // too late: first writer wins
+/// assert_eq!(state.failed(), Some(3));
+/// ```
+#[derive(Debug, Default)]
+pub struct RunState {
+    /// 0 while healthy; `rank + 1` of the first failed rank afterwards.
+    epoch: AtomicU64,
+    /// Rank threads to unpark when the epoch poisons (registered at rank
+    /// startup; parked receivers re-check the epoch on every wakeup).
+    threads: Mutex<Vec<Thread>>,
+}
+
+impl RunState {
+    /// A healthy run state.
+    pub fn new() -> Self {
+        RunState::default()
+    }
+
+    /// Register the calling thread for poison wakeups. Each rank thread
+    /// calls this once before its first blocking receive.
+    pub fn register(&self) {
+        self.threads
+            .lock()
+            .expect("run-state thread list poisoned")
+            .push(std::thread::current());
+    }
+
+    /// Mark the run failed because `rank` unwound, and wake every
+    /// registered rank thread so parked receivers observe the failure
+    /// immediately. First writer wins; later calls are no-ops (the run
+    /// already has a root cause). Returns whether this call was the first.
+    pub fn poison(&self, rank: u64) -> bool {
+        let first = self
+            .epoch
+            .compare_exchange(0, rank + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        if first {
+            for t in self
+                .threads
+                .lock()
+                .expect("run-state thread list poisoned")
+                .iter()
+            {
+                t.unpark();
+            }
+        }
+        first
+    }
+
+    /// The rank that poisoned the run, if any.
+    pub fn failed(&self) -> Option<u64> {
+        match self.epoch.load(Ordering::SeqCst) {
+            0 => None,
+            e => Some(e - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn healthy_until_poisoned_first_writer_wins() {
+        let s = RunState::new();
+        assert_eq!(s.failed(), None);
+        assert!(s.poison(7));
+        assert!(!s.poison(2), "second poison must lose");
+        assert_eq!(s.failed(), Some(7));
+    }
+
+    #[test]
+    fn poison_unparks_registered_threads() {
+        let s = Arc::new(RunState::new());
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.register();
+            let t0 = Instant::now();
+            // Park in bounded slices, exactly like a blocked receive.
+            while s2.failed().is_none() {
+                std::thread::park_timeout(Duration::from_secs(10));
+            }
+            t0.elapsed()
+        });
+        // Give the thread time to register and park.
+        std::thread::sleep(Duration::from_millis(20));
+        s.poison(1);
+        let waited = h.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "poison must unpark promptly, waited {waited:?}"
+        );
+    }
+}

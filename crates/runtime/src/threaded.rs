@@ -21,13 +21,16 @@
 //! `(sender, receiver, tag)`), so every schedule is byte-identical across
 //! them.
 
-use crate::comm::{Communicator, Tag};
+use crate::comm::{CommError, CommErrorKind, Communicator, Tag};
+use crate::fault::{FaultKind, FaultPlan, FaultState};
 use crate::ring::{RingNet, SpscRing};
+use crate::state::RunState;
 use mp_trace::SweepRecorder;
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A tagged message in flight (mpsc transport).
 #[derive(Debug)]
@@ -94,6 +97,82 @@ impl Transport {
     }
 }
 
+/// `MP_COMM_TIMEOUT_MS` as a receive deadline: a positive integer bounds
+/// every blocking receive to that many milliseconds; unset, `0`, or
+/// malformed means no deadline (the historical block-forever behavior —
+/// env knobs must never abort a run).
+pub fn deadline_from_env() -> Option<Duration> {
+    std::env::var("MP_COMM_TIMEOUT_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+}
+
+/// Configuration of a threaded run beyond the rank closure itself: which
+/// wire, how long a blocking receive may wait, and which faults to inject.
+///
+/// [`RunOpts::from_env`] reads all three knobs (`MP_COMM_TRANSPORT`,
+/// `MP_COMM_TIMEOUT_MS`, `MP_FAULT`), which is what [`run_threaded`] and
+/// [`run_threaded_with`] do; [`run_threaded_result`] takes the options
+/// explicitly.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Wire to carry the messages.
+    pub transport: Transport,
+    /// Bound on every blocking receive (`None` = wait forever).
+    pub deadline: Option<Duration>,
+    /// Fault-injection plan (`None` = bare transport, not even the shim).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            transport: Transport::Ring,
+            deadline: None,
+            fault: None,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Everything from the environment: transport (`MP_COMM_TRANSPORT`),
+    /// deadline (`MP_COMM_TIMEOUT_MS`), fault plan (`MP_FAULT`, randomized
+    /// plans drawn over `p` ranks). `Err` when `MP_FAULT` is set but
+    /// malformed — silently dropping requested faults would make a chaos
+    /// soak vacuous.
+    pub fn from_env(p: u64) -> Result<RunOpts, String> {
+        Ok(RunOpts {
+            transport: Transport::from_env(),
+            deadline: deadline_from_env(),
+            fault: FaultPlan::from_env(p)?,
+        })
+    }
+}
+
+/// Why one rank of a [`run_threaded_result`] run failed.
+#[derive(Debug)]
+pub struct RankFailure {
+    /// The rank that unwound.
+    pub rank: u64,
+    /// Human-readable description of the unwind (panic message, or the
+    /// rendered [`CommError`]).
+    pub message: String,
+    /// The typed communication error, when the failure was a bounded
+    /// receive giving up (deadline or peer failure) rather than a local
+    /// panic.
+    pub comm: Option<CommError>,
+}
+
+impl std::fmt::Display for RankFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.message)
+    }
+}
+
+impl std::error::Error for RankFailure {}
+
 /// The per-rank endpoint's view of the transport.
 enum Channel {
     Mpsc {
@@ -106,6 +185,43 @@ enum Channel {
 }
 
 type Stash = HashMap<(u64, Tag), VecDeque<Vec<f64>>>;
+
+/// How long one bounded wait slice lasts. Blocked receives re-check run
+/// health and their deadline at this granularity, so a poisoned run or an
+/// expired deadline is observed within ~1 ms even if every wakeup is lost.
+const WAIT_SLICE: Duration = Duration::from_millis(1);
+
+/// Whether a blocked receive must give up now: the run is poisoned
+/// (checked first — a failure is a better answer than a timeout), or the
+/// deadline has elapsed.
+fn wait_failed(
+    run_state: &RunState,
+    deadline: Option<Duration>,
+    t_start: Instant,
+    from: u64,
+    tag: Tag,
+) -> Option<CommError> {
+    if let Some(r) = run_state.failed() {
+        return Some(CommError {
+            from,
+            tag,
+            waited: t_start.elapsed(),
+            kind: CommErrorKind::RankFailed(r),
+        });
+    }
+    if let Some(d) = deadline {
+        let waited = t_start.elapsed();
+        if waited >= d {
+            return Some(CommError {
+                from,
+                tag,
+                waited,
+                kind: CommErrorKind::Timeout,
+            });
+        }
+    }
+    None
+}
 
 /// Drain `ring` until a `tag` message surfaces, stashing mismatched tags
 /// in FIFO order (the sender is fixed per ring, so only tags can differ).
@@ -132,6 +248,16 @@ pub struct ThreadedComm {
     /// Ring-pop attempts a blocking receive makes before parking
     /// (`MP_COMM_SPIN`; only the ring transport blocks in two stages).
     spin_limit: u32,
+    /// Bound on every blocking receive (`MP_COMM_TIMEOUT_MS`; `None` waits
+    /// forever). [`Communicator::recv`] raises the typed [`CommError`] as
+    /// a panic payload when it expires.
+    deadline: Option<Duration>,
+    /// Shared health of the run this endpoint belongs to: poisoned by the
+    /// first rank that unwinds, checked on every bounded wait slice.
+    run_state: Arc<RunState>,
+    /// Fault-injection replay for this rank (`None` = bare transport; the
+    /// hooks then cost one branch per operation).
+    fault: Option<FaultState>,
     /// Counters for observability.
     pub sent_messages: u64,
     /// Total elements sent.
@@ -160,40 +286,110 @@ impl Communicator for ThreadedComm {
         self.size
     }
 
-    fn send(&mut self, to: u64, tag: Tag, payload: Vec<f64>) {
+    fn send(&mut self, to: u64, tag: Tag, mut payload: Vec<f64>) {
         assert!(to < self.size, "send to out-of-range rank {to}");
         assert_ne!(to, self.rank, "self-sends are not supported");
+        let mut ring_bell = true;
+        if let Some(fs) = self.fault.as_mut() {
+            if let Some(kind) = fs.fire_send() {
+                let t = Instant::now();
+                match kind {
+                    FaultKind::SwallowDoorbell => ring_bell = false,
+                    FaultKind::TruncatePayload => {
+                        payload.pop();
+                    }
+                    _ => {}
+                }
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.stage(t, format!("fault:{}", kind.label()));
+                }
+            }
+        }
         self.sent_messages += 1;
         self.sent_elements += payload.len() as u64;
         if let Some(tr) = self.trace.as_mut() {
             tr.record_send(to, payload.len() as u64);
         }
+        let run_state = &self.run_state;
         match &mut self.channel {
-            Channel::Mpsc { senders, .. } => senders[to as usize]
-                .send(Envelope {
+            Channel::Mpsc { senders, .. } => {
+                let env = Envelope {
                     from: self.rank,
                     tag,
                     payload,
-                })
-                .expect("receiver hung up"),
+                };
+                if senders[to as usize].send(env).is_err() {
+                    // The receiver's endpoint was dropped: its thread is
+                    // gone. Unwind with the typed error instead of
+                    // poisoning the whole process with an expect.
+                    std::panic::panic_any(CommError {
+                        from: to,
+                        tag,
+                        waited: Duration::ZERO,
+                        kind: CommErrorKind::RankFailed(run_state.failed().unwrap_or(to)),
+                    });
+                }
+            }
             Channel::Ring { net } => net.send(
                 self.rank as usize,
                 to as usize,
-                tag,
-                payload,
+                (tag, payload),
                 &mut self.send_backpressure,
+                ring_bell,
+                // A full ring normally clears as the receiver drains; once
+                // the run is poisoned it never will, so abort the retry
+                // loop instead of yielding forever against a dead rank.
+                &mut || {
+                    if let Some(r) = run_state.failed() {
+                        std::panic::panic_any(CommError {
+                            from: to,
+                            tag,
+                            waited: Duration::ZERO,
+                            kind: CommErrorKind::RankFailed(r),
+                        });
+                    }
+                },
             ),
         }
     }
 
     fn recv(&mut self, from: u64, tag: Tag) -> Vec<f64> {
+        let deadline = self.deadline;
+        match self.recv_deadline(from, tag, deadline) {
+            Ok(p) => p,
+            // Raise the typed error as a panic payload: un-plumbed callers
+            // unwind (and poison the run via the rank harness) instead of
+            // hanging; plumbed harnesses downcast it back into a Result.
+            Err(e) => std::panic::panic_any(e),
+        }
+    }
+
+    fn recv_deadline(
+        &mut self,
+        from: u64,
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<f64>, CommError> {
+        // Fault hook first, so ordinals count every blocking receive and a
+        // plan replays identically regardless of stash state. (The hook
+        // also fires the injected-panic drill.)
+        if let Some(fs) = self.fault.as_mut() {
+            if let Some(FaultKind::DelayRecv { pops }) = fs.fire_recv() {
+                let t = Instant::now();
+                std::thread::sleep(Duration::from_micros(100 * pops as u64));
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.stage(t, "fault:delay");
+                }
+            }
+        }
         if let Some(q) = self.stash.get_mut(&(from, tag)) {
             if let Some(p) = q.pop_front() {
-                return p;
+                return Ok(p);
             }
         }
         // Only a genuine block (stash miss) is worth a comm-wait span;
         // stash hits above return untimed.
+        let run_state = Arc::clone(&self.run_state);
         let ThreadedComm {
             rank,
             channel,
@@ -202,22 +398,39 @@ impl Communicator for ThreadedComm {
             trace,
             ..
         } = self;
-        let t0 = trace.is_some().then(Instant::now);
+        let t_start = Instant::now();
+        let t0 = trace.is_some().then_some(t_start);
         match channel {
             Channel::Mpsc { inbox, .. } => loop {
-                let env = inbox
-                    .recv()
-                    .expect("all senders dropped while waiting for a message");
-                if env.from == from && env.tag == tag {
-                    if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
-                        tr.comm_wait(t0, from, tag);
-                    }
-                    return env.payload;
+                // Bounded slices instead of a bare recv(): a dead peer does
+                // not drop the other ranks' sender clones, so poison and
+                // deadline must be re-checked on every lap.
+                if let Some(err) = wait_failed(&run_state, deadline, t_start, from, tag) {
+                    return Err(err);
                 }
-                stash
-                    .entry((env.from, env.tag))
-                    .or_default()
-                    .push_back(env.payload);
+                match inbox.recv_timeout(WAIT_SLICE) {
+                    Ok(env) => {
+                        if env.from == from && env.tag == tag {
+                            if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
+                                tr.comm_wait(t0, from, tag);
+                            }
+                            return Ok(env.payload);
+                        }
+                        stash
+                            .entry((env.from, env.tag))
+                            .or_default()
+                            .push_back(env.payload);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(CommError {
+                            from,
+                            tag,
+                            waited: t_start.elapsed(),
+                            kind: CommErrorKind::RankFailed(run_state.failed().unwrap_or(from)),
+                        })
+                    }
+                }
             },
             Channel::Ring { net } => {
                 let ring = net.ring(from as usize, *rank as usize);
@@ -226,9 +439,11 @@ impl Communicator for ThreadedComm {
                     if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
                         tr.comm_wait(t0, from, tag);
                     }
-                    return p;
+                    return Ok(p);
                 }
-                // Stage 1: spin — cheap pops, no syscall, no yield.
+                // Stage 1: spin — cheap pops, no syscall, no yield. The
+                // budget is small and bounded, so poison/deadline checks
+                // wait for stage 2.
                 for _ in 0..*spin_limit {
                     std::hint::spin_loop();
                     if let Some(p) = ring_take(ring, from, tag, stash) {
@@ -236,10 +451,12 @@ impl Communicator for ThreadedComm {
                             tr.comm_spin(t0, from, tag);
                             tr.comm_wait(t0, from, tag);
                         }
-                        return p;
+                        return Ok(p);
                     }
                 }
-                // Stage 2: park until the sender rings the doorbell.
+                // Stage 2: park until the sender rings the doorbell, the
+                // run poisons (RunState unparks us), or the deadline
+                // elapses (the bounded park_timeout re-checks every slice).
                 let t_park = trace.is_some().then(Instant::now);
                 if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
                     if *spin_limit > 0 {
@@ -247,9 +464,14 @@ impl Communicator for ThreadedComm {
                     }
                 }
                 let mut got = None;
+                let mut err = None;
                 net.park_until(*rank as usize, || {
                     got = ring_take(ring, from, tag, stash);
-                    got.is_some()
+                    if got.is_some() {
+                        return true;
+                    }
+                    err = wait_failed(&run_state, deadline, t_start, from, tag);
+                    err.is_some()
                 });
                 if let (Some(tp), Some(tr)) = (t_park, trace.as_mut()) {
                     tr.comm_park(tp, from, tag);
@@ -257,7 +479,10 @@ impl Communicator for ThreadedComm {
                 if let (Some(t0), Some(tr)) = (t0, trace.as_mut()) {
                     tr.comm_wait(t0, from, tag);
                 }
-                got.expect("park_until returned without a message")
+                match got {
+                    Some(p) => Ok(p),
+                    None => Err(err.expect("park_until returned without message or error")),
+                }
             }
         }
     }
@@ -349,22 +574,15 @@ impl Communicator for ThreadedComm {
             }
         }
     }
+
+    fn abort(&mut self) {
+        self.run_state.poison(self.rank);
+    }
 }
 
-/// Run `f` on `p` ranks, each on its own thread, over an explicit
-/// [`Transport`], and collect the per-rank return values (index = rank).
-/// [`run_threaded`] is the env-selected convenience wrapper.
-///
-/// # Panics
-/// Propagates any rank's panic.
-pub fn run_threaded_with<R, F>(p: u64, transport: Transport, f: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(&mut ThreadedComm) -> R + Send + Sync,
-{
-    assert!(p >= 1);
-    let spin_limit = spin_for(p);
-    let channels: Vec<Channel> = match transport {
+/// Build the per-rank transport endpoints for a `p`-rank world.
+fn make_channels(p: u64, transport: Transport) -> Vec<Channel> {
+    match transport {
         Transport::Mpsc => {
             let mut senders = Vec::with_capacity(p as usize);
             let mut receivers = Vec::with_capacity(p as usize);
@@ -389,18 +607,76 @@ where
                 })
                 .collect()
         }
-    };
-    let mut results: Vec<Option<R>> = (0..p).map(|_| None).collect();
+    }
+}
+
+/// Secondary panics carrying a typed [`CommError`] payload are controlled
+/// unwinds (the poison/deadline path): when one rank dies, the remaining
+/// `p − 1` unwind through [`Communicator::recv`] by design. Printing p − 1
+/// "thread panicked" reports for every primary failure would bury the root
+/// cause, so the default hook is wrapped (once per process) to skip them.
+fn silence_comm_panics() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CommError>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Render a panic payload for humans: the rendered [`CommError`] when that
+/// is what it carries (the controlled unwind of a failed bounded receive),
+/// otherwise the panic string. Used for [`RankFailure::message`] and by
+/// error-plumbed executors downstream.
+pub fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(e) = payload.downcast_ref::<CommError>() {
+        return e.to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "rank panicked with a non-string payload".to_string()
+}
+
+/// A rank's outcome plus, on failure, the original panic payload (kept so
+/// the infallible wrappers can re-raise it unchanged).
+type RankOutcome<R> = Result<R, (RankFailure, Box<dyn std::any::Any + Send>)>;
+
+/// The shared harness: run `f` on `p` ranks and classify every outcome.
+/// Returns the per-rank outcomes and the rank that poisoned the run first
+/// (the root cause), if any.
+fn run_ranks<R, F>(p: u64, opts: RunOpts, f: F) -> (Vec<RankOutcome<R>>, Option<u64>)
+where
+    R: Send,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync,
+{
+    assert!(p >= 1);
+    silence_comm_panics();
+    let spin_limit = spin_for(p);
+    let channels = make_channels(p, opts.transport);
+    let run_state = Arc::new(RunState::new());
+    let mut results: Vec<Option<RankOutcome<R>>> = (0..p).map(|_| None).collect();
     std::thread::scope(|scope| {
         let handles: Vec<_> = channels
             .into_iter()
             .enumerate()
             .map(|(rank, channel)| {
                 let f = &f;
+                let run_state = Arc::clone(&run_state);
+                let fault = opts.fault.as_ref().map(|pl| pl.state_for(rank as u64));
+                let deadline = opts.deadline;
                 scope.spawn(move || {
                     if let Channel::Ring { net } = &channel {
                         net.register(rank);
                     }
+                    run_state.register();
                     let mut comm = ThreadedComm {
                         rank: rank as u64,
                         size: p,
@@ -408,24 +684,127 @@ where
                         stash: HashMap::new(),
                         pool: Vec::new(),
                         spin_limit,
+                        deadline,
+                        run_state: Arc::clone(&run_state),
+                        fault,
                         sent_messages: 0,
                         sent_elements: 0,
                         pool_misses: 0,
                         send_backpressure: 0,
                         trace: None,
                     };
-                    f(&mut comm)
+                    match catch_unwind(AssertUnwindSafe(|| f(&mut comm))) {
+                        Ok(r) => Ok(r),
+                        Err(payload) => {
+                            // Poison before this thread exits so peers
+                            // blocked on us wake immediately, not at join
+                            // time.
+                            run_state.poison(rank as u64);
+                            Err(payload)
+                        }
+                    }
                 })
             })
             .collect();
         for (rank, h) in handles.into_iter().enumerate() {
-            match h.join() {
-                Ok(r) => results[rank] = Some(r),
-                Err(e) => std::panic::resume_unwind(e),
-            }
+            let outcome = match h.join() {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(payload)) | Err(payload) => {
+                    let comm_err = payload.downcast_ref::<CommError>().cloned();
+                    let message = panic_payload_message(payload.as_ref());
+                    Err((
+                        RankFailure {
+                            rank: rank as u64,
+                            message,
+                            comm: comm_err,
+                        },
+                        payload,
+                    ))
+                }
+            };
+            results[rank] = Some(outcome);
         }
     });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    let first_failed = run_state.failed();
+    (
+        results.into_iter().map(|r| r.unwrap()).collect(),
+        first_failed,
+    )
+}
+
+/// Run `f` on `p` ranks under explicit [`RunOpts`] and collect every
+/// rank's outcome (index = rank) instead of panicking: a rank that unwinds
+/// — its own panic, an injected fault, a receive deadline, or a peer's
+/// failure — yields a typed [`RankFailure`]. One failed rank poisons the
+/// shared [`RunState`], so every other rank unwinds with
+/// [`CommErrorKind::RankFailed`] instead of deadlocking on messages that
+/// can never arrive.
+///
+/// ```
+/// use mp_runtime::{run_threaded_result, Communicator, RunOpts};
+/// // Rank 1 dies before sending; rank 0 must fail cleanly, not hang.
+/// let results = run_threaded_result(2, RunOpts::default(), |comm| {
+///     if comm.rank() == 1 {
+///         panic!("boom");
+///     }
+///     comm.recv(1, 7)
+/// });
+/// let err0 = results[0].as_ref().unwrap_err();
+/// assert_eq!(err0.comm.as_ref().unwrap().kind,
+///            mp_runtime::CommErrorKind::RankFailed(1));
+/// assert!(results[1].as_ref().unwrap_err().message.contains("boom"));
+/// ```
+pub fn run_threaded_result<R, F>(p: u64, opts: RunOpts, f: F) -> Vec<Result<R, RankFailure>>
+where
+    R: Send,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync,
+{
+    run_ranks(p, opts, f)
+        .0
+        .into_iter()
+        .map(|r| r.map_err(|(failure, _)| failure))
+        .collect()
+}
+
+/// Run `f` on `p` ranks, each on its own thread, over an explicit
+/// [`Transport`], and collect the per-rank return values (index = rank).
+/// [`run_threaded`] is the env-selected convenience wrapper;
+/// [`run_threaded_result`] is the non-panicking variant. The deadline and
+/// fault knobs still come from the environment (`MP_COMM_TIMEOUT_MS`,
+/// `MP_FAULT`), so every entry point honors them.
+///
+/// # Panics
+/// Propagates the root-cause rank's panic (the rank that poisoned the run
+/// first — secondary [`CommError`] unwinds on other ranks are not the
+/// story), or panics if `MP_FAULT` is set but malformed.
+pub fn run_threaded_with<R, F>(p: u64, transport: Transport, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&mut ThreadedComm) -> R + Send + Sync,
+{
+    let mut opts = RunOpts::from_env(p).expect("malformed MP_FAULT");
+    opts.transport = transport;
+    let (results, first_failed) = run_ranks(p, opts, f);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(results.len());
+    let mut primary: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut fallback: Option<Box<dyn std::any::Any + Send>> = None;
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => out.push(Some(v)),
+            Err((_, payload)) => {
+                out.push(None);
+                if first_failed == Some(rank as u64) {
+                    primary = Some(payload);
+                } else if fallback.is_none() {
+                    fallback = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = primary.or(fallback) {
+        resume_unwind(payload);
+    }
+    out.into_iter().map(|r| r.unwrap()).collect()
 }
 
 /// Run `f` on `p` ranks over the env-selected transport
@@ -883,6 +1262,228 @@ mod tests {
         });
         assert_eq!(res[0], (1, 3));
         assert_eq!(res[1], (0, 0));
+    }
+
+    #[test]
+    fn recv_deadline_times_out_with_typed_error() {
+        for transport in [Transport::Ring, Transport::Mpsc] {
+            let opts = RunOpts {
+                transport,
+                ..RunOpts::default()
+            };
+            let res = run_threaded_result(2, opts, |comm| {
+                if comm.rank() == 0 {
+                    // Nobody ever sends tag 9: the bounded receive must
+                    // give up, not hang.
+                    comm.recv_deadline(1, 9, Some(Duration::from_millis(40)))
+                } else {
+                    Ok(Vec::new())
+                }
+            });
+            let err = res[0].as_ref().unwrap().as_ref().unwrap_err();
+            assert_eq!(err.kind, CommErrorKind::Timeout, "{transport:?}");
+            assert_eq!((err.from, err.tag), (1, 9), "{transport:?}");
+            assert!(
+                err.waited >= Duration::from_millis(40),
+                "{transport:?}: gave up after only {:?}",
+                err.waited
+            );
+        }
+    }
+
+    #[test]
+    fn undeadlined_recv_with_timeout_env_is_bounded() {
+        // The infallible recv() raises the typed error as a panic payload,
+        // which the result harness classifies — no hang, no deadlock.
+        let opts = RunOpts {
+            deadline: Some(Duration::from_millis(40)),
+            ..RunOpts::default()
+        };
+        let res = run_threaded_result(2, opts, |comm| {
+            if comm.rank() == 0 {
+                let _ = comm.recv(1, 9); // never sent
+            }
+        });
+        let failure = res[0].as_ref().unwrap_err();
+        let comm_err = failure.comm.as_ref().expect("typed error must survive");
+        assert_eq!(comm_err.kind, CommErrorKind::Timeout);
+        assert!(failure.message.contains("timeout"), "{}", failure.message);
+        assert!(res[1].is_ok());
+    }
+
+    #[test]
+    fn panicked_rank_poisons_peers_instead_of_deadlock() {
+        // Rank 2 dies before sending anything; every other rank is blocked
+        // on it (directly or transitively) with NO deadline configured.
+        // Poison propagation alone must unwind them all, promptly.
+        for transport in [Transport::Ring, Transport::Mpsc] {
+            let opts = RunOpts {
+                transport,
+                ..RunOpts::default()
+            };
+            let t0 = Instant::now();
+            let res = run_threaded_result(4, opts, |comm| {
+                if comm.rank() == 2 {
+                    panic!("boom");
+                }
+                let _ = comm.recv(2, 5);
+            });
+            assert!(
+                t0.elapsed() < Duration::from_secs(30),
+                "{transport:?}: poison propagation took {:?}",
+                t0.elapsed()
+            );
+            for (rank, r) in res.iter().enumerate() {
+                let failure = r.as_ref().unwrap_err();
+                assert_eq!(failure.rank, rank as u64);
+                if rank == 2 {
+                    assert!(failure.message.contains("boom"));
+                    assert!(failure.comm.is_none());
+                } else {
+                    assert_eq!(
+                        failure.comm.as_ref().map(|e| e.kind),
+                        Some(CommErrorKind::RankFailed(2)),
+                        "{transport:?} rank {rank}: {}",
+                        failure.message
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_sender_on_full_ring_unwinds() {
+        // Rank 0 pushes unbounded traffic at a rank that dies without
+        // draining: once the ring fills, the send retry loop must observe
+        // the poison and unwind instead of yielding forever.
+        let opts = RunOpts::default();
+        let res = run_threaded_result(2, opts, |comm| {
+            if comm.rank() == 0 {
+                for k in 0..10 * crate::ring::RING_CAP as u64 {
+                    comm.send(1, 0, vec![k as f64]);
+                }
+            } else {
+                panic!("receiver dies without draining");
+            }
+        });
+        let failure = res[0].as_ref().unwrap_err();
+        assert_eq!(
+            failure.comm.as_ref().map(|e| e.kind),
+            Some(CommErrorKind::RankFailed(1))
+        );
+    }
+
+    #[test]
+    fn injected_panic_fault_fails_all_ranks() {
+        let opts = RunOpts {
+            fault: Some(FaultPlan::parse("panic:1:1").unwrap()),
+            ..RunOpts::default()
+        };
+        let res = run_threaded_result(3, opts, |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % 3;
+            let prev = (me + 2) % 3;
+            comm.send(next, 0, vec![me as f64]);
+            comm.recv(prev, 0)[0]
+        });
+        let f1 = res[1].as_ref().unwrap_err();
+        assert!(
+            f1.message
+                .contains("injected fault: rank 1 panics at comm op 1"),
+            "{}",
+            f1.message
+        );
+        // Rank 2 awaits the message rank 1 died before sending: it must
+        // unwind with the root cause. Rank 0's only dependency (rank 2's
+        // send) was satisfied before the failure, so it finishes — poison
+        // never kills work that no longer needs the dead rank.
+        let f2 = res[2].as_ref().unwrap_err();
+        assert_eq!(
+            f2.comm.as_ref().map(|e| e.kind),
+            Some(CommErrorKind::RankFailed(1)),
+            "rank 2: {}",
+            f2.message
+        );
+        assert_eq!(*res[0].as_ref().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn truncate_fault_ships_one_element_short() {
+        let opts = RunOpts {
+            fault: Some(FaultPlan::parse("trunc:0:1").unwrap()),
+            ..RunOpts::default()
+        };
+        let res = run_threaded_result(2, opts, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1.0, 2.0, 3.0]);
+                0
+            } else {
+                comm.recv(0, 3).len()
+            }
+        });
+        assert_eq!(*res[1].as_ref().unwrap(), 2, "payload must arrive garbled");
+    }
+
+    #[test]
+    fn swallowed_doorbell_fault_still_delivers() {
+        // The lost-wakeup drill end to end: the receiver parks long before
+        // the bell-less send and must recover via its bounded park.
+        let opts = RunOpts {
+            fault: Some(FaultPlan::parse("swallow:0:1").unwrap()),
+            ..RunOpts::default()
+        };
+        let res = run_threaded_result(2, opts, |comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(20));
+                comm.send(1, 3, vec![7.0]);
+                0.0
+            } else {
+                comm.recv(0, 3)[0]
+            }
+        });
+        assert_eq!(*res[1].as_ref().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn fault_free_shim_matches_bare_transport_counters() {
+        let exercise = |fault: Option<FaultPlan>| {
+            let opts = RunOpts {
+                fault,
+                ..RunOpts::default()
+            };
+            run_threaded_result(3, opts, |comm| {
+                let me = comm.rank();
+                let next = (me + 1) % 3;
+                let prev = (me + 2) % 3;
+                for hop in 0..5u64 {
+                    comm.send(next, hop, vec![me as f64; 4]);
+                    let _ = comm.recv(prev, hop);
+                }
+                comm.barrier();
+                (comm.sent_messages, comm.sent_elements, comm.pool_misses)
+            })
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect::<Vec<_>>()
+        };
+        let bare = exercise(None);
+        let shimmed = exercise(Some(FaultPlan::fault_free(0x750C)));
+        assert_eq!(bare, shimmed, "fault-free shim must be transparent");
+    }
+
+    #[test]
+    fn deadline_env_parses() {
+        // Only harmless values are set here: other tests may run
+        // run_threaded concurrently in this process, and a short global
+        // deadline would make them flaky.
+        std::env::set_var("MP_COMM_TIMEOUT_MS", "60000");
+        assert_eq!(deadline_from_env(), Some(Duration::from_secs(60)));
+        std::env::set_var("MP_COMM_TIMEOUT_MS", "0");
+        assert_eq!(deadline_from_env(), None, "0 means off");
+        std::env::set_var("MP_COMM_TIMEOUT_MS", "banana");
+        assert_eq!(deadline_from_env(), None, "malformed means off");
+        std::env::remove_var("MP_COMM_TIMEOUT_MS");
+        assert_eq!(deadline_from_env(), None);
     }
 
     #[test]

@@ -37,10 +37,49 @@ use crate::simd::{SimdLevel, SimdMode};
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_core::plan::SweepPlan;
 use mp_grid::{HaloPlan, RankStore};
-use mp_runtime::comm::{Communicator, Tag};
+use mp_runtime::comm::{CommError, Communicator, Tag};
+use mp_runtime::panic_payload_message;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A sweep that failed cleanly instead of completing: the unwind was
+/// caught at the executor boundary, the surrounding run was aborted
+/// ([`Communicator::abort`]) so peer ranks fail fast instead of
+/// deadlocking, and the cause comes back as a value.
+#[derive(Debug)]
+pub struct SweepError {
+    /// Human-readable description (panic message, or the rendered
+    /// [`CommError`]).
+    pub message: String,
+    /// The typed communication error, when the failure was a bounded
+    /// receive giving up (deadline or peer failure) rather than a local
+    /// panic.
+    pub comm: Option<CommError>,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sweep failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl SweepError {
+    /// Classify a caught unwind payload and abort the surrounding run.
+    fn from_unwind<C: Communicator>(
+        comm: &mut C,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> SweepError {
+        comm.abort();
+        SweepError {
+            message: panic_payload_message(payload.as_ref()),
+            comm: payload.downcast_ref::<CommError>().cloned(),
+        }
+    }
+}
 
 /// What a [`CompiledSweep`] was built for — compared by [`SweepEngine`] to
 /// decide when a cached plan can be reused.
@@ -511,6 +550,24 @@ impl CompiledSweep {
             self.execute_pipelined(comm, store, kernel);
         } else {
             self.execute_aggregated(comm, store, kernel);
+        }
+    }
+
+    /// Like [`CompiledSweep::execute`], but any unwind inside the sweep —
+    /// a kernel assertion, a worker-pool panic, a receive deadline, or a
+    /// peer rank's failure — comes back as a typed [`SweepError`] after
+    /// aborting the surrounding run ([`Communicator::abort`]), so the
+    /// other ranks unwind with `RankFailed` instead of deadlocking on the
+    /// messages this sweep will never send.
+    pub fn try_execute<C: Communicator, K: LineSweepKernel + ?Sized>(
+        &mut self,
+        comm: &mut C,
+        store: &mut RankStore,
+        kernel: &K,
+    ) -> Result<(), SweepError> {
+        match catch_unwind(AssertUnwindSafe(|| self.execute(comm, store, kernel))) {
+            Ok(()) => Ok(()),
+            Err(payload) => Err(SweepError::from_unwind(comm, payload)),
         }
     }
 

@@ -529,6 +529,57 @@ pub fn multipart_sweep_opts<C: Communicator, K: LineSweepKernel>(
     cs.execute(comm, store, kernel);
 }
 
+/// [`multipart_sweep_opts`] with error plumbing: any unwind inside the
+/// sweep (kernel assertion, worker panic, receive deadline, peer failure)
+/// comes back as a typed [`crate::compiled::SweepError`] after aborting
+/// the surrounding run — see [`crate::compiled::CompiledSweep::try_execute`].
+///
+/// ```
+/// use mp_core::cost::CostModel;
+/// use mp_core::multipart::{Direction, Multipartitioning};
+/// use mp_grid::{FieldDef, TileGrid};
+/// use mp_runtime::{run_threaded, Communicator};
+/// use mp_sweep::{allocate_rank_store, multipart_sweep_try};
+/// use mp_sweep::{PrefixSumKernel, SweepOptions};
+///
+/// let mp = Multipartitioning::optimal(2, &[4, 4], &CostModel::origin2000_like());
+/// let gammas: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+/// let results = run_threaded(2, |comm| {
+///     let grid = TileGrid::new(&[4, 4], &gammas);
+///     let fields = [FieldDef::new("u", 0)];
+///     let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+///     store.init_field(0, |_| 1.0);
+///     multipart_sweep_try(
+///         comm, &mut store, &mp, 0, Direction::Forward,
+///         &PrefixSumKernel::new(0), 77, &SweepOptions::default(),
+///     )
+/// });
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn multipart_sweep_try<C: Communicator, K: LineSweepKernel>(
+    comm: &mut C,
+    store: &mut RankStore,
+    mp: &Multipartitioning,
+    dim: usize,
+    dir: Direction,
+    kernel: &K,
+    tag_base: Tag,
+    opts: &SweepOptions,
+) -> Result<(), crate::compiled::SweepError> {
+    let mut cs = crate::compiled::CompiledSweep::build(
+        mp,
+        comm.rank(),
+        store,
+        dim,
+        dir,
+        kernel,
+        tag_base,
+        opts,
+    );
+    cs.try_execute(comm, store, kernel)
+}
+
 /// Exchange `width` ghost layers of `field` across all tile faces, in both
 /// directions of every dimension, with per-(dimension, direction)
 /// aggregation: each rank sends at most one message per neighbor per

@@ -50,10 +50,10 @@ mod tests_trace;
 
 pub use batch::BatchedKernel;
 pub use block::{block_thomas_solve, BlockCoeffs, BlockTriBackwardKernel, BlockTriForwardKernel};
-pub use compiled::{CompiledSweep, PlanKey, SolverPlan, SweepEngine};
+pub use compiled::{CompiledSweep, PlanKey, SolverPlan, SweepEngine, SweepError};
 pub use executor::{
     allocate_rank_store, exchange_halos, exchange_halos_planned, multipart_sweep,
-    multipart_sweep_opts, SweepOptions,
+    multipart_sweep_opts, multipart_sweep_try, SweepOptions,
 };
 pub use penta::{penta_solve, PentaBackwardKernel, PentaForwardKernel};
 pub use pool::WorkerPool;

@@ -108,17 +108,33 @@ impl WorkerPool {
     /// pool, returning when all of them finish. `nworkers` beyond
     /// `threads_spawned() + 1` is capped. Worker panics propagate.
     pub fn run(&self, nworkers: usize, f: &(dyn Fn(usize) + Sync)) {
+        if let Err(payload) = self.try_run(nworkers, f) {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Like [`WorkerPool::run`], but a panic on any worker — including the
+    /// caller's own worker-0 share — comes back as a value instead of
+    /// unwinding, so error-plumbed executors can abort the surrounding run
+    /// and return a typed error. The first panic of the dispatch wins; the
+    /// pool stays usable afterwards. Always waits for every worker to
+    /// check in before returning (the dispatched borrow must outlive all
+    /// use even when worker 0 unwinds early).
+    pub fn try_run(
+        &self,
+        nworkers: usize,
+        f: &(dyn Fn(usize) + Sync),
+    ) -> Result<(), Box<dyn Any + Send>> {
         let nw = nworkers.clamp(1, self.handles.len() + 1);
         if nw <= 1 {
-            f(0);
-            return;
+            return catch_unwind(AssertUnwindSafe(|| f(0)));
         }
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         {
             let mut c = self.shared.m.lock().unwrap();
             debug_assert_eq!(c.remaining, 0, "overlapping dispatch");
-            // SAFETY: erase the borrow's lifetime; `run` blocks below until
-            // every worker checked in, so the borrow outlives all use.
+            // SAFETY: erase the borrow's lifetime; `try_run` blocks below
+            // until every worker checked in, so the borrow outlives all use.
             let ptr: *const (dyn Fn(usize) + Sync) = f;
             let ptr: *const (dyn Fn(usize) + Sync + 'static) = unsafe { std::mem::transmute(ptr) };
             c.job = Some(Job { ptr, nworkers: nw });
@@ -130,15 +146,18 @@ impl WorkerPool {
             self.shared.work.notify_all();
         }
         // The caller is worker 0 — do our share before blocking.
-        f(0);
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
         let mut c = self.shared.m.lock().unwrap();
         while c.remaining > 0 {
             c = self.shared.done.wait(c).unwrap();
         }
         c.job = None;
-        if let Some(payload) = c.panicked.take() {
-            drop(c);
-            resume_unwind(payload);
+        let worker_panic = c.panicked.take();
+        drop(c);
+        match (caller, worker_panic) {
+            (Err(payload), _) => Err(payload),
+            (Ok(()), Some(payload)) => Err(payload),
+            (Ok(()), None) => Ok(()),
         }
     }
 }
@@ -264,6 +283,36 @@ mod tests {
         pool.run(3, &|_| {
             hits.fetch_add(1, Ordering::SeqCst);
         });
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn try_run_returns_panics_as_values() {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run(3, &|wi| {
+                if wi == 1 {
+                    panic!("worker 1 exploded");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"worker 1 exploded"));
+        // The caller's own worker-0 share is caught too, and the pool
+        // stays usable after both kinds of failure.
+        let err = pool
+            .try_run(3, &|wi| {
+                if wi == 0 {
+                    panic!("caller exploded");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>(), Some(&"caller exploded"));
+        let hits = AtomicUsize::new(0);
+        assert!(pool
+            .try_run(3, &|_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })
+            .is_ok());
         assert_eq!(hits.load(Ordering::SeqCst), 3);
     }
 

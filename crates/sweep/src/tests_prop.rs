@@ -814,6 +814,154 @@ fn random_pool_ring_matches_spawn_mpsc() {
 }
 
 #[test]
+fn fault_free_shim_is_invisible_and_injected_panics_fail_cleanly() {
+    // The robustness property (seed 0x750C): a *fault-free* FaultPlan shim
+    // threaded through full multipartitioned sweeps must be invisible —
+    // field contents and every per-rank counter bitwise identical to the
+    // bare transport — and an injected rank panic must surface on every
+    // dependent rank as a typed `RankFailed` failure within the deadline
+    // instead of a hang.
+    use crate::compiled::SweepEngine;
+    use crate::executor::{allocate_rank_store, SweepOptions};
+    use crate::recurrence::PrefixSumKernel;
+    use mp_core::multipart::Multipartitioning;
+    use mp_core::partition::Partitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::{run_threaded_result, RunOpts, Transport};
+    use mp_runtime::{CommErrorKind, FaultPlan};
+    use std::time::Duration;
+
+    cases(0x750C, 6, |rng| {
+        let (p, gammas): (u64, Vec<u64>) = match rng.usize_in(0, 3) {
+            0 => (2, vec![2, 2, 1]),
+            1 => (4, vec![2, 2, 2]),
+            2 => (3, vec![3, 3, 1]),
+            _ => (6, vec![6, 3, 2]),
+        };
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(gammas));
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| {
+                let g = g as usize;
+                g * rng.usize_in(2, 3) + rng.usize_in(0, g.max(2) - 1)
+            })
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let opts = SweepOptions::new(rng.usize_in(1, 24), rng.usize_in(1, 3))
+            .with_pipeline_chunks(rng.usize_in(1, 3));
+        let k = PrefixSumKernel::new(0);
+        let init = |g: &[usize]| ((g[0] * 5 + g[1] * 3 + g[2] * 7) % 13) as f64 - 6.0;
+        let fields = [FieldDef::new("u", 0)];
+        let transport = if rng.bool() {
+            Transport::Ring
+        } else {
+            Transport::Mpsc
+        };
+        let schedule: Vec<(usize, Direction, u64)> = (0..6)
+            .map(|s| {
+                let dim = s % 3;
+                let (dir, d) = if rng.bool() {
+                    (Direction::Forward, 0)
+                } else {
+                    (Direction::Backward, 1)
+                };
+                (dim, dir, (dim as u64 * 2 + d) * 1_000)
+            })
+            .collect();
+
+        let run = |run_opts: RunOpts| {
+            let (mp, grid, k, fields, schedule, opts) = (&mp, &grid, &k, &fields, &schedule, &opts);
+            run_threaded_result(p, run_opts, move |comm| {
+                let mut store = allocate_rank_store(comm.rank(), mp, grid, fields);
+                store.init_field(0, init);
+                let mut eng = SweepEngine::new(opts.clone());
+                for &(dim, dir, tag) in schedule {
+                    eng.sweep(comm, &mut store, mp, dim, dir, k, tag);
+                }
+                (
+                    store,
+                    [
+                        comm.sent_messages,
+                        comm.sent_elements,
+                        comm.pool_misses,
+                        comm.send_backpressure,
+                    ],
+                )
+            })
+        };
+
+        // Fault-free shim: the hooks are armed but never fire, so nothing —
+        // not the data, not a single counter — may differ from bare.
+        let bare = run(RunOpts {
+            transport,
+            deadline: Some(Duration::from_secs(30)),
+            fault: None,
+        });
+        let shimmed = run(RunOpts {
+            transport,
+            deadline: Some(Duration::from_secs(30)),
+            fault: Some(FaultPlan::fault_free(0x750C)),
+        });
+        let mut want = ArrayD::zeros(&eta);
+        let mut got = ArrayD::zeros(&eta);
+        for (b, s) in bare.iter().zip(shimmed.iter()) {
+            let (bs, bc) = b.as_ref().expect("bare run must succeed");
+            let (ss, sc) = s.as_ref().expect("fault-free shim run must succeed");
+            assert_eq!(sc, bc, "p={p} eta={eta:?} {opts:?}: shim changed counters");
+            bs.gather_into(0, &mut want);
+            ss.gather_into(0, &mut got);
+        }
+        assert_eq!(
+            got.max_abs_diff(&want),
+            0.0,
+            "p={p} eta={eta:?} {opts:?}: fault-free shim not bitwise equal"
+        );
+
+        // Injected panic on a random rank at a random early comm op: every
+        // rank must come back failed (typed, within the deadline), with the
+        // victim carrying the injected message and at least one peer seeing
+        // a RankFailed(victim) communication error.
+        let victim = rng.u64_in(0, p - 1);
+        let op = rng.u64_in(1, 4);
+        let plan = FaultPlan::parse(&format!("panic:{victim}:{op}")).unwrap();
+        let t0 = std::time::Instant::now();
+        let failed = run(RunOpts {
+            transport,
+            deadline: Some(Duration::from_secs(10)),
+            fault: Some(plan),
+        });
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "faulted run exceeded its bound"
+        );
+        let victim_err = failed[victim as usize]
+            .as_ref()
+            .expect_err("victim must fail");
+        assert!(
+            victim_err.message.contains("injected fault"),
+            "victim message: {}",
+            victim_err.message
+        );
+        let peer_rank_failed = failed
+            .iter()
+            .enumerate()
+            .filter(|(r, _)| *r as u64 != victim)
+            .filter_map(|(_, res)| res.as_ref().err())
+            .filter_map(|f| f.comm.as_ref())
+            .any(|c| c.kind == CommErrorKind::RankFailed(victim));
+        assert!(
+            peer_rank_failed,
+            "p={p} victim={victim} op={op}: no peer observed RankFailed({victim})"
+        );
+    });
+}
+
+#[test]
 fn prefix_sum_any_split_bitwise() {
     cases(0x7503, 64, |rng| {
         use crate::recurrence::PrefixSumKernel;

@@ -1,0 +1,129 @@
+//! Every relative markdown link in the repo's documentation must resolve
+//! to a real file. Docs rot by renaming: a guide moves, a README link
+//! keeps pointing at the old name, and nobody notices until a reader
+//! does. This test is the CI link checker (std-only, inline links).
+
+use std::path::{Path, PathBuf};
+
+/// The documentation surface under check: the top-level narrative files
+/// plus everything under `docs/`.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"]
+        .iter()
+        .map(|f| root.join(f))
+        .filter(|p| p.exists())
+        .collect();
+    let mut stack = vec![root.join("docs")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Strip fenced code blocks and inline code spans — `](` inside code is
+/// not a link.
+fn strip_code(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_fence = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            out.push('\n');
+            continue;
+        }
+        if in_fence {
+            out.push('\n');
+            continue;
+        }
+        // Drop inline `code` spans within the line.
+        let mut in_tick = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_tick = !in_tick;
+            } else if !in_tick {
+                out.push(c);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extract inline markdown link targets: the `target` of `[text](target)`.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            if let Some(rel_end) = text[start..].find(')') {
+                targets.push(text[start..start + rel_end].to_string());
+                i = start + rel_end;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let files = doc_files(&root);
+    assert!(
+        files.len() >= 5,
+        "doc scan found only {files:?} — the doc surface moved?"
+    );
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in &files {
+        let text = strip_code(&std::fs::read_to_string(file).unwrap());
+        let dir = file.parent().unwrap();
+        for target in link_targets(&text) {
+            let target = target.split_whitespace().next().unwrap_or("");
+            // External links, mailto, and in-page anchors are out of scope.
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // A same-repo link may carry a #section fragment.
+            let path_part = target.split('#').next().unwrap();
+            let resolved = dir.join(path_part);
+            checked += 1;
+            if !resolved.exists() {
+                broken.push(format!(
+                    "{}: '{target}' -> {}",
+                    file.strip_prefix(&root).unwrap().display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked > 0,
+        "no relative links found across {} doc files — the extractor broke",
+        files.len()
+    );
+    assert!(
+        broken.is_empty(),
+        "{} broken relative markdown link(s):\n  {}",
+        broken.len(),
+        broken.join("\n  ")
+    );
+}
