@@ -14,7 +14,6 @@ use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion}
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_sweep::baselines::BlockUnipartition;
 use mp_sweep::simulate::{
@@ -27,7 +26,7 @@ use std::sync::Once;
 static PRINT_ONCE: Once = Once::new();
 
 fn bench_ablations(c: &mut Criterion) {
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let work = SweepWork {
         work_per_element: 6.0,
         carry_len: 10,

@@ -5,7 +5,6 @@ use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion,
 use mp_nassp::problem::{SpProblem, SpWorkFactors};
 use mp_nassp::serial::SerialSp;
 use mp_nassp::simulate::{simulate_sp, SpVersion};
-use mp_runtime::machine::MachineModel;
 use std::hint::black_box;
 
 fn bench_sp(c: &mut Criterion) {
@@ -27,7 +26,7 @@ fn bench_sp(c: &mut Criterion) {
     let mut group = c.benchmark_group("sp_simulated_cell");
     group.sample_size(10);
     let prob = SpProblem::new([102, 102, 102], 0.001);
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let factors = SpWorkFactors::default();
     for &p in &[16u64, 50, 81] {
         group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {

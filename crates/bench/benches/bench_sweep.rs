@@ -4,11 +4,11 @@
 
 use mp_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mp_core::cost::CostModel;
+use mp_core::machine::MachineProfile;
 use mp_core::multipart::{Direction, Multipartitioning};
 use mp_core::partition::Partitioning;
 use mp_grid::{ArrayD, FieldDef, TileGrid};
 use mp_runtime::comm::Communicator;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_runtime::threaded::{run_threaded, run_threaded_with, Transport};
 use mp_sweep::executor::{
@@ -19,7 +19,7 @@ use mp_sweep::simulate::{
     simulate_multipart_sweep, simulate_multipart_sweep_pipelined, MultipartGeometry, SweepWork,
 };
 use mp_sweep::verify::serial_sweep;
-use mp_sweep::{BatchedKernel, SweepEngine};
+use mp_sweep::{BatchedKernel, PlanShape, SweepEngine, TunedOptions};
 use std::hint::black_box;
 
 fn bench_sweep(c: &mut Criterion) {
@@ -295,6 +295,62 @@ fn bench_sweep(c: &mut Criterion) {
         group.finish();
     }
 
+    // Tuned vs default A/B: the options `TunedOptions::derive` picks for
+    // this shape from a preset profile against the untuned per-line
+    // baseline, on an identical schedule. The derived knobs only change
+    // execution strategy (block width, intra-rank threads, pipeline depth)
+    // — the tuned run's output and payload are bitwise/count identical, so
+    // the gap here is exactly what auto-tuning buys on this host.
+    {
+        const SWEEPS: usize = 6;
+        let p = 4u64;
+        let mp = Multipartitioning::optimal(
+            p,
+            &[n as u64, n as u64, n as u64],
+            &CostModel::origin2000_like(),
+        );
+        let gam: Vec<usize> = mp.gammas().iter().map(|&g| g as usize).collect();
+        let grid = TileGrid::new(&eta, &gam);
+        let shape = PlanShape {
+            p,
+            eta: eta.to_vec(),
+            gammas: mp.gammas().to_vec(),
+            carry_len: 1,
+        };
+        let tuned = TunedOptions::derive(&MachineProfile::origin2000_like(), &shape).derived;
+        let mut group = c.benchmark_group("tuned_vs_default");
+        group.throughput(Throughput::Elements(elems * SWEEPS as u64));
+        group.sample_size(20);
+        for (label, opts) in [
+            ("default_bw1_t1", SweepOptions::new(1, 1)),
+            ("tuned", tuned),
+        ] {
+            group.bench_with_input(BenchmarkId::new("engine_48_p4", label), &label, |b, _| {
+                b.iter(|| {
+                    run_threaded(p, |comm| {
+                        let mut store =
+                            allocate_rank_store(comm.rank(), &mp, &grid, &[FieldDef::new("u", 0)]);
+                        store.init_field(0, |g| (g[0] + g[1] + g[2]) as f64);
+                        let mut engine = SweepEngine::new(opts.clone());
+                        for _ in 0..SWEEPS {
+                            engine.sweep(
+                                comm,
+                                &mut store,
+                                &mp,
+                                0,
+                                Direction::Forward,
+                                &kernel,
+                                100,
+                            );
+                        }
+                        black_box(engine.elements_swept())
+                    })
+                })
+            });
+        }
+        group.finish();
+    }
+
     // Telemetry overhead smoke: the same p = 4 sweep with the recorder
     // absent (`trace = None`, the default — one branch per probe site, the
     // clock is never read) vs installed. The "disabled" variant is the
@@ -494,7 +550,10 @@ fn bench_sweep(c: &mut Criterion) {
         let geo = MultipartGeometry::new(&mp, &grid);
         group.bench_with_input(BenchmarkId::new("class_b_sweep", p), &p, |b, &p| {
             b.iter(|| {
-                let mut net = SimNet::new(p, MachineModel::sp_origin2000());
+                let mut net = SimNet::new(
+                    p,
+                    mp_core::machine::MachineProfile::sp_origin2000().cost_model(),
+                );
                 simulate_multipart_sweep(&mut net, &geo, 0, &SweepWork::default(), 0);
                 black_box(net.makespan())
             })
@@ -504,7 +563,10 @@ fn bench_sweep(c: &mut Criterion) {
             &p,
             |b, &p| {
                 b.iter(|| {
-                    let mut net = SimNet::new(p, MachineModel::sp_origin2000());
+                    let mut net = SimNet::new(
+                        p,
+                        mp_core::machine::MachineProfile::sp_origin2000().cost_model(),
+                    );
                     simulate_multipart_sweep_pipelined(
                         &mut net,
                         &geo,

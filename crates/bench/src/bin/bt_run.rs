@@ -15,7 +15,6 @@ use mp_nasbt::problem::BtProblem;
 use mp_nasbt::serial::SerialBt;
 use mp_nasbt::simulate::{serial_bt_seconds, simulate_bt, BtWorkFactors, BT_CARRY_PER_LINE};
 use mp_nasbt::NCOMP;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::threaded::run_threaded;
 use mp_runtime::Communicator;
 
@@ -69,7 +68,7 @@ fn main() {
     }
 
     // Simulated class-A-like performance point.
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let f = BtWorkFactors::default();
     let big = BtProblem::new([64, 64, 64], 0.001);
     if let Some(r) = simulate_bt(&big, 16, &machine, &f, 1) {

@@ -13,12 +13,11 @@ use mp_nasbt::problem::BtProblem;
 use mp_nasbt::simulate::{serial_bt_seconds, simulate_bt, BtWorkFactors};
 use mp_nassp::problem::{SpProblem, SpWorkFactors};
 use mp_nassp::simulate::{simulate_sp, SpVersion, TABLE1_PROCS};
-use mp_runtime::machine::MachineModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let btf = BtWorkFactors::default();
     let spf = SpWorkFactors::default();
     let bt_prob = BtProblem::new([n, n, n], 0.001);

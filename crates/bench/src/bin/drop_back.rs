@@ -13,7 +13,6 @@ use mp_core::cost::CostModel;
 use mp_core::search::drop_back_search;
 use mp_nassp::problem::{SpProblem, SpWorkFactors};
 use mp_nassp::simulate::{simulate_sp, SpVersion};
-use mp_runtime::machine::MachineModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -42,7 +41,7 @@ fn main() {
 
     // (b) simulated SP iterations.
     let prob = SpProblem::new([n, n, n], 0.001);
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let factors = SpWorkFactors::default();
     let lo = cands.iter().map(|c| c.procs).min().unwrap();
     let mut sim_rows = Vec::new();

@@ -13,13 +13,12 @@ use mp_bench::render_table;
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_sweep::simulate::{simulate_multipart_sweep, MultipartGeometry, SweepWork};
 
 fn main() {
     let model = CostModel::origin2000_like();
-    let machine = MachineModel::origin2000_like();
+    let machine = CostModel::origin2000_like();
 
     println!("Generalized multipartitioning across array dimensionalities\n");
     for d in 2..=5usize {
@@ -33,7 +32,7 @@ fn main() {
         };
         let eta_us = vec![ext; d];
         let eta: Vec<u64> = eta_us.iter().map(|&e| e as u64).collect();
-        let serial: f64 = eta_us.iter().product::<usize>() as f64 * d as f64 * machine.elem_compute;
+        let serial: f64 = eta_us.iter().product::<usize>() as f64 * d as f64 * machine.k1;
 
         let mut rows = Vec::new();
         for p in [4u64, 6, 12, 16, 24] {

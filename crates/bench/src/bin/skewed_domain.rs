@@ -13,7 +13,6 @@ use mp_core::cost::{BandwidthScaling, CostModel};
 use mp_core::multipart::Multipartitioning;
 use mp_core::partition::Partitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_sweep::simulate::{simulate_multipart_sweep, MultipartGeometry, SweepWork};
 
@@ -24,9 +23,9 @@ fn simulated_adi_time(p: u64, eta: &[usize; 3], gammas: &[u64; 3]) -> f64 {
     let geo = MultipartGeometry::new(&mp, &grid);
     // Bandwidth-sensitive machine (fixed aggregate bandwidth) to match the
     // remark's "volume of communications is the critical term" premise.
-    let machine = MachineModel {
+    let machine = CostModel {
         scaling: BandwidthScaling::Fixed,
-        ..MachineModel::origin2000_like()
+        ..CostModel::origin2000_like()
     };
     let mut net = SimNet::new(p, machine);
     for dim in 0..3 {

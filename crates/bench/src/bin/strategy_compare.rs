@@ -13,7 +13,6 @@ use mp_bench::render_table;
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_sweep::baselines::BlockUnipartition;
 use mp_sweep::simulate::{
@@ -24,9 +23,9 @@ use mp_sweep::simulate::{
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(64);
-    let machine = MachineModel::origin2000_like();
+    let machine = CostModel::origin2000_like();
     let work = SweepWork::default();
-    let serial = (n * n * n) as f64 * 3.0 * machine.elem_compute;
+    let serial = (n * n * n) as f64 * 3.0 * machine.k1;
 
     println!("3-D ADI pass (sweeps along x, y, z) on a {n}³ domain — simulated time\n");
     let mut rows = Vec::new();

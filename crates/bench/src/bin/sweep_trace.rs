@@ -8,7 +8,6 @@
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::{SimEvent, SimNet};
 use mp_sweep::baselines::BlockUnipartition;
 use mp_sweep::simulate::{
@@ -55,7 +54,7 @@ fn main() {
     let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
     let granularity: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
 
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let work = SweepWork::default();
     println!("Simulated sweep timelines, {n}³ domain, p = {p} (# compute, s send, . wait)\n");
 

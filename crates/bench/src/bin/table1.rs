@@ -14,7 +14,6 @@ use mp_bench::{fmt_speedup, render_table};
 use mp_nassp::classes::Class;
 use mp_nassp::problem::{SpProblem, SpWorkFactors};
 use mp_nassp::simulate::{table1, TABLE1_PROCS};
-use mp_runtime::machine::MachineModel;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
@@ -27,7 +26,7 @@ fn main() {
     let iterations: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
 
     let prob = SpProblem::new(class.eta(), class.dt());
-    let machine = MachineModel::sp_origin2000();
+    let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
     let factors = SpWorkFactors::default();
 
     if csv {
@@ -55,9 +54,9 @@ fn main() {
     );
     println!(
         "(α = {:.0} µs/message, β = {:.0} ns/element at p=1, scalable bandwidth, K1 = {:.0} ns/element)\n",
-        machine.alpha * 1e6,
-        machine.beta * 1e9,
-        machine.elem_compute * 1e9
+        machine.k2 * 1e6,
+        machine.k3 * 1e9,
+        machine.k1 * 1e9
     );
 
     let rows = table1(&prob, &machine, &factors, iterations, &TABLE1_PROCS);

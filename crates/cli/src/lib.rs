@@ -48,11 +48,13 @@ USAGE:
   mpart list     <p> <d>
   mpart hpf      <file.hpf>
   mpart topo     <p> <gamma...> (--ring | --hypercube | --torus <R>x<C>)
+  mpart calibrate [--fast] [--out FILE]
   mpart profile  <p> [--class S|W|A|B] [--eta <N>x<N>x<N>] [--iters N]
                  [--block W] [--threads T] [--chunks K] [--out FILE]
+                 [--calibration FILE]
   mpart chaos    <p> [--class S|W|A|B] [--eta <N>x<N>x<N>] [--runs N]
                  [--seed S] [--iters N] [--timeout-ms N] [--block W]
-                 [--threads T] [--chunks K]
+                 [--threads T] [--chunks K] [--calibration FILE]
 
 COMMANDS:
   analyze   full report: partitioning, per-sweep costs, drop-back advice
@@ -62,13 +64,20 @@ COMMANDS:
   list      all elementary partitionings of p in d dimensions
   hpf       compile PROCESSORS/TEMPLATE/ALIGN/DISTRIBUTE directives
   topo      pick the legal mapping with the fewest shift hops
+  calibrate measure THIS machine: time the hot sweep kernels and fit the
+            transport's Hockney constants; write a calibration file other
+            commands consume via --calibration FILE or MP_CALIBRATION
   profile   run the SP solver with per-rank telemetry; write a Chrome
             trace-event JSON (load at https://ui.perfetto.dev) and print
-            a compute/wait summary with §3.1 cost-model predictions
+            a compute/wait summary with §3.1 cost-model predictions and
+            a predicted-vs-measured breakdown
   chaos     soak the SP solver under randomized injected faults (seeded,
             reproducible): every run must finish bitwise-correct or fail
             with a typed error within the deadline — never hang, never
             corrupt silently
+
+Cost-model precedence everywhere: explicit knob > --calibration file >
+MP_CALIBRATION file > built-in preset.
 ";
 
 fn parse_u64(s: &str, what: &str) -> Result<u64, CliError> {
@@ -111,6 +120,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "list" => cmd_list(&args[1..]),
         "hpf" => cmd_hpf(&args[1..]),
         "topo" => cmd_topo(&args[1..]),
+        "calibrate" => cmd_calibrate(&args[1..]),
         "profile" => cmd_profile(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
@@ -357,6 +367,72 @@ fn cmd_topo(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn cmd_calibrate(args: &[String]) -> Result<String, CliError> {
+    const CAL_USAGE: &str = "usage: mpart calibrate [--fast] [--out FILE]";
+    let mut fast = false;
+    let mut out = String::from("calibration.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--out" => {
+                out = it
+                    .next()
+                    .ok_or_else(|| CliError(format!("--out needs a value\n{CAL_USAGE}")))?
+                    .clone();
+            }
+            other => return err(format!("unknown flag '{other}'\n{CAL_USAGE}")),
+        }
+    }
+
+    let t0 = std::time::Instant::now();
+    let (profile, fit) = mp_sweep::calibrate_host(fast);
+    let elapsed = t0.elapsed();
+    mp_runtime::write_profile(&out, &profile)
+        .map_err(|e| CliError(format!("cannot write '{out}': {e}")))?;
+
+    let mode = if fast { "fast" } else { "full" };
+    let mut rep = format!(
+        "calibrated this host in {:.2} s ({mode} mode)\n\nkernel K1 (seconds/element):\n",
+        elapsed.as_secs_f64()
+    );
+    for (key, k1) in &profile.k1 {
+        rep.push_str(&format!("  {key:<24} {k1:.3e}\n"));
+    }
+    rep.push_str(&format!(
+        "\ntransport fit (Hockney, 2-rank ring ping-pong):\n\
+         \x20 K2 (per-message latency)  = {:.3e} s\n\
+         \x20 K3 (per-element transfer) = {:.3e} s",
+        profile.k2, profile.k3
+    ));
+    if profile.k3 > 0.0 {
+        rep.push_str(&format!("  (~{:.1} GB/s)", 8.0 / profile.k3 / 1e9));
+    }
+    rep.push_str("\n  one-way samples:\n");
+    for &(n, secs) in &fit.samples {
+        rep.push_str(&format!("    {n:>7} elements  {:.3} µs\n", secs * 1e6));
+    }
+    // How far the preset is from this machine — the gap --calibration
+    // closes (λ drives the partition search, so a big gap can flip γ).
+    let preset = CostModel::origin2000_like();
+    rep.push_str(&format!(
+        "\npreset origin2000_like for comparison: K1 {:.1e}, K2 {:.1e}, K3 {:.1e}\n\
+         measured/preset: K1 ×{:.2}, K2 ×{:.2}, K3 ×{:.2}\n",
+        preset.k1,
+        preset.k2,
+        preset.k3,
+        profile.k1_default() / preset.k1,
+        profile.k2 / preset.k2,
+        profile.k3 / preset.k3,
+    ));
+    rep.push_str(&format!(
+        "\nprofile written to {out} (provenance: measured, scaling: fixed)\n\
+         use it:  mpart profile <p> --calibration {out}\n\
+         or:      MP_CALIBRATION={out} mpart profile <p>\n"
+    ));
+    Ok(rep)
+}
+
 /// Everything `mpart profile` needs to know before it launches ranks.
 struct ProfileConfig {
     p: u64,
@@ -366,14 +442,17 @@ struct ProfileConfig {
     iters: usize,
     opts: mp_sweep::SweepOptions,
     out: String,
+    calibration: Option<String>,
 }
 
 fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
     const PROFILE_USAGE: &str = "usage: mpart profile <p> [--class S|W|A|B] \
          [--eta <N>x<N>x<N>] [--iters N] [--block W] [--threads T] \
-         [--chunks K] [--simd auto|avx2|scalar] [--out FILE]\n\
+         [--chunks K] [--simd auto|avx2|scalar] [--out FILE] \
+         [--calibration FILE]\n\
          (--block/--threads/--chunks/--simd default from MP_SWEEP_BLOCK / \
-         MP_SWEEP_THREADS / MP_SWEEP_PIPELINE / MP_SWEEP_SIMD)";
+         MP_SWEEP_THREADS / MP_SWEEP_PIPELINE / MP_SWEEP_SIMD; the cost \
+         model from --calibration, else MP_CALIBRATION, else the preset)";
     let mut pos: Vec<&String> = Vec::new();
     let mut class = mp_nassp::Class::S;
     let mut eta_override: Option<[usize; 3]> = None;
@@ -385,11 +464,12 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
     let mut chunks = env_opts.pipeline_chunks;
     let mut simd = env_opts.simd;
     let mut out = String::from("mpart_trace.json");
+    let mut calibration: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--class" | "--eta" | "--iters" | "--block" | "--threads" | "--chunks" | "--simd"
-            | "--out" => {
+            | "--out" | "--calibration" => {
                 let v = it
                     .next()
                     .ok_or_else(|| CliError(format!("{a} needs a value\n{PROFILE_USAGE}")))?;
@@ -423,6 +503,7 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
                         };
                     }
                     "--out" => out = v.clone(),
+                    "--calibration" => calibration = Some(v.clone()),
                     _ => unreachable!(),
                 }
             }
@@ -451,6 +532,7 @@ fn parse_profile_args(args: &[String]) -> Result<ProfileConfig, CliError> {
             .with_pipeline_chunks(chunks)
             .with_simd(simd),
         out,
+        calibration,
     })
 }
 
@@ -465,7 +547,10 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     } = &cfg;
     let (p, iters) = (*p, *iters);
     let eta_u64: Vec<u64> = eta.iter().map(|&e| e as u64).collect();
-    let model = CostModel::origin2000_like();
+    // Cost-model precedence: --calibration file > MP_CALIBRATION > preset.
+    let (profile, model_source) = mp_runtime::load_profile(cfg.calibration.as_deref())
+        .map_err(|e| CliError(e.to_string()))?;
+    let model = profile.cost_model();
     let mp = Multipartitioning::optimal(p, &eta_u64, &model);
     let prob = mp_nassp::SpProblem::new(*eta, cfg.dt);
 
@@ -500,6 +585,7 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
                 build_ns,
                 rebuilds,
                 (pool_spawned_first, pool_grew, sp.pool_dispatches()),
+                sp.plan.elements_swept(),
             )
         })
     };
@@ -511,7 +597,8 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     let mut plan_build_ns = 0u64;
     let mut pool_workers = 0usize;
     let mut pool_dispatches = 0u64;
-    for (trace, msgs, elems, builds_first, build_ns, rebuilds, pool) in results {
+    let mut total_elements_swept = 0u64;
+    for (trace, msgs, elems, builds_first, build_ns, rebuilds, pool, swept) in results {
         if trace.stats.sent_messages() != msgs || trace.stats.sent_elements() != elems {
             return err(format!(
                 "telemetry mismatch on rank {}: recorder saw {} msgs / {} elements, \
@@ -544,6 +631,7 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
         plan_build_ns = plan_build_ns.max(build_ns);
         pool_workers = pool_workers.max(spawned_first);
         pool_dispatches = pool_dispatches.max(dispatches);
+        total_elements_swept += swept;
         traces.push(trace);
     }
     let nranks = traces.len();
@@ -609,7 +697,7 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
     // partition search minimized, next to what this run measured.
     let lambdas = model.lambdas(p, &eta_u64);
     rep.push_str(&format!(
-        "\n§3.1 cost model (origin2000_like):\n  λ = {:?}\n",
+        "\n§3.1 cost model ({model_source}):\n  λ = {:?}\n",
         lambdas
     ));
     for dim in 0..eta.len() {
@@ -629,6 +717,35 @@ fn cmd_profile(args: &[String]) -> Result<String, CliError> {
          (threads on one host, not {p} processors — compare shapes, not magnitudes)\n",
         tf.makespan_ns() as f64 / 1e9
     ));
+
+    // Predicted-vs-measured breakdown: K1 times the elements every compiled
+    // plan actually swept, against the recorder's compute-span total; the
+    // Hockney message cost against the time ranks spent blocked on receives.
+    // With a measured calibration both rows should land within tens of
+    // percent; with a preset the error column shows how far off it is.
+    let total_compute_s = tf.ranks.iter().map(|r| r.stats.compute_ns).sum::<u64>() as f64 / 1e9;
+    let total_wait_s = tf.ranks.iter().map(|r| r.stats.comm_wait_ns).sum::<u64>() as f64 / 1e9;
+    let total_msgs: u64 = tf.ranks.iter().map(|r| r.stats.sent_messages()).sum();
+    let total_elems: u64 = tf.ranks.iter().map(|r| r.stats.sent_elements()).sum();
+    let pred_compute_s = model.compute_time(total_elements_swept);
+    let pred_comm_s = total_msgs as f64 * model.k2 + total_elems as f64 * model.k3_at(p);
+    let pct = |pred: f64, meas: f64| {
+        if meas > 0.0 {
+            format!("{:+.1}% error", (pred - meas) / meas * 100.0)
+        } else {
+            "n/a (nothing measured)".to_string()
+        }
+    };
+    rep.push_str(&format!(
+        "\npredicted vs measured, all ranks summed ({model_source}):\n\
+         \x20 compute: predicted {pred_compute_s:.4e}s   measured {total_compute_s:.4e}s   {}\n\
+         \x20          ({total_elements_swept} elements swept × K1 = {:.3e}s/element)\n\
+         \x20 comm:    predicted {pred_comm_s:.4e}s   measured {total_wait_s:.4e}s   {}\n\
+         \x20          ({total_msgs} messages × K2 + {total_elems} elements × K3(p))\n",
+        pct(pred_compute_s, total_compute_s),
+        model.k1,
+        pct(pred_comm_s, total_wait_s),
+    ));
     Ok(rep)
 }
 
@@ -642,6 +759,7 @@ struct ChaosConfig {
     iters: usize,
     timeout: std::time::Duration,
     opts: mp_sweep::SweepOptions,
+    calibration: Option<String>,
 }
 
 /// Parse a seed that may be decimal or `0x`-prefixed hex.
@@ -657,7 +775,8 @@ fn parse_seed(s: &str) -> Result<u64, CliError> {
 fn parse_chaos_args(args: &[String]) -> Result<ChaosConfig, CliError> {
     const CHAOS_USAGE: &str = "usage: mpart chaos <p> [--class S|W|A|B] \
          [--eta <N>x<N>x<N>] [--runs N] [--seed S] [--iters N] \
-         [--timeout-ms N] [--block W] [--threads T] [--chunks K]";
+         [--timeout-ms N] [--block W] [--threads T] [--chunks K] \
+         [--calibration FILE]";
     let mut pos: Vec<&String> = Vec::new();
     let mut class = mp_nassp::Class::S;
     let mut eta_override: Option<[usize; 3]> = None;
@@ -669,11 +788,12 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosConfig, CliError> {
     let mut block = env_opts.block_width;
     let mut threads = env_opts.threads;
     let mut chunks = env_opts.pipeline_chunks;
+    let mut calibration: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--class" | "--eta" | "--runs" | "--seed" | "--iters" | "--timeout-ms" | "--block"
-            | "--threads" | "--chunks" => {
+            | "--threads" | "--chunks" | "--calibration" => {
                 let v = it
                     .next()
                     .ok_or_else(|| CliError(format!("{a} needs a value\n{CHAOS_USAGE}")))?;
@@ -699,6 +819,7 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosConfig, CliError> {
                     "--block" => block = parse_u64(v, "block width")? as usize,
                     "--threads" => threads = parse_u64(v, "thread count")? as usize,
                     "--chunks" => chunks = parse_u64(v, "pipeline chunk count")? as usize,
+                    "--calibration" => calibration = Some(v.clone()),
                     _ => unreachable!(),
                 }
             }
@@ -725,6 +846,7 @@ fn parse_chaos_args(args: &[String]) -> Result<ChaosConfig, CliError> {
         iters,
         timeout: std::time::Duration::from_millis(timeout_ms),
         opts: mp_sweep::SweepOptions::new(block, threads).with_pipeline_chunks(chunks),
+        calibration,
     })
 }
 
@@ -764,7 +886,9 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
         ..
     } = cfg;
     let eta_u64: Vec<u64> = eta.iter().map(|&e| e as u64).collect();
-    let mp = Multipartitioning::optimal(p, &eta_u64, &CostModel::origin2000_like());
+    let (cal_profile, model_source) = mp_runtime::load_profile(cfg.calibration.as_deref())
+        .map_err(|e| CliError(e.to_string()))?;
+    let mp = Multipartitioning::optimal(p, &eta_u64, &cal_profile.cost_model());
     let prob = mp_nassp::SpProblem::new(eta, cfg.dt);
     let transport = Transport::from_env();
 
@@ -824,7 +948,8 @@ fn cmd_chaos(args: &[String]) -> Result<String, CliError> {
     let mut out = format!(
         "chaos soak: SP {}×{}×{} on p = {p}, {iters} iteration(s)/run, \
          deadline {} ms, base seed {seed:#x}\n\
-         γ = {:?}, transport {transport:?}, block_width {}, threads {}, chunks {}\n\
+         γ = {:?} (cost model: {model_source}), transport {transport:?}, \
+         block_width {}, threads {}, chunks {}\n\
          fault-free shim: checksums and counters identical to bare transport \
          on {p}/{p} ranks ✓\n\n",
         eta[0],
@@ -1095,6 +1220,57 @@ mod tests {
         assert!(tf
             .meta
             .contains(&("simd".to_string(), "scalar".to_string())));
+    }
+
+    #[test]
+    fn calibrate_writes_profile_and_profile_consumes_it() {
+        let dir = std::env::temp_dir().join("mpart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cal = dir.join("calibration_cli.json");
+        let out = runv(&["calibrate", "--fast", "--out", cal.to_str().unwrap()]).unwrap();
+        assert!(out.contains("kernel K1"), "{out}");
+        assert!(out.contains("K2 (per-message latency)"), "{out}");
+        assert!(out.contains("measured/preset"), "{out}");
+        // The file must load back as a measured-on-this-host profile.
+        let profile = mp_runtime::read_profile(cal.to_str().unwrap()).unwrap();
+        assert!(profile.k1_default() > 0.0);
+        assert!(profile.k2 > 0.0);
+
+        let trace = dir.join("profile_calibrated.json");
+        let prof_out = runv(&[
+            "profile",
+            "4",
+            "--eta",
+            "8x8x8",
+            "--iters",
+            "1",
+            "--calibration",
+            cal.to_str().unwrap(),
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(
+            prof_out.contains(&format!("calibration file {}", cal.to_str().unwrap())),
+            "{prof_out}"
+        );
+        assert!(prof_out.contains("predicted vs measured"), "{prof_out}");
+        assert!(prof_out.contains("elements swept"), "{prof_out}");
+        assert!(prof_out.contains("0 rebuilds"), "{prof_out}");
+    }
+
+    #[test]
+    fn profile_missing_calibration_file_is_a_clean_error() {
+        let e = runv(&[
+            "profile",
+            "4",
+            "--eta",
+            "8x8x8",
+            "--calibration",
+            "/nonexistent/calibration.json",
+        ])
+        .unwrap_err();
+        assert!(e.0.contains("cannot read"), "{}", e.0);
     }
 
     #[test]

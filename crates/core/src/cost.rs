@@ -17,6 +17,7 @@
 //! `Σ_i γ_i·λ_i` with `λ_i = K2 + K3(p)·η/η_i` — the **objective** minimized
 //! by the search in [`crate::search`].
 
+use crate::machine::MachineProfile;
 use crate::partition::Partitioning;
 
 /// How the per-element communication cost `K3(p)` scales with the number of
@@ -45,49 +46,53 @@ pub struct CostModel {
 }
 
 impl CostModel {
-    /// A model resembling a c. 2002 SGI Origin 2000 class machine:
-    /// ~10 µs message start-up, ~100 MB/s per-link bandwidth on 8-byte
-    /// elements, and ~100 Mflop/s per-CPU sustained compute with a handful
-    /// of flops per element per sweep.
+    /// The model derived from a [`MachineProfile`] (the profile's
+    /// [`MachineProfile::k1_default`] becomes the scalar `K1`). This is
+    /// the only way constants enter the search: presets below are just
+    /// shorthand for `MachineProfile::<preset>().cost_model()`.
+    pub fn from_profile(profile: &MachineProfile) -> Self {
+        profile.cost_model()
+    }
+
+    /// The [`MachineProfile::origin2000_like`] preset's constants.
     pub fn origin2000_like() -> Self {
-        CostModel {
-            k1: 5.0e-8, // 50 ns/element/sweep ≈ a few flops at 10⁸ flop/s
-            k2: 1.0e-5, // 10 µs start-up
-            k3: 8.0e-8, // 80 ns/element ≈ 100 MB/s on f64
-            scaling: BandwidthScaling::Scalable,
-        }
+        MachineProfile::origin2000_like().cost_model()
     }
 
-    /// A latency-dominated machine: phases are what you pay for.
-    /// With `k3 = 0` the objective degenerates to `Σ γ_i` (the paper's first
-    /// simplified form).
+    /// The [`MachineProfile::latency_dominated`] preset: phases are what
+    /// you pay for. With `k3 = 0` the objective degenerates to `Σ γ_i`
+    /// (the paper's first simplified form).
     pub fn latency_dominated() -> Self {
-        CostModel {
-            k1: 5.0e-8,
-            k2: 1.0e-4,
-            k3: 0.0,
-            scaling: BandwidthScaling::Fixed,
-        }
+        MachineProfile::latency_dominated().cost_model()
     }
 
-    /// A bandwidth-dominated machine: with `k2 = 0` the objective
-    /// degenerates to `Σ γ_i/η_i` (the paper's second simplified form),
-    /// which favours cutting *large* dimensions into more pieces.
+    /// The [`MachineProfile::bandwidth_dominated`] preset: with `k2 = 0`
+    /// the objective degenerates to `Σ γ_i/η_i` (the paper's second
+    /// simplified form), which favours cutting *large* dimensions into
+    /// more pieces.
     pub fn bandwidth_dominated() -> Self {
-        CostModel {
-            k1: 5.0e-8,
-            k2: 0.0,
-            k3: 8.0e-8,
-            scaling: BandwidthScaling::Fixed,
-        }
+        MachineProfile::bandwidth_dominated().cost_model()
     }
 
-    /// `K3(p)` under the configured scaling regime.
+    /// `K3(p)` under the configured scaling regime — the effective
+    /// per-element transfer time with `p` processors active.
     pub fn k3_at(&self, p: u64) -> f64 {
         match self.scaling {
             BandwidthScaling::Scalable => self.k3 / p as f64,
             BandwidthScaling::Fixed => self.k3,
         }
+    }
+
+    /// Full Hockney cost of one `n`-element message with `p` processors
+    /// active: `K2 + n·K3(p)` (latency + transfer).
+    pub fn message_time(&self, p: u64, n: u64) -> f64 {
+        self.k2 + n as f64 * self.k3_at(p)
+    }
+
+    /// Compute time for `n` element-sweep operations on one CPU:
+    /// `n·K1`.
+    pub fn compute_time(&self, n: u64) -> f64 {
+        n as f64 * self.k1
     }
 
     /// `λ_i = K2 + K3(p)·η/η_i` — the cost of one communication phase of a
@@ -222,6 +227,33 @@ mod tests {
         let t1 = m.sweep_time(2, &eta, &part, 1);
         assert!((t1 - 196.0).abs() < 1e-9);
         assert!((m.total_time(2, &eta, &part) - 544.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hockney_helpers() {
+        let m = CostModel::origin2000_like();
+        // Scalable: transfer shrinks with p, never below the latency floor.
+        let t1 = m.message_time(1, 1000);
+        let t10 = m.message_time(10, 1000);
+        assert!(t10 < t1);
+        assert!(t10 > m.k2);
+        let fixed = CostModel {
+            scaling: BandwidthScaling::Fixed,
+            ..m
+        };
+        assert_eq!(fixed.message_time(1, 100), fixed.message_time(64, 100));
+        // Compute is linear in the element count.
+        assert!((m.compute_time(2000) - 2.0 * m.compute_time(1000)).abs() < 1e-15);
+        assert_eq!(m.compute_time(0), 0.0);
+    }
+
+    #[test]
+    fn from_profile_matches_preset() {
+        use crate::machine::MachineProfile;
+        let prof = MachineProfile::sp_origin2000();
+        let m = CostModel::from_profile(&prof);
+        assert_eq!(m.k2, 1.5e-4);
+        assert_eq!(m.k1, prof.k1_default());
     }
 
     #[test]

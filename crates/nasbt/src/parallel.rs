@@ -79,6 +79,28 @@ impl ParallelBt {
         Self::with_opts(rank, prob, mp, SweepOptions::default())
     }
 
+    /// Like [`ParallelBt::new`] but with sweep options derived from a
+    /// machine profile by [`mp_sweep::tune::TunedOptions::derive`]
+    /// (explicit `MP_SWEEP_*` knobs still win). The carry length handed
+    /// to the tuner is the block-tridiagonal forward pass's
+    /// `NCOMP² + NCOMP` values per line. Results are bitwise identical
+    /// to the default-option run; only performance changes.
+    pub fn auto_tuned(
+        rank: u64,
+        prob: BtProblem,
+        mp: Multipartitioning,
+        profile: &mp_core::machine::MachineProfile,
+    ) -> Self {
+        let shape = mp_sweep::tune::PlanShape {
+            p: mp.p,
+            eta: prob.eta.to_vec(),
+            gammas: mp.gammas().to_vec(),
+            carry_len: NCOMP * NCOMP + NCOMP,
+        };
+        let tuned = mp_sweep::tune::TunedOptions::derive(profile, &shape);
+        Self::with_opts(rank, prob, mp, tuned.options)
+    }
+
     /// Like [`ParallelBt::new`] but with explicit sweep execution options
     /// (block width, intra-rank threads, pipeline chunks).
     pub fn with_opts(

@@ -5,7 +5,6 @@ use crate::problem::{BtProblem, NCOMP};
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_sweep::simulate::{
     simulate_halo_exchange, simulate_multipart_sweep, MultipartGeometry, SweepWork,
@@ -60,7 +59,7 @@ pub struct BtSimResult {
 pub fn simulate_bt(
     prob: &BtProblem,
     p: u64,
-    machine: &MachineModel,
+    machine: &CostModel,
     factors: &BtWorkFactors,
     iterations: usize,
 ) -> Option<BtSimResult> {
@@ -81,10 +80,7 @@ pub fn simulate_bt(
         // 5 component halos, width 1.
         simulate_halo_exchange(&mut net, &mp, &grid, NCOMP as u64, tag0);
         for r in 0..p {
-            net.compute_seconds(
-                r,
-                vol[r as usize] as f64 * factors.rhs * net.machine().elem_compute,
-            );
+            net.compute_seconds(r, vol[r as usize] as f64 * factors.rhs * net.model().k1);
         }
         for dim in 0..3 {
             let fwd = SweepWork {
@@ -99,10 +95,7 @@ pub fn simulate_bt(
             simulate_multipart_sweep(&mut net, &geo, dim, &bwd, tag0 + 2_000 + dim as u64 * 100);
         }
         for r in 0..p {
-            net.compute_seconds(
-                r,
-                vol[r as usize] as f64 * factors.add * net.machine().elem_compute,
-            );
+            net.compute_seconds(r, vol[r as usize] as f64 * factors.add * net.model().k1);
         }
     }
     Some(BtSimResult {
@@ -117,13 +110,13 @@ pub fn simulate_bt(
 /// Ideal serial time for the speedup denominator.
 pub fn serial_bt_seconds(
     prob: &BtProblem,
-    machine: &MachineModel,
+    machine: &CostModel,
     factors: &BtWorkFactors,
     iterations: usize,
 ) -> f64 {
     let vol: usize = prob.eta.iter().product();
     let per_elem = factors.rhs + 3.0 * (factors.forward + factors.backward) + factors.add;
-    vol as f64 * per_elem * machine.elem_compute * iterations as f64
+    vol as f64 * per_elem * machine.k1 * iterations as f64
 }
 
 #[cfg(test)]
@@ -133,7 +126,7 @@ mod tests {
     #[test]
     fn bt_scales_class_a_like() {
         let prob = BtProblem::new([64, 64, 64], 0.001);
-        let machine = MachineModel::sp_origin2000();
+        let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
         let f = BtWorkFactors::default();
         let serial = serial_bt_seconds(&prob, &machine, &f, 1);
         let r16 = simulate_bt(&prob, 16, &machine, &f, 1).unwrap();
@@ -146,7 +139,7 @@ mod tests {
         // Same grid, same p, sweep phases only (no halos): BT's carries are
         // 30 + 6 floats per line per dimension vs SP's 10 + 10 — a 1.8×
         // volume at the identical message count and schedule.
-        let machine = MachineModel::sp_origin2000();
+        let machine = mp_core::machine::MachineProfile::sp_origin2000().cost_model();
         let eta = [64usize, 64, 64];
         let mp = Multipartitioning::optimal(16, &[64, 64, 64], &CostModel::origin2000_like());
         let grid = TileGrid::new(&eta, &[4, 4, 4]);

@@ -75,6 +75,28 @@ impl ParallelSp {
         Self::with_opts(rank, prob, mp, SweepOptions::default())
     }
 
+    /// Like [`ParallelSp::new`] but with sweep options derived from a
+    /// machine profile by [`mp_sweep::tune::TunedOptions::derive`]
+    /// (explicit `MP_SWEEP_*` knobs still win). The carry length handed
+    /// to the tuner is the pentadiagonal forward pass's 6 values per
+    /// line — SP's dominant sweep. Results are bitwise identical to the
+    /// default-option run; only performance changes.
+    pub fn auto_tuned(
+        rank: u64,
+        prob: SpProblem,
+        mp: Multipartitioning,
+        profile: &mp_core::machine::MachineProfile,
+    ) -> Self {
+        let shape = mp_sweep::tune::PlanShape {
+            p: mp.p,
+            eta: prob.eta.to_vec(),
+            gammas: mp.gammas().to_vec(),
+            carry_len: 6,
+        };
+        let tuned = mp_sweep::tune::TunedOptions::derive(profile, &shape);
+        Self::with_opts(rank, prob, mp, tuned.options)
+    }
+
     /// Like [`ParallelSp::new`] but with explicit sweep execution options
     /// (block width, intra-rank threads, pipeline chunks).
     pub fn with_opts(

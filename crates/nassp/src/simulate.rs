@@ -11,7 +11,6 @@ use crate::problem::{SpProblem, SpWorkFactors};
 use mp_core::cost::CostModel;
 use mp_core::multipart::Multipartitioning;
 use mp_grid::TileGrid;
-use mp_runtime::machine::MachineModel;
 use mp_runtime::sim::SimNet;
 use mp_sweep::simulate::{
     simulate_halo_exchange, simulate_multipart_sweep, MultipartGeometry, SweepWork,
@@ -86,7 +85,7 @@ pub fn simulate_sp(
     version: SpVersion,
     prob: &SpProblem,
     p: u64,
-    machine: &MachineModel,
+    machine: &CostModel,
     factors: &SpWorkFactors,
     iterations: usize,
 ) -> Option<SpSimResult> {
@@ -113,7 +112,7 @@ pub fn simulate_sp(
         for r in 0..p {
             net.compute_seconds(
                 r,
-                vol_per_rank[r as usize] as f64 * factors.rhs * net.machine().elem_compute,
+                vol_per_rank[r as usize] as f64 * factors.rhs * net.model().k1,
             );
         }
         // 3. solves
@@ -121,7 +120,7 @@ pub fn simulate_sp(
             for r in 0..p {
                 net.compute_seconds(
                     r,
-                    vol_per_rank[r as usize] as f64 * factors.coeffs * net.machine().elem_compute,
+                    vol_per_rank[r as usize] as f64 * factors.coeffs * net.model().k1,
                 );
             }
             let fwd = SweepWork {
@@ -139,7 +138,7 @@ pub fn simulate_sp(
         for r in 0..p {
             net.compute_seconds(
                 r,
-                vol_per_rank[r as usize] as f64 * factors.add * net.machine().elem_compute,
+                vol_per_rank[r as usize] as f64 * factors.add * net.model().k1,
             );
         }
         // 5. residual norms (SP verifies every iteration): one allreduce of
@@ -157,16 +156,16 @@ pub fn simulate_sp(
 }
 
 /// The ideal (communication-free) serial time for the same work — the
-/// speedup denominator: `η · total_work_per_element · elem_compute ·
+/// speedup denominator: `η · total_work_per_element · K1 ·
 /// iterations`.
 pub fn serial_sp_seconds(
     prob: &SpProblem,
-    machine: &MachineModel,
+    machine: &CostModel,
     factors: &SpWorkFactors,
     iterations: usize,
 ) -> f64 {
     let vol: usize = prob.eta.iter().product();
-    vol as f64 * factors.total(3) * machine.elem_compute * iterations as f64
+    vol as f64 * factors.total(3) * machine.k1 * iterations as f64
 }
 
 /// One row of the Table 1 reproduction.
@@ -188,7 +187,7 @@ pub struct Table1Row {
 /// (generalized) SP versions at the paper's processor counts.
 pub fn table1(
     prob: &SpProblem,
-    machine: &MachineModel,
+    machine: &CostModel,
     factors: &SpWorkFactors,
     iterations: usize,
     procs: &[u64],
@@ -243,8 +242,8 @@ mod tests {
         SpProblem::new([102, 102, 102], 0.001)
     }
 
-    fn machine() -> MachineModel {
-        MachineModel::sp_origin2000()
+    fn machine() -> CostModel {
+        mp_core::machine::MachineProfile::sp_origin2000().cost_model()
     }
 
     #[test]

@@ -8,9 +8,16 @@
 //!   channels kept as an A/B baseline, see [`threaded::Transport`]); proves
 //!   functional correctness of the sweep engines.
 //! * [`sim`] — a discrete-event simulator that charges virtual time for the
-//!   exact same schedules, using the Hockney-style [`machine::MachineModel`];
-//!   produces the performance curves (the evaluation in the paper ran on an
-//!   81-CPU Origin 2000, which we substitute with this model).
+//!   exact same schedules, using the Hockney-style constants of an
+//!   [`mp_core::cost::CostModel`]; produces the performance curves (the
+//!   evaluation in the paper ran on an 81-CPU Origin 2000, which we
+//!   substitute with this model).
+//!
+//! The constants themselves come from one machine description — a
+//! [`mp_core::machine::MachineProfile`] — which can be a preset or
+//! *measured on the host* by the microbenchmarks in [`calibrate`]
+//! (`mpart calibrate` writes the result to `calibration.json`;
+//! [`calibrate::load_profile`] resolves which profile a run uses).
 //!
 //! [`comm::Communicator`] is the trait the functional engines program
 //! against; collectives (barrier, allreduce, broadcast) are provided on top
@@ -34,17 +41,20 @@
 
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod comm;
 pub mod fault;
-pub mod machine;
 mod ring;
 pub mod sim;
 pub mod state;
 pub mod threaded;
 
+pub use calibrate::{
+    calibrate_transport, load_profile, profile_from_json, profile_to_json, read_profile,
+    write_profile, CalibrationError, CalibrationOpts, Calibrator, TransportFit, CALIBRATION_ENV,
+};
 pub use comm::{CommError, CommErrorKind, Communicator, SerialComm, Tag};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
-pub use machine::MachineModel;
 pub use sim::{RankTimes, SimEvent, SimNet, SimStats};
 pub use state::RunState;
 pub use threaded::{

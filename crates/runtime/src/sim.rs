@@ -4,7 +4,8 @@
 //! SGI Origin 2000. This repository runs in a single-core container, so
 //! wall-clock speedup is unmeasurable natively; instead, the sweep engines
 //! re-play their exact communication schedules against a virtual machine
-//! ([`crate::machine::MachineModel`]) and report *virtual* makespans. The
+//! (an [`mp_core::cost::CostModel`], usually derived from a
+//! [`mp_core::machine::MachineProfile`]) and report *virtual* makespans. The
 //! schedules, message sizes, and per-phase work are identical to what the
 //! threaded backend executes, so the simulated curves inherit the real
 //! algorithmic structure (pipeline fill/drain, phase counts, aggregated
@@ -22,7 +23,7 @@
 //! `recv`, which is natural for the deterministic phase-ordered schedules
 //! produced from `mp-core` plans.
 
-use crate::machine::MachineModel;
+use mp_core::cost::CostModel;
 use std::collections::{HashMap, VecDeque};
 
 /// Aggregate statistics of a simulated run.
@@ -89,8 +90,9 @@ pub enum SimEvent {
 /// The simulated network + clocks.
 ///
 /// ```
-/// use mp_runtime::{MachineModel, SimNet};
-/// let mut net = SimNet::new(2, MachineModel::origin2000_like());
+/// use mp_core::cost::CostModel;
+/// use mp_runtime::SimNet;
+/// let mut net = SimNet::new(2, CostModel::origin2000_like());
 /// net.compute(0, 1_000_000);      // rank 0 works
 /// net.send(0, 1, 0, 10_000);      // then ships a hyperplane
 /// net.recv(1, 0, 0);              // rank 1 blocks until arrival
@@ -99,7 +101,7 @@ pub enum SimEvent {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimNet {
-    machine: MachineModel,
+    model: CostModel,
     p: u64,
     clocks: Vec<f64>,
     times: Vec<RankTimes>,
@@ -110,11 +112,14 @@ pub struct SimNet {
 }
 
 impl SimNet {
-    /// New simulation with all clocks at zero.
-    pub fn new(p: u64, machine: MachineModel) -> Self {
+    /// New simulation with all clocks at zero, charging time with the
+    /// given §3.1 constants (derive them from a calibrated
+    /// [`mp_core::machine::MachineProfile`] via
+    /// [`mp_core::machine::MachineProfile::cost_model`]).
+    pub fn new(p: u64, model: CostModel) -> Self {
         assert!(p >= 1);
         SimNet {
-            machine,
+            model,
             p,
             clocks: vec![0.0; p as usize],
             times: vec![RankTimes::default(); p as usize],
@@ -140,14 +145,14 @@ impl SimNet {
         self.p
     }
 
-    /// The machine model in force.
-    pub fn machine(&self) -> &MachineModel {
-        &self.machine
+    /// The machine description (cost model) in force.
+    pub fn model(&self) -> &CostModel {
+        &self.model
     }
 
     /// Charge `rank` with compute for `elements` element-sweep operations.
     pub fn compute(&mut self, rank: u64, elements: u64) {
-        self.compute_seconds(rank, self.machine.compute_time(elements));
+        self.compute_seconds(rank, self.model.compute_time(elements));
     }
 
     /// Charge `rank` with raw seconds of local work.
@@ -174,7 +179,7 @@ impl SimNet {
     pub fn send(&mut self, from: u64, to: u64, tag: u64, elements: u64) {
         assert!(from < self.p && to < self.p);
         assert_ne!(from, to, "self-sends make no sense in a sweep schedule");
-        let overhead = self.machine.alpha;
+        let overhead = self.model.k2;
         let start = self.clocks[from as usize];
         self.clocks[from as usize] += overhead;
         self.times[from as usize].send_overhead += overhead;
@@ -187,8 +192,7 @@ impl SimNet {
                 elements,
             });
         }
-        let arrival =
-            self.clocks[from as usize] + elements as f64 * self.machine.elem_transfer(self.p);
+        let arrival = self.clocks[from as usize] + elements as f64 * self.model.k3_at(self.p);
         self.mailbox
             .entry((from, to, tag))
             .or_default()
@@ -266,7 +270,7 @@ impl SimNet {
             return;
         }
         let rounds = 2 * (64 - (p - 1).leading_zeros()) as u64; // 2·⌈log2 p⌉
-        let per_round = self.machine.alpha + elements as f64 * self.machine.elem_transfer(p);
+        let per_round = self.model.message_time(p, elements);
         let finish = self.makespan() + rounds as f64 * per_round;
         for (c, t) in self.clocks.iter_mut().zip(self.times.iter_mut()) {
             t.wait += finish - *c;
@@ -424,11 +428,11 @@ mod tests {
     use super::*;
     use mp_core::cost::BandwidthScaling;
 
-    fn simple_machine() -> MachineModel {
-        MachineModel {
-            elem_compute: 1.0,
-            alpha: 10.0,
-            beta: 0.5,
+    fn simple_machine() -> CostModel {
+        CostModel {
+            k1: 1.0,
+            k2: 10.0,
+            k3: 0.5,
             scaling: BandwidthScaling::Fixed,
         }
     }
@@ -493,7 +497,7 @@ mod tests {
 
     #[test]
     fn scalable_bandwidth_speeds_transfers() {
-        let m = MachineModel {
+        let m = CostModel {
             scaling: BandwidthScaling::Scalable,
             ..simple_machine()
         };

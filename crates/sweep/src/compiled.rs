@@ -473,6 +473,24 @@ impl CompiledSweep {
         lens
     }
 
+    /// Elements this plan touches per execute: every interior point of
+    /// every tile the rank owns, summed across phases. Computed from the
+    /// compiled geometry (`red_exts`-product lines × segment length per
+    /// tile), so it is exact — the basis for the CLI's predicted-vs-
+    /// measured compute comparison (`k1 · elements` vs the traced
+    /// compute-span time).
+    pub fn elements_per_execute(&self) -> u64 {
+        let d = self.d;
+        let mut total = 0u64;
+        for pp in &self.phases {
+            for (t, &seg) in pp.seg_lens.iter().enumerate() {
+                let lines: usize = pp.red_exts[t * d..(t + 1) * d].iter().product();
+                total += (lines * seg) as u64;
+            }
+        }
+        total
+    }
+
     /// Cross-check this compiled plan against the schedule module:
     /// [`SweepPlan::build`]'s structural invariants must hold
     /// ([`SweepPlan::validate`]), and this rank's phase rows must agree
@@ -876,6 +894,7 @@ pub struct SweepEngine {
     pool: Option<Arc<WorkerPool>>,
     builds: u64,
     build_ns: u64,
+    elements_swept: u64,
 }
 
 impl SweepEngine {
@@ -887,6 +906,7 @@ impl SweepEngine {
             pool: None,
             builds: 0,
             build_ns: 0,
+            elements_swept: 0,
         }
     }
 
@@ -916,6 +936,13 @@ impl SweepEngine {
     /// Total nanoseconds spent building plans.
     pub fn build_ns(&self) -> u64 {
         self.build_ns
+    }
+
+    /// Elements swept so far across every [`SweepEngine::sweep`] call
+    /// (exact, from [`CompiledSweep::elements_per_execute`]). Pairs with
+    /// traced compute time to report `k1 · elements` model error.
+    pub fn elements_swept(&self) -> u64 {
+        self.elements_swept
     }
 
     /// Execute one directional sweep, compiling it first if the cached
@@ -972,10 +999,9 @@ impl SweepEngine {
             }
             self.slots[slot] = Some(cs);
         }
-        self.slots[slot]
-            .as_mut()
-            .expect("slot just filled")
-            .execute(comm, store, kernel);
+        let cs = self.slots[slot].as_mut().expect("slot just filled");
+        self.elements_swept += cs.elements_per_execute();
+        cs.execute(comm, store, kernel);
     }
 }
 
@@ -1015,6 +1041,11 @@ impl SolverPlan {
     /// Total nanoseconds spent building plans (sweeps + halos).
     pub fn build_ns(&self) -> u64 {
         self.engine.build_ns() + self.halo_build_ns
+    }
+
+    /// Elements swept so far (see [`SweepEngine::elements_swept`]).
+    pub fn elements_swept(&self) -> u64 {
+        self.engine.elements_swept()
     }
 
     /// Worker threads the engine's persistent pool holds (see
@@ -1159,6 +1190,40 @@ mod tests {
             assert_eq!(a.max_abs_diff(&b), 0.0, "{opts:?} not bitwise equal");
             assert_eq!((fm, fe), (cm, ce), "{opts:?} changed the schedule");
         }
+    }
+
+    #[test]
+    fn elements_swept_counts_whole_domain_per_execute() {
+        // Each execute touches every interior point of the rank's tiles
+        // exactly once, so the per-execute counts summed across ranks must
+        // equal the domain size, and the engine counter must scale
+        // linearly with the number of sweeps.
+        let mp = Multipartitioning::optimal(6, &[12, 12, 12], &CostModel::origin2000_like());
+        let eta = [12usize, 13, 11];
+        let domain = (eta[0] * eta[1] * eta[2]) as u64;
+        let k = PrefixSumKernel::new(0);
+        let fields = [FieldDef::new("u", 0)];
+        let grid = grid_for(&mp, &eta);
+        let opts = SweepOptions::new(8, 1);
+        let per_rank: u64 = (0..mp.p)
+            .map(|rank| {
+                let store = allocate_rank_store(rank, &mp, &grid, &fields);
+                CompiledSweep::build(&mp, rank, &store, 0, Direction::Forward, &k, 0, &opts)
+                    .elements_per_execute()
+            })
+            .sum();
+        assert_eq!(per_rank, domain);
+        let counted = run_threaded(mp.p, |comm| {
+            let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+            store.init_field(0, init_value);
+            let mut engine = SweepEngine::new(SweepOptions::new(8, 1));
+            for _ in 0..3 {
+                engine.sweep(comm, &mut store, &mp, 0, Direction::Forward, &k, 1000);
+                engine.sweep(comm, &mut store, &mp, 1, Direction::Backward, &k, 2000);
+            }
+            engine.elements_swept()
+        });
+        assert_eq!(counted.iter().sum::<u64>(), 3 * 2 * domain);
     }
 
     /// The dedicated validation test: every compiled sweep passes

@@ -120,11 +120,20 @@ impl SweepOptions {
     /// | `MP_SWEEP_SIMD`     | kernel path: `auto`/`avx2`/`scalar` | auto  |
     ///
     /// Malformed or out-of-range values (empty, non-numeric, `0` for the
-    /// numeric knobs) fall back to the default rather than panicking — env
-    /// knobs must never abort a run. `MP_SWEEP_POOL` is a switch: `0`,
-    /// `false`, or `off` (any case) disable the pool; everything else —
-    /// including unset or malformed — keeps it on.
+    /// numeric knobs, an unknown `MP_SWEEP_SIMD` word) fall back to the
+    /// default rather than panicking — env knobs must never abort a run —
+    /// but each such variable earns one stderr warning per process naming
+    /// the rejected value and the fallback used, so a typo is visible
+    /// instead of silently running untuned. `MP_SWEEP_POOL` is a switch:
+    /// `0`, `false`, or `off` (any case) disable the pool; everything
+    /// else — including unset or malformed — keeps it on.
     pub fn from_env() -> Self {
+        if let Ok(s) = std::env::var("MP_SWEEP_SIMD") {
+            let t = s.trim().to_ascii_lowercase();
+            if !matches!(t.as_str(), "auto" | "avx2" | "scalar") {
+                warn_invalid_env("MP_SWEEP_SIMD", &s, "auto");
+            }
+        }
         SweepOptions::new(
             env_usize("MP_SWEEP_BLOCK", 32),
             env_usize("MP_SWEEP_THREADS", 1),
@@ -135,19 +144,57 @@ impl SweepOptions {
     }
 }
 
+/// Emit (at most once per process per variable) a stderr warning that an
+/// environment knob held an invalid value and which fallback is in force.
+/// Returns whether this call emitted the warning — the one-shot guard, not
+/// the validity check, which callers do themselves.
+pub(crate) fn warn_invalid_env(name: &str, value: &str, fallback: &str) -> bool {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut set = warned.lock().unwrap();
+    if !set.insert(name.to_string()) {
+        return false;
+    }
+    eprintln!("warning: ignoring invalid {name}={value:?}; using {fallback}");
+    true
+}
+
+/// Serializes tests that set the real `MP_SWEEP_*` variables — process
+/// environment is global, so concurrent mutation races otherwise.
+#[cfg(test)]
+pub(crate) fn env_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `Some(v)` when `name` is set to a positive integer, `None` when unset
+/// — or set but invalid, which warns once via [`warn_invalid_env`] naming
+/// `fallback` as the value in force.
+pub(crate) fn env_usize_opt(name: &str, fallback: &str) -> Option<usize> {
+    match std::env::var(name) {
+        Err(_) => None,
+        Ok(s) => {
+            let v = s.trim().parse::<usize>().ok().filter(|&v| v > 0);
+            if v.is_none() {
+                warn_invalid_env(name, &s, fallback);
+            }
+            v
+        }
+    }
+}
+
 /// `default` unless `name` is set to a positive integer (see
-/// [`SweepOptions::from_env`] for the fall-back contract).
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&v| v > 0)
-        .unwrap_or(default)
+/// [`SweepOptions::from_env`] for the fall-back contract); a set-but-
+/// invalid value warns once via [`warn_invalid_env`].
+pub(crate) fn env_usize(name: &str, default: usize) -> usize {
+    env_usize_opt(name, &format!("default {default}")).unwrap_or(default)
 }
 
 /// On/off switch defaulting to on: only an explicit `0` / `false` / `off`
 /// turns it off (see [`SweepOptions::from_env`]).
-fn env_switch(name: &str) -> bool {
+pub(crate) fn env_switch(name: &str) -> bool {
     !std::env::var(name).is_ok_and(|s| {
         let v = s.trim().to_ascii_lowercase();
         v == "0" || v == "false" || v == "off"
@@ -745,6 +792,41 @@ mod tests {
         let mut global = ArrayD::from_fn(eta, init_value);
         serial_sweep(&mut [&mut global], dim, dir, kernel);
         global
+    }
+
+    #[test]
+    fn invalid_env_warns_once_per_variable() {
+        // One stderr warning per process per variable: the first rejection
+        // of a given knob emits, every later one is suppressed, and a
+        // different knob still gets its own warning. Distinct made-up
+        // names keep this independent of the real-knob tests elsewhere.
+        assert!(warn_invalid_env(
+            "MP_SWEEP_TEST_KNOB_A",
+            "banana",
+            "default 32"
+        ));
+        assert!(!warn_invalid_env(
+            "MP_SWEEP_TEST_KNOB_A",
+            "banana",
+            "default 32"
+        ));
+        assert!(!warn_invalid_env(
+            "MP_SWEEP_TEST_KNOB_A",
+            "other",
+            "default 32"
+        ));
+        assert!(warn_invalid_env("MP_SWEEP_TEST_KNOB_B", "0", "default 1"));
+
+        // env_usize_opt feeds the same guard: set-but-invalid yields None
+        // (after at most one warning), unset yields None silently, valid
+        // yields Some — the tri-state tune.rs relies on for precedence.
+        std::env::set_var("MP_SWEEP_TEST_KNOB_C", "nope");
+        assert_eq!(env_usize_opt("MP_SWEEP_TEST_KNOB_C", "default 4"), None);
+        assert_eq!(env_usize_opt("MP_SWEEP_TEST_KNOB_C", "default 4"), None);
+        std::env::set_var("MP_SWEEP_TEST_KNOB_C", "7");
+        assert_eq!(env_usize_opt("MP_SWEEP_TEST_KNOB_C", "default 4"), Some(7));
+        std::env::remove_var("MP_SWEEP_TEST_KNOB_C");
+        assert_eq!(env_usize_opt("MP_SWEEP_TEST_KNOB_C", "default 4"), None);
     }
 
     #[test]

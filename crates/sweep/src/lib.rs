@@ -25,6 +25,9 @@
 //!   dynamic block partitioning with transposes;
 //! * [`simulate`] — timing drivers that replay the same schedules on the
 //!   discrete-event simulator of `mp-runtime`;
+//! * [`tune`] — host calibration of the hot kernels + transport into a
+//!   measured [`mp_core::machine::MachineProfile`], and the analytic
+//!   auto-tuner that turns a profile into concrete [`SweepOptions`];
 //! * [`verify`] — serial references for bit-exact validation.
 
 #![warn(missing_docs)]
@@ -41,6 +44,7 @@ pub mod recurrence;
 pub mod simd;
 pub mod simulate;
 pub mod thomas;
+pub mod tune;
 pub mod verify;
 
 #[cfg(test)]
@@ -62,3 +66,4 @@ pub use recurrence::{
 };
 pub use simd::{SimdLevel, SimdMode};
 pub use thomas::{thomas_solve, ThomasBackwardKernel, ThomasForwardKernel};
+pub use tune::{calibrate_host, k1_key, PlanShape, TunedOptions, CALIBRATION_BLOCK_WIDTH};

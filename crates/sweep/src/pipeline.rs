@@ -280,8 +280,9 @@ mod tests {
     #[test]
     fn env_knob_invalid_values_fall_back() {
         // SweepOptions::from_env parsing: garbage and zero fall back to
-        // each knob's default instead of panicking. (Set-and-unset in one
-        // test to avoid env races across parallel tests.)
+        // each knob's default instead of panicking. (Serialized with every
+        // other env-mutating test via the shared lock.)
+        let _guard = crate::executor::env_test_lock();
         for bad in ["", "banana", "0", "-3", "1.5"] {
             std::env::set_var("MP_SWEEP_PIPELINE", bad);
             std::env::set_var("MP_SWEEP_THREADS", bad);

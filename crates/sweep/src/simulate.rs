@@ -108,7 +108,7 @@ pub fn simulate_multipart_sweep(
     tag_base: u64,
 ) {
     let gamma = geo.gammas[dim];
-    let elem_t = net.machine().elem_compute;
+    let elem_t = net.model().k1;
     for phase in 0..gamma {
         for rank in 0..geo.p {
             // Receive this phase's carries.
@@ -156,7 +156,7 @@ pub fn simulate_multipart_sweep_pipelined(
 ) {
     let k = chunks.max(1);
     let gamma = geo.gammas[dim];
-    let elem_t = net.machine().elem_compute;
+    let elem_t = net.model().k1;
     for phase in 0..gamma {
         for rank in 0..geo.p {
             let upstream = geo.neighbor_bwd[rank as usize][dim];
@@ -195,7 +195,7 @@ pub fn simulate_multipart_sweep_unaggregated(
 ) {
     let p = mp.p;
     let gamma = mp.gammas()[dim];
-    let elem_t = net.machine().elem_compute;
+    let elem_t = net.model().k1;
     // Per rank, per slab: list of (volume, lines) per tile.
     let mut tiles: Vec<Vec<Vec<(u64, u64)>>> = vec![vec![Vec::new(); gamma as usize]; p as usize];
     for rank in 0..p {
@@ -293,7 +293,7 @@ pub fn simulate_wavefront_sweep(
     let p = part.p;
     let total_lines = lines_of(&part.eta, part.part_dim);
     let chunks = total_lines.div_ceil(granularity);
-    let elem_t = net.machine().elem_compute;
+    let elem_t = net.model().k1;
     for c in 0..chunks {
         let lines_here = if c + 1 < chunks {
             granularity
@@ -327,7 +327,7 @@ pub fn simulate_wavefront_sweep(
 /// amortize per-message overhead). Scans powers of two plus the no-pipeline
 /// extreme; returns `(granularity, simulated_seconds)`.
 pub fn best_wavefront_granularity(
-    machine: &mp_runtime::machine::MachineModel,
+    model: &mp_core::cost::CostModel,
     part: &BlockUnipartition,
     work: &SweepWork,
 ) -> (usize, f64) {
@@ -339,7 +339,7 @@ pub fn best_wavefront_granularity(
     candidates
         .into_iter()
         .map(|g| {
-            let mut net = SimNet::new(part.p, *machine);
+            let mut net = SimNet::new(part.p, *model);
             simulate_wavefront_sweep(&mut net, part, work, g, 0);
             (g, net.makespan())
         })
@@ -350,7 +350,7 @@ pub fn best_wavefront_granularity(
 /// Simulate a purely local sweep (unpartitioned axis of a block
 /// unipartitioning): each rank computes its whole block, no communication.
 pub fn simulate_local_sweep(net: &mut SimNet, part: &BlockUnipartition, work: &SweepWork) {
-    let elem_t = net.machine().elem_compute;
+    let elem_t = net.model().k1;
     for rank in 0..part.p {
         let vol: usize = part.block_dims(rank).iter().product();
         net.compute_seconds(rank, vol as f64 * work.work_per_element * elem_t);
@@ -405,7 +405,7 @@ pub fn simulate_transpose_sweep(
     all_to_all(net, tag_base);
     // Local sweep over the transposed block: full `axis` extent × own
     // `other` slice × rest.
-    let elem_t = net.machine().elem_compute;
+    let elem_t = net.model().k1;
     for r in 0..p {
         let (os, oe) = other_cuts.slab_range(0, r as usize);
         let vol = eta[axis] * (oe - os) * rest;
@@ -419,10 +419,9 @@ mod tests {
     use super::*;
     use mp_core::cost::CostModel;
     use mp_core::partition::Partitioning;
-    use mp_runtime::machine::MachineModel;
 
-    fn machine() -> MachineModel {
-        MachineModel::origin2000_like()
+    fn machine() -> CostModel {
+        CostModel::origin2000_like()
     }
 
     fn sp_mp(p: u64, n: usize) -> (Multipartitioning, TileGrid) {
@@ -469,7 +468,7 @@ mod tests {
         let mut net = SimNet::new(16, machine());
         simulate_multipart_sweep(&mut net, &geo, 0, &SweepWork::default(), 0);
         let t16 = net.makespan();
-        let serial = 64.0 * 64.0 * 64.0 * machine().elem_compute;
+        let serial = 64.0 * 64.0 * 64.0 * machine().k1;
         let speedup = serial / t16;
         assert!(
             speedup > 10.0 && speedup <= 16.0 + 1e-9,
@@ -550,10 +549,10 @@ mod tests {
         let grid = TileGrid::new(&[32, 32, 32], &[4, 2, 2]);
         let geo = MultipartGeometry::new(&mp, &grid);
         assert!(geo.gammas[0] >= 4, "test premise: γ ≥ 4 phases");
-        let m = MachineModel {
-            elem_compute: 1e-7,
-            alpha: 1e-6,
-            beta: 1e-6,
+        let m = CostModel {
+            k1: 1e-7,
+            k2: 1e-6,
+            k3: 1e-6,
             scaling: BandwidthScaling::Fixed,
         };
         let work = SweepWork {
@@ -580,10 +579,10 @@ mod tests {
         let mp = Multipartitioning::from_partitioning(4, Partitioning::new(vec![4, 2, 2]));
         let grid = TileGrid::new(&[32, 32, 32], &[4, 2, 2]);
         let geo = MultipartGeometry::new(&mp, &grid);
-        let m = MachineModel {
-            elem_compute: 1e-7,
-            alpha: 1e-3,
-            beta: 1e-9,
+        let m = CostModel {
+            k1: 1e-7,
+            k2: 1e-3,
+            k3: 1e-9,
             scaling: BandwidthScaling::Fixed,
         };
         let work = SweepWork {

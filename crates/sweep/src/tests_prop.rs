@@ -1343,3 +1343,177 @@ fn random_simd_executor_configs_match_scalar_bitwise() {
         }
     });
 }
+
+#[test]
+fn tuned_options_never_change_results_or_schedule() {
+    // The calibrated-planning invariant: auto-tuning is a pure performance
+    // decision. Across random (p, γ, η) and random machine profiles, the
+    // tuned plan's output is bitwise equal to the default per-line plan;
+    // at the same aggregated pipeline depth the per-rank message/element
+    // counters match the default exactly (block width and thread count
+    // never touch the schedule), and a deeper tuned pipeline may only
+    // split messages — the payload is invariant.
+    use crate::executor::{allocate_rank_store, multipart_sweep_opts, SweepOptions};
+    use crate::recurrence::PrefixSumKernel;
+    use crate::tune::{PlanShape, TunedOptions};
+    use mp_core::cost::BandwidthScaling;
+    use mp_core::machine::{MachineProfile, Provenance, K1_DEFAULT};
+    use mp_core::multipart::Multipartitioning;
+    use mp_core::partition::Partitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::run_threaded;
+
+    cases(0x750D, 8, |rng| {
+        let (p, gammas): (u64, Vec<u64>) = match rng.usize_in(0, 3) {
+            0 => (2, vec![2, 2, 1]),
+            1 => (4, vec![2, 2, 2]),
+            2 => (3, vec![3, 3, 1]),
+            _ => (6, vec![6, 3, 2]),
+        };
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(gammas));
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| {
+                let g = g as usize;
+                g * rng.usize_in(2, 5) + rng.usize_in(0, g.max(2) - 1)
+            })
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+
+        // Presets plus a synthetic "measured" profile with random constants,
+        // so derivation sees latency-bound, bandwidth-bound, and arbitrary
+        // K2/K3 ratios.
+        let profile = match rng.usize_in(0, 3) {
+            0 => MachineProfile::origin2000_like(),
+            1 => MachineProfile::latency_dominated(),
+            2 => MachineProfile::bandwidth_dominated(),
+            _ => {
+                let mut prof = MachineProfile::origin2000_like();
+                prof.k1
+                    .insert(K1_DEFAULT.to_string(), rng.f64_in(1e-10, 1e-7));
+                prof.k2 = rng.f64_in(1e-8, 1e-4);
+                prof.k3 = rng.f64_in(1e-11, 1e-7);
+                prof.scaling = BandwidthScaling::Fixed;
+                prof.provenance = Provenance::Measured;
+                prof
+            }
+        };
+        let shape = PlanShape {
+            p,
+            eta: eta.clone(),
+            gammas: mp.gammas().to_vec(),
+            carry_len: rng.usize_in(1, 12),
+        };
+        // `derived` (not `options`): the analytic result, untouched by any
+        // MP_SWEEP_* variables other tests may be toggling in parallel.
+        let tuned = TunedOptions::derive(&profile, &shape).derived;
+
+        let dim = rng.usize_in(0, 2);
+        let dir = if rng.bool() {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        };
+        let k = PrefixSumKernel::new(0);
+        let init = |g: &[usize]| ((g[0] * 7 + g[1] * 3 + g[2] * 5) % 13) as f64 - 6.0;
+        let run = |opts: &SweepOptions| {
+            let fields = [FieldDef::new("u", 0)];
+            run_threaded(p, |comm| {
+                let mut store = allocate_rank_store(comm.rank(), &mp, &grid, &fields);
+                store.init_field(0, init);
+                multipart_sweep_opts(comm, &mut store, &mp, dim, dir, &k, 42, opts);
+                (store, comm.sent_messages, comm.sent_elements)
+            })
+        };
+
+        let default_run = run(&SweepOptions::new(1, 1));
+        let tuned_run = run(&tuned);
+        let tuned_agg = run(&tuned.clone().with_pipeline_chunks(1));
+
+        for (r, ((_, dm, de), (_, am, ae))) in default_run.iter().zip(tuned_agg.iter()).enumerate()
+        {
+            assert_eq!(
+                (am, ae),
+                (dm, de),
+                "rank {r}: tuned block/threads changed the schedule \
+                 (p={p} eta={eta:?} tuned={tuned:?})"
+            );
+        }
+        for (r, ((_, dm, de), (_, tm, te))) in default_run.iter().zip(tuned_run.iter()).enumerate()
+        {
+            assert_eq!(
+                te, de,
+                "rank {r}: tuned pipeline changed the payload (p={p} eta={eta:?})"
+            );
+            if tuned.pipeline_chunks == 1 {
+                assert_eq!(
+                    tm, dm,
+                    "rank {r}: aggregated tuned plan changed the message count"
+                );
+            } else {
+                assert!(
+                    tm >= dm,
+                    "rank {r}: pipelining merged messages (p={p} eta={eta:?})"
+                );
+            }
+        }
+
+        let mut want = ArrayD::zeros(&eta);
+        let mut got = ArrayD::zeros(&eta);
+        for (store, _, _) in &default_run {
+            store.gather_into(0, &mut want);
+        }
+        for (store, _, _) in &tuned_run {
+            store.gather_into(0, &mut got);
+        }
+        assert_eq!(
+            got.max_abs_diff(&want),
+            0.0,
+            "tuned options changed the result: p={p} eta={eta:?} tuned={tuned:?}"
+        );
+    });
+}
+
+#[test]
+fn machine_profile_json_round_trips_exactly() {
+    // Calibration files carry machine constants spanning ~10 orders of
+    // magnitude; the hand-rolled JSON codec must reproduce every f64 bit
+    // for bit or a reloaded profile would plan differently than the run
+    // that wrote it.
+    use mp_core::cost::BandwidthScaling;
+    use mp_core::machine::{MachineProfile, Provenance};
+    use mp_runtime::{profile_from_json, profile_to_json};
+    use std::collections::BTreeMap;
+
+    cases(0x750D, 64, |rng| {
+        let mut k1 = BTreeMap::new();
+        for i in 0..rng.usize_in(1, 8) {
+            k1.insert(
+                format!("kernel_{i}@lvl{}", rng.usize_in(0, 2)),
+                rng.f64_in(1e-12, 1e-3) * if rng.bool() { 1.0 } else { 1e-6 },
+            );
+        }
+        let profile = MachineProfile {
+            k1,
+            k2: rng.f64_in(0.0, 1e-2),
+            k3: rng.f64_in(0.0, 1e-5),
+            scaling: if rng.bool() {
+                BandwidthScaling::Scalable
+            } else {
+                BandwidthScaling::Fixed
+            },
+            provenance: match rng.usize_in(0, 2) {
+                0 => Provenance::Measured,
+                1 => Provenance::Preset,
+                _ => Provenance::File,
+            },
+        };
+        let back = profile_from_json(&profile_to_json(&profile)).unwrap();
+        assert_eq!(back, profile, "profile changed across JSON round-trip");
+    });
+}

@@ -45,13 +45,14 @@ pub use mp_sweep as sweep;
 
 /// The most commonly used items across all member crates.
 pub mod prelude {
+    pub use mp_core::machine::MachineProfile;
     pub use mp_core::prelude::*;
     pub use mp_grid::{ArrayD, FieldDef, HaloArray, RankStore, Region, Shape, Side, TileGrid};
     pub use mp_nasbt::{BtProblem, ParallelBt, SerialBt};
     pub use mp_nassp::{Class, ParallelSp, SerialSp, SpProblem, SpVersion};
-    pub use mp_runtime::{run_threaded, Communicator, MachineModel, SerialComm, SimNet};
+    pub use mp_runtime::{run_threaded, Communicator, SerialComm, SimNet};
     pub use mp_sweep::{
         allocate_rank_store, exchange_halos, multipart_sweep, FirstOrderKernel, LineSweepKernel,
-        PrefixSumKernel,
+        PlanShape, PrefixSumKernel, TunedOptions,
     };
 }

@@ -17,7 +17,7 @@ use multipartition::sweep::simulate::{simulate_multipart_sweep, MultipartGeometr
 ///   + (γ − 1) · lines_per_rank · c · β(p)  (carry transfer on the critical path)
 /// ```
 fn closed_form(
-    machine: &MachineModel,
+    machine: &CostModel,
     p: u64,
     eta: &[usize; 3],
     gammas: &[u64; 3],
@@ -26,20 +26,18 @@ fn closed_form(
 ) -> f64 {
     let vol: usize = eta.iter().product();
     let gamma = gammas[dim] as f64;
-    let compute = vol as f64 / p as f64 * machine.elem_compute * work.work_per_element;
+    let compute = vol as f64 / p as f64 * machine.k1 * work.work_per_element;
     let lines_per_rank = (vol / eta[dim]) as f64 / p as f64;
     let comm_phases = gamma - 1.0;
     let beta = match machine.scaling {
-        BandwidthScaling::Scalable => machine.beta / p as f64,
-        BandwidthScaling::Fixed => machine.beta,
+        BandwidthScaling::Scalable => machine.k3 / p as f64,
+        BandwidthScaling::Fixed => machine.k3,
     };
-    compute
-        + comm_phases * machine.alpha
-        + comm_phases * lines_per_rank * work.carry_len as f64 * beta
+    compute + comm_phases * machine.k2 + comm_phases * lines_per_rank * work.carry_len as f64 * beta
 }
 
 fn check(p: u64, eta: [usize; 3], gammas: [u64; 3]) {
-    let machine = MachineModel::origin2000_like();
+    let machine = CostModel::origin2000_like();
     let work = SweepWork {
         work_per_element: 3.0,
         carry_len: 2,
@@ -85,7 +83,7 @@ fn simulator_matches_paper_objective_ordering() {
     // Beyond exact times: the *ranking* of candidate partitionings under
     // simulated times must agree with the §3.1 objective Σ γ_i λ_i
     // (evaluated with carry-sized messages) on a clean domain.
-    let machine = MachineModel::origin2000_like();
+    let machine = CostModel::origin2000_like();
     let work = SweepWork {
         work_per_element: 1.0,
         carry_len: 1,
