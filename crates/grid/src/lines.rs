@@ -171,6 +171,105 @@ pub unsafe fn scatter_line_raw(
     }
 }
 
+/// A strided view of `nlanes` parallel lines living directly in tile
+/// storage — the zero-copy alternative to gathering them into a line-minor
+/// block buffer.
+///
+/// Lane `l`, element `k` sits at storage index
+/// `offset + l·lane_stride + k·elem_stride`. `elem_stride` is signed so a
+/// backward sweep can walk a line from its far end (`offset` then names the
+/// *first element the sweep touches*, not the lowest address). A view never
+/// owns data; [`LaneView::check`] validates the extreme corners against a
+/// buffer length, and [`LaneView::base_align`] reports the byte alignment
+/// of the view's first element so vector kernels can pick aligned paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneView {
+    /// Storage index of lane 0, element 0 (the sweep's first touch).
+    pub offset: usize,
+    /// Number of parallel lines the view addresses.
+    pub nlanes: usize,
+    /// Storage distance between consecutive lanes (unsigned: lanes are
+    /// enumerated in increasing storage order).
+    pub lane_stride: usize,
+    /// Elements per lane.
+    pub seg_len: usize,
+    /// Storage distance between consecutive elements of one lane; negative
+    /// for backward sweeps.
+    pub elem_stride: isize,
+}
+
+impl LaneView {
+    /// Build a view and assert it fits a buffer of `buf_len` elements.
+    pub fn new(
+        offset: usize,
+        nlanes: usize,
+        lane_stride: usize,
+        seg_len: usize,
+        elem_stride: isize,
+        buf_len: usize,
+    ) -> Self {
+        let v = LaneView {
+            offset,
+            nlanes,
+            lane_stride,
+            seg_len,
+            elem_stride,
+        };
+        v.check(buf_len);
+        v
+    }
+
+    /// Storage index of lane `lane`, element `k`.
+    #[inline]
+    pub fn index_of(&self, lane: usize, k: usize) -> usize {
+        debug_assert!(lane < self.nlanes, "lane {lane} out of {}", self.nlanes);
+        debug_assert!(k < self.seg_len, "element {k} out of {}", self.seg_len);
+        (self.offset as isize + (lane * self.lane_stride) as isize + k as isize * self.elem_stride)
+            as usize
+    }
+
+    /// Whether consecutive lanes are adjacent in storage — the layout that
+    /// lets a vector kernel load four lanes with one unaligned move.
+    #[inline]
+    pub fn unit_lane_stride(&self) -> bool {
+        self.lane_stride == 1
+    }
+
+    /// Byte alignment of the view's first element within `base` (a power of
+    /// two, capped at 64). Purely advisory: kernels that care can branch to
+    /// aligned loads, everything else keeps using unaligned ones.
+    #[inline]
+    pub fn base_align(&self, base: *const f64) -> usize {
+        let addr = base as usize + self.offset * std::mem::size_of::<f64>();
+        1usize << addr.trailing_zeros().min(6)
+    }
+
+    /// Assert every element the view can address lies inside a buffer of
+    /// `buf_len` elements. Checks the four extreme corners (first/last lane
+    /// × first/last element), which bound the whole affine range.
+    pub fn check(&self, buf_len: usize) {
+        assert!(self.nlanes > 0, "view needs at least one lane");
+        if self.seg_len == 0 {
+            return;
+        }
+        for lane in [0, self.nlanes - 1] {
+            for k in [0, self.seg_len - 1] {
+                let idx = self.offset as isize
+                    + (lane * self.lane_stride) as isize
+                    + k as isize * self.elem_stride;
+                assert!(
+                    idx >= 0 && (idx as usize) < buf_len,
+                    "lane view (offset {}, lane {lane}·{}, elem {k}·{}) \
+                     overruns buffer of {buf_len}",
+                    self.offset,
+                    self.lane_stride,
+                    self.elem_stride
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,5 +337,56 @@ mod tests {
         let src = [1.0; 4];
         let mut block = vec![0.0; 4];
         gather_line(&src, 0, 1, false, &mut block, 2, 2);
+    }
+
+    #[test]
+    fn lane_view_addresses_match_gather() {
+        // A forward view over the same geometry the packers use must
+        // address exactly the elements a gather would copy.
+        let src: Vec<f64> = (0..20).map(|v| v as f64).collect();
+        let v = LaneView::new(2, 3, 1, 4, 5, src.len());
+        assert!(v.unit_lane_stride());
+        for lane in 0..3 {
+            let mut block = vec![0.0; 4];
+            gather_line(&src, 2 + lane, 5, false, &mut block, 0, 1);
+            for k in 0..4 {
+                assert_eq!(src[v.index_of(lane, k)], block[k], "lane {lane} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn lane_view_backward_walks_negative_stride() {
+        let src: Vec<f64> = (0..12).map(|v| v as f64).collect();
+        // Two lanes of 3 elements walked backward: first touch at index 8/9.
+        let v = LaneView::new(8, 2, 1, 3, -4, src.len());
+        assert_eq!(v.index_of(0, 0), 8);
+        assert_eq!(v.index_of(0, 2), 0);
+        assert_eq!(v.index_of(1, 1), 5);
+    }
+
+    #[test]
+    fn lane_view_alignment_is_a_power_of_two() {
+        let src = [0.0f64; 16];
+        let v = LaneView::new(0, 4, 1, 4, 4, src.len());
+        let a = v.base_align(src.as_ptr());
+        assert!(a.is_power_of_two() && (8..=64).contains(&a));
+        // One element in, alignment drops to exactly 8 bytes.
+        let v1 = LaneView::new(1, 4, 1, 3, 4, src.len());
+        if v.base_align(src.as_ptr()) >= 16 {
+            assert_eq!(v1.base_align(src.as_ptr()), 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns buffer")]
+    fn lane_view_overrun_detected() {
+        LaneView::new(0, 2, 8, 4, 4, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns buffer")]
+    fn lane_view_negative_escape_detected() {
+        LaneView::new(2, 1, 1, 4, -4, 16);
     }
 }

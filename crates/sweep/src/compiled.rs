@@ -31,6 +31,7 @@ use crate::executor::{
     exchange_halos_planned, make_workers, BlockJob, FieldMeta, RawParts, SharedPhase, SweepOptions,
     WorkerScratch,
 };
+use crate::inplace::{decide_inplace, InplaceMode};
 use crate::pool::WorkerPool;
 use crate::recurrence::LineSweepKernel;
 use crate::simd::{SimdLevel, SimdMode};
@@ -106,6 +107,9 @@ pub struct PlanKey {
     /// Requested SIMD dispatch mode (resolved to a concrete level once at
     /// build time — see [`CompiledSweep::simd_level`]).
     pub simd: SimdMode,
+    /// Requested zero-copy policy (resolved to a concrete per-phase choice
+    /// at build time — see [`CompiledSweep::phase_inplace`]).
+    pub inplace: InplaceMode,
 }
 
 /// One pipelined chunk: a contiguous job range and its carry element span
@@ -155,6 +159,12 @@ struct PhasePlan {
     wspans: Vec<(usize, usize)>,
     /// Per-chunk per-worker job spans (pipelined mode), same balancing.
     chunk_wspans: Vec<Vec<(usize, usize)>>,
+    /// Resolved execution mode: run this phase's jobs in place on tile
+    /// storage (zero-copy) instead of gather/scatter through block
+    /// scratch. Decided once at build time from [`SweepOptions::inplace`],
+    /// the phase geometry, and the calibrated cost model
+    /// (see [`crate::inplace`]).
+    inplace: bool,
 }
 
 /// Split `jobs[lo..hi]` into at most `nworkers` contiguous spans balanced
@@ -293,6 +303,7 @@ impl CompiledSweep {
         let nfields = kernel.fields().len();
         let bw = opts.block_width.max(1);
         let kmax = opts.pipeline_chunks.max(1);
+        let simd_level = opts.simd.resolve();
 
         let mut phases = Vec::with_capacity(slab_order.len());
         for &slab in &slab_order {
@@ -309,6 +320,7 @@ impl CompiledSweep {
                 chunks: Vec::new(),
                 wspans: Vec::new(),
                 chunk_wspans: Vec::new(),
+                inplace: false,
             };
             for (ti, tile) in store.tiles.iter().enumerate() {
                 if tile.coord[dim] != slab {
@@ -382,6 +394,18 @@ impl CompiledSweep {
                 .iter()
                 .map(|c| balanced_spans(&pp.jobs, c.jlo, c.jhi, threads))
                 .collect();
+
+            // Resolve the phase's execution mode. Geometric precondition
+            // for zero-copy: the swept dimension is not the tile's last
+            // (unit-stride) axis — lines contiguous along the last axis
+            // then form unit-lane strided views of tile storage — and
+            // every field's last-axis stride really is 1 (row-major
+            // storage; checked, not assumed). The job/chunk tables above
+            // are mode-independent, so the wire schedule cannot change.
+            let lane_unit =
+                (0..pp.tiles.len() * nfields).all(|s| pp.fm_strides[s * d + (d - 1)] == 1);
+            let eligible = d >= 2 && dim + 1 != d && kernel.supports_strided() && lane_unit;
+            pp.inplace = decide_inplace(opts.inplace, eligible, kernel.kernel_name(), simd_level);
             phases.push(pp);
         }
 
@@ -397,6 +421,7 @@ impl CompiledSweep {
                 block_width: bw,
                 pipeline_chunks: kmax,
                 simd: opts.simd,
+                inplace: opts.inplace,
             },
             rank,
             d,
@@ -408,7 +433,7 @@ impl CompiledSweep {
             workers: make_workers(opts.threads, nfields),
             pool,
             pool_enabled: opts.pool,
-            simd: opts.simd.resolve(),
+            simd: simd_level,
             spare: Vec::new(),
             local_carry: Vec::new(),
         };
@@ -427,6 +452,15 @@ impl CompiledSweep {
     /// from the requested [`SweepOptions::simd`] mode and the hardware.
     pub fn simd_level(&self) -> SimdLevel {
         self.simd
+    }
+
+    /// The resolved per-phase execution mode, in phase order: `true` means
+    /// the phase runs zero-copy (in-place strided kernels, carries written
+    /// directly into the send buffer), `false` means it gathers through
+    /// packed line-minor scratch. Decided once at build time; `mpart
+    /// profile` reports these.
+    pub fn phase_inplace(&self) -> Vec<bool> {
+        self.phases.iter().map(|pp| pp.inplace).collect()
     }
 
     /// True when the plan can serve a call with these parameters without
@@ -451,6 +485,7 @@ impl CompiledSweep {
             && self.key.block_width == opts.block_width.max(1)
             && self.key.pipeline_chunks == opts.pipeline_chunks.max(1)
             && self.key.simd == opts.simd
+            && self.key.inplace == opts.inplace
             && self.threads == opts.threads.max(1)
             && self.pool_enabled == opts.pool
     }
@@ -631,42 +666,60 @@ impl CompiledSweep {
 
             // 3. Prepare the outgoing message: the incoming carries (or
             //    initial ones at the domain boundary), evolved in place.
-            let t_pack = comm.tracer().is_some().then(Instant::now);
-            let mut outgoing = comm.take_send_buffer();
-            if outgoing.capacity() == 0 {
-                if let Some(buf) = spare.pop() {
-                    outgoing = buf;
-                }
-            }
-            outgoing.clear();
-            outgoing.resize(pp.total_lines * clen, 0.0);
-            match incoming {
-                None => {
-                    if clen > 0 {
-                        let init = kernel.initial_carry(dir);
-                        assert_eq!(init.len(), clen, "initial carry length mismatch");
-                        for c in outgoing.chunks_exact_mut(clen) {
-                            c.copy_from_slice(&init);
-                        }
-                    }
-                }
-                Some(buf) => {
+            //    In-place phases go **direct to wire**: the received
+            //    message buffer itself becomes the outgoing one (the jobs
+            //    evolve its carries where they lie and it ships by move),
+            //    so steady-state in-place phases copy nothing and record
+            //    no pack span. Packed phases keep the staging copy.
+            let mut outgoing: Vec<f64> = match incoming {
+                Some(buf) if pp.inplace => {
                     assert_eq!(
                         buf.len(),
-                        outgoing.len(),
+                        pp.total_lines * clen,
                         "carry message not fully consumed"
                     );
-                    outgoing.copy_from_slice(&buf);
-                    if upstream == rank {
-                        spare.push(buf);
-                    } else {
-                        comm.recycle(buf);
-                    }
+                    buf
                 }
-            }
-            if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
-                tr.pack(t0);
-            }
+                incoming => {
+                    let t_pack = (!pp.inplace && comm.tracer().is_some()).then(Instant::now);
+                    let mut outgoing = comm.take_send_buffer();
+                    if outgoing.capacity() == 0 {
+                        if let Some(buf) = spare.pop() {
+                            outgoing = buf;
+                        }
+                    }
+                    outgoing.clear();
+                    outgoing.resize(pp.total_lines * clen, 0.0);
+                    match incoming {
+                        None => {
+                            if clen > 0 {
+                                let init = kernel.initial_carry(dir);
+                                assert_eq!(init.len(), clen, "initial carry length mismatch");
+                                for c in outgoing.chunks_exact_mut(clen) {
+                                    c.copy_from_slice(&init);
+                                }
+                            }
+                        }
+                        Some(buf) => {
+                            assert_eq!(
+                                buf.len(),
+                                outgoing.len(),
+                                "carry message not fully consumed"
+                            );
+                            outgoing.copy_from_slice(&buf);
+                            if upstream == rank {
+                                spare.push(buf);
+                            } else {
+                                comm.recycle(buf);
+                            }
+                        }
+                    }
+                    if let (Some(t0), Some(tr)) = (t_pack, comm.tracer()) {
+                        tr.pack(t0);
+                    }
+                    outgoing
+                }
+            };
 
             // 4. Run the jobs — inline, or spread over worker threads.
             let t_run = comm.tracer().is_some().then(Instant::now);
@@ -877,6 +930,7 @@ fn shared_phase<'a, K: LineSweepKernel + ?Sized>(
         nfields: key.fields.len(),
         clen: key.carry_len,
         simd,
+        inplace: pp.inplace,
     }
 }
 
@@ -943,6 +997,13 @@ impl SweepEngine {
     /// traced compute time to report `k1 · elements` model error.
     pub fn elements_swept(&self) -> u64 {
         self.elements_swept
+    }
+
+    /// The currently cached plans, in slot order (`dim * 2 + dir`).
+    /// `mpart profile` walks these to report each plan's per-phase
+    /// execution mode ([`CompiledSweep::phase_inplace`]).
+    pub fn plans(&self) -> impl Iterator<Item = &CompiledSweep> {
+        self.slots.iter().filter_map(|s| s.as_ref())
     }
 
     /// Execute one directional sweep, compiling it first if the cached
@@ -1046,6 +1107,11 @@ impl SolverPlan {
     /// Elements swept so far (see [`SweepEngine::elements_swept`]).
     pub fn elements_swept(&self) -> u64 {
         self.engine.elements_swept()
+    }
+
+    /// The currently cached sweep plans (see [`SweepEngine::plans`]).
+    pub fn plans(&self) -> impl Iterator<Item = &CompiledSweep> {
+        self.engine.plans()
     }
 
     /// Worker threads the engine's persistent pool holds (see
@@ -1565,6 +1631,69 @@ mod tests {
         // threads = 1 → no pool threads regardless of the option.
         assert_eq!(engine.pool_threads_spawned(), 0);
         assert_eq!(engine.pool_dispatches(), 0);
+    }
+
+    #[test]
+    fn engine_rebuilds_on_inplace_toggle() {
+        let mp = Multipartitioning::from_partitioning(1, Partitioning::new(vec![2, 2, 1]));
+        let grid = grid_for(&mp, &[4, 4, 2]);
+        let k = PrefixSumKernel::new(0);
+        let mut store = allocate_rank_store(0, &mp, &grid, &[FieldDef::new("u", 0)]);
+        store.init_field(0, init_value);
+        let opts = SweepOptions::new(1, 1);
+        let cs = CompiledSweep::build(&mp, 0, &store, 0, Direction::Forward, &k, 0, &opts);
+        // The requested policy is part of the cache key even when the
+        // resolved per-phase choices happen to coincide.
+        assert!(cs.matches(&mp, 0, Direction::Forward, 0, &k, &opts));
+        assert!(!cs.matches(
+            &mp,
+            0,
+            Direction::Forward,
+            0,
+            &k,
+            &opts.clone().with_inplace(InplaceMode::Off)
+        ));
+        // Sweeping dim 0 of a 3-d grid is eligible, so On resolves every
+        // phase to in-place and Off to packed.
+        let on = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            0,
+            Direction::Forward,
+            &k,
+            0,
+            &opts.clone().with_inplace(InplaceMode::On),
+        );
+        assert!(
+            on.phase_inplace().iter().all(|&b| b),
+            "{:?}",
+            on.phase_inplace()
+        );
+        let off = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            0,
+            Direction::Forward,
+            &k,
+            0,
+            &opts.clone().with_inplace(InplaceMode::Off),
+        );
+        assert!(off.phase_inplace().iter().all(|&b| !b));
+        // The last dimension sweeps along the unit-stride axis: never
+        // eligible, even when forced On.
+        let last = CompiledSweep::build(
+            &mp,
+            0,
+            &store,
+            2,
+            Direction::Forward,
+            &k,
+            0,
+            &opts.with_inplace(InplaceMode::On),
+        );
+        assert!(last.phase_inplace().iter().all(|&b| !b));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! Also provides the halo exchange used by stencil phases (e.g. SP's
 //! `compute_rhs`), with the same per-direction aggregation.
 
+use crate::inplace::InplaceMode;
 use crate::recurrence::{LineSweepKernel, SegmentCtx};
 use crate::simd::{SimdLevel, SimdMode};
 use mp_core::multipart::{Direction, Multipartitioning};
@@ -74,6 +75,14 @@ pub struct SweepOptions {
     /// every mode; the knob exists for A/B measurement and as an escape
     /// hatch.
     pub simd: SimdMode,
+    /// Zero-copy execution policy (see [`crate::inplace`]):
+    /// [`InplaceMode::Auto`] (the default) runs eligible phases in place
+    /// on tile storage — no gather/scatter, carries written directly into
+    /// the send buffer — exactly when the calibrated cost model says the
+    /// strided kernel beats packed-plus-pack-cost; [`InplaceMode::On`] /
+    /// [`InplaceMode::Off`] force the choice. Results and the wire
+    /// schedule are bitwise identical in every mode.
+    pub inplace: InplaceMode,
 }
 
 impl SweepOptions {
@@ -86,6 +95,7 @@ impl SweepOptions {
             pipeline_chunks: 1,
             pool: true,
             simd: SimdMode::Auto,
+            inplace: InplaceMode::Auto,
         }
     }
 
@@ -108,6 +118,12 @@ impl SweepOptions {
         self
     }
 
+    /// Same options with an explicit zero-copy execution policy.
+    pub fn with_inplace(mut self, inplace: InplaceMode) -> Self {
+        self.inplace = inplace;
+        self
+    }
+
     /// Options from the environment — the single documented place every
     /// entry point (CLI, examples, benches) reads the sweep knobs from:
     ///
@@ -118,6 +134,7 @@ impl SweepOptions {
     /// | `MP_SWEEP_PIPELINE` | carry sub-messages per boundary   | 1       |
     /// | `MP_SWEEP_POOL`     | persistent worker pool on/off     | on      |
     /// | `MP_SWEEP_SIMD`     | kernel path: `auto`/`avx2`/`scalar` | auto  |
+    /// | `MP_SWEEP_INPLACE`  | zero-copy policy: `auto`/`on`/`off` | auto  |
     ///
     /// Malformed or out-of-range values (empty, non-numeric, `0` for the
     /// numeric knobs, an unknown `MP_SWEEP_SIMD` word) fall back to the
@@ -141,6 +158,7 @@ impl SweepOptions {
         .with_pipeline_chunks(env_usize("MP_SWEEP_PIPELINE", 1))
         .with_pool(env_switch("MP_SWEEP_POOL"))
         .with_simd(SimdMode::from_env())
+        .with_inplace(InplaceMode::from_env())
     }
 }
 
@@ -273,7 +291,20 @@ pub(crate) struct WorkerScratch {
     offsets: Vec<usize>,
     /// Mixed-radix odometer over the reduced cross-section extents.
     base: Vec<usize>,
+    /// Per-field lane-run base pointers for in-place execution.
+    ptrs: PtrVec,
+    /// Per-field element strides matching `ptrs`.
+    estrides: Vec<isize>,
 }
+
+/// Per-field base pointers of one in-place lane run. Reused scratch so
+/// steady-state phases allocate nothing.
+struct PtrVec(Vec<*mut f64>);
+
+// SAFETY: the pointers are transient per-run scratch, written and
+// dereferenced only by the worker that owns this scratch slot (see
+// `RawParts` for the element-disjointness argument).
+unsafe impl Send for PtrVec {}
 
 impl WorkerScratch {
     fn new(nfields: usize) -> Self {
@@ -282,6 +313,8 @@ impl WorkerScratch {
             ctxs: Vec::new(),
             offsets: Vec::new(),
             base: Vec::new(),
+            ptrs: PtrVec(Vec::new()),
+            estrides: Vec::new(),
         }
     }
 }
@@ -315,26 +348,23 @@ pub(crate) struct SharedPhase<'a, K: ?Sized> {
     /// Vectorization level resolved once at plan-build time — steady-state
     /// execution never re-detects CPU features.
     pub(crate) simd: SimdLevel,
+    /// Run block jobs in place on tile storage (resolved per phase at
+    /// plan-build time; see [`crate::inplace`]). The job and chunk tables
+    /// are identical either way, so the wire schedule cannot change.
+    pub(crate) inplace: bool,
 }
 
-/// Run one block job: decode its line bases, gather the lines into the
-/// worker's block buffers, sweep, and scatter back. The block's carries
-/// live in `out` — the phase's outgoing message (aggregated mode,
-/// `carry_base = 0`) or one chunk's sub-message (pipelined mode,
-/// `carry_base` = the chunk's first carry element).
-fn run_block<K: LineSweepKernel + ?Sized>(
+/// Shared prologue of the packed and in-place block runners: decode
+/// `job.line0` into a cross-section base and fill `ctxs[..nlines]` and
+/// `offsets[..nlines*nfields]` (per-line segment contexts and per-(line,
+/// field) element offsets of each line's *forward* origin).
+fn decode_lines<K: LineSweepKernel + ?Sized>(
     sh: &SharedPhase<'_, K>,
     job: &BlockJob,
-    out: RawParts,
-    carry_base: usize,
-    w: &mut WorkerScratch,
+    ctxs: &mut Vec<SegmentCtx>,
+    offsets: &mut Vec<usize>,
+    base: &mut Vec<usize>,
 ) {
-    let WorkerScratch {
-        bufs,
-        ctxs,
-        offsets,
-        base,
-    } = w;
     let d = sh.d;
     let nf = sh.nfields;
     let t = job.tile;
@@ -392,6 +422,34 @@ fn run_block<K: LineSweepKernel + ?Sized>(
             }
         }
     }
+}
+
+/// Run one block job: decode its line bases, gather the lines into the
+/// worker's block buffers, sweep, and scatter back. The block's carries
+/// live in `out` — the phase's outgoing message (aggregated mode,
+/// `carry_base = 0`) or one chunk's sub-message (pipelined mode,
+/// `carry_base` = the chunk's first carry element).
+fn run_block<K: LineSweepKernel + ?Sized>(
+    sh: &SharedPhase<'_, K>,
+    job: &BlockJob,
+    out: RawParts,
+    carry_base: usize,
+    w: &mut WorkerScratch,
+) {
+    let WorkerScratch {
+        bufs,
+        ctxs,
+        offsets,
+        base,
+        ..
+    } = w;
+    let nf = sh.nfields;
+    let t = job.tile;
+    let nl = job.nlines;
+    let seg_len = sh.seg_lens[t];
+    let reversed = sh.dir == Direction::Backward;
+
+    decode_lines(sh, job, ctxs, offsets, base);
 
     // Gather lines into line-minor block buffers.
     for (f, buf) in bufs.iter_mut().enumerate() {
@@ -445,6 +503,123 @@ fn run_block<K: LineSweepKernel + ?Sized>(
     }
 }
 
+/// Run one block job **in place**: sweep the lines where they live in tile
+/// storage through [`LineSweepKernel::sweep_block_strided`], with the
+/// carries evolved directly in the outgoing message buffer. No gather, no
+/// scatter, no block scratch.
+///
+/// The job's lines are processed as maximal runs contiguous along the
+/// tile's last (unit-stride) axis: within a run, lane `l` of the strided
+/// view is exactly `base + l`, so the kernels see the same unit-lane
+/// addressing as the packed line-minor layout — with `row_stride` set to
+/// the tile's stride along the swept dimension instead of `nlines` — and
+/// produce bitwise-identical results. Runs never cross a last-axis row
+/// (ghost layers break contiguity there), but the job/carry tables are the
+/// packed ones, so the wire schedule is untouched.
+///
+/// Plan-build preconditions (checked there, debug-asserted here): the
+/// swept dimension is not the last axis, every field's last-axis stride is
+/// 1, and the kernel supports the strided entry point.
+fn run_block_inplace<K: LineSweepKernel + ?Sized>(
+    sh: &SharedPhase<'_, K>,
+    job: &BlockJob,
+    out: RawParts,
+    carry_base: usize,
+    w: &mut WorkerScratch,
+) {
+    let WorkerScratch {
+        ctxs,
+        offsets,
+        base,
+        ptrs,
+        estrides,
+        ..
+    } = w;
+    let d = sh.d;
+    let nf = sh.nfields;
+    let t = job.tile;
+    let nl = job.nlines;
+    let seg_len = sh.seg_lens[t];
+    let red = &sh.red_exts[t * d..(t + 1) * d];
+    let reversed = sh.dir == Direction::Backward;
+    debug_assert!(sh.dim + 1 < d, "in-place needs a non-unit-stride sweep dim");
+
+    decode_lines(sh, job, ctxs, offsets, base);
+
+    // The job's carries are a sub-range of the outgoing buffer (line-major:
+    // line l's carries at [l*clen .. (l+1)*clen]).
+    let off = job.carry_off - carry_base;
+    debug_assert!(off + nl * sh.clen <= out.len);
+    // SAFETY: jobs' carry ranges are disjoint and `out` is not resized
+    // while jobs run.
+    let carries = unsafe { std::slice::from_raw_parts_mut(out.ptr.add(off), nl * sh.clen) };
+
+    // Walk maximal unit-stride lane runs along the last axis. Row-major
+    // line order means the last-axis coordinate of line `line0 + r` is
+    // `(line0 + r) mod red[d-1]`.
+    let last = red[d - 1];
+    let mut r0 = 0usize;
+    while r0 < nl {
+        let lane0 = (job.line0 + r0) % last;
+        let run = (last - lane0).min(nl - r0);
+        ptrs.0.clear();
+        estrides.clear();
+        for f in 0..nf {
+            let fm = &sh.fms[t * nf + f];
+            let strides = &sh.fm_strides[(t * nf + f) * d..(t * nf + f + 1) * d];
+            debug_assert_eq!(strides[d - 1], 1, "lane axis must be unit stride");
+            let fwd = offsets[r0 * nf + f];
+            let (origin_off, es) = if reversed {
+                (
+                    fwd + (seg_len - 1) * fm.stride_dim,
+                    -(fm.stride_dim as isize),
+                )
+            } else {
+                (fwd, fm.stride_dim as isize)
+            };
+            let view = mp_grid::LaneView::new(origin_off, run, 1, seg_len, es, fm.parts.len);
+            // SAFETY: `LaneView::new` asserted the extreme corners of the
+            // run stay inside the field's buffer.
+            ptrs.0.push(unsafe { fm.parts.ptr.add(view.offset) });
+            estrides.push(es);
+        }
+        let run_carries = &mut carries[r0 * sh.clen..(r0 + run) * sh.clen];
+        // SAFETY: pointers/strides address `run × seg_len` in-bounds
+        // elements per field (checked above); concurrently running jobs
+        // touch disjoint lines and disjoint carry ranges.
+        unsafe {
+            sh.kernel.sweep_block_strided(
+                sh.simd,
+                sh.dir,
+                run,
+                seg_len,
+                run_carries,
+                &ptrs.0,
+                estrides,
+                &ctxs[r0..r0 + run],
+            );
+        }
+        r0 += run;
+    }
+}
+
+/// Dispatch one job to the packed or in-place runner per the phase's
+/// resolved mode.
+#[inline]
+fn run_one<K: LineSweepKernel + ?Sized>(
+    sh: &SharedPhase<'_, K>,
+    job: &BlockJob,
+    out: RawParts,
+    carry_base: usize,
+    w: &mut WorkerScratch,
+) {
+    if sh.inplace {
+        run_block_inplace(sh, job, out, carry_base, w);
+    } else {
+        run_block(sh, job, out, carry_base, w);
+    }
+}
+
 /// Pointer to the worker scratch array, shareable with pool workers. Each
 /// worker dereferences only its own slot (`base + wi`), so slots are never
 /// aliased across threads.
@@ -476,7 +651,7 @@ pub(crate) fn run_jobs<K: LineSweepKernel + ?Sized>(
         let (lo, hi) = spans[0];
         let w = &mut workers[0];
         for job in &sh.jobs[lo..hi] {
-            run_block(sh, job, out, carry_base, w);
+            run_one(sh, job, out, carry_base, w);
         }
         return;
     }
@@ -490,7 +665,7 @@ pub(crate) fn run_jobs<K: LineSweepKernel + ?Sized>(
             // per run, so scratch slot `wi` is exclusively this worker's.
             let w = unsafe { &mut *base.0.add(wi) };
             for job in &sh.jobs[lo..hi] {
-                run_block(sh, job, out, carry_base, w);
+                run_one(sh, job, out, carry_base, w);
             }
         };
         pool.run(nw, &task);
@@ -499,7 +674,7 @@ pub(crate) fn run_jobs<K: LineSweepKernel + ?Sized>(
             for ((lo, hi), w) in spans.iter().copied().zip(workers.iter_mut()) {
                 s.spawn(move || {
                     for job in &sh.jobs[lo..hi] {
-                        run_block(sh, job, out, carry_base, w);
+                        run_one(sh, job, out, carry_base, w);
                     }
                 });
             }

@@ -1,0 +1,245 @@
+//! In-place ("zero-copy") execution policy.
+//!
+//! The blocked executor normally gathers each line block into a contiguous
+//! line-minor scratch buffer, sweeps it, and scatters the results back —
+//! paying one full gather/scatter ("pack") round trip over every element
+//! of every phase. When the swept dimension is *not* the tile's last
+//! (unit-stride) axis, a run of lines contiguous along the last axis is
+//! already a unit-lane-stride strided view of tile storage
+//! ([`mp_grid::LaneView`]), and kernels that implement
+//! [`crate::recurrence::LineSweepKernel::sweep_block_strided`] can sweep it
+//! where it lives — no gather, no scatter, and phase-boundary carries
+//! written directly into the communication send buffer.
+//!
+//! This module holds the policy knob ([`InplaceMode`], env
+//! `MP_SWEEP_INPLACE`) and the per-phase decision
+//! (`decide_inplace`): `Off` never runs in place, `On` runs in place
+//! wherever the geometry and kernel allow it, and `Auto` (the default)
+//! consults the calibrated machine profile — in-place wins exactly when
+//! the measured strided kernel cost beats the packed kernel cost plus the
+//! pack bandwidth constant `K4`. Either way the wire schedule is
+//! byte-identical: the mode changes *where* the kernel reads and writes,
+//! never what goes on the wire.
+
+use crate::simd::SimdLevel;
+use mp_core::machine::MachineProfile;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Requested in-place policy for a sweep (see the module docs). Stored in
+/// [`crate::SweepOptions::inplace`]; the *resolved* per-phase choice lives
+/// in the compiled plan and is what `mpart profile` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InplaceMode {
+    /// Decide per phase from the calibrated cost model: in-place iff the
+    /// measured strided kernel rate beats packed rate + pack cost `K4`.
+    /// Without strided measurements (preset profiles, pre-`K4`
+    /// calibration files) eligible phases default to in-place — skipping
+    /// a copy is the safe guess on every cache-coherent host measured so
+    /// far.
+    #[default]
+    Auto,
+    /// Run in place wherever the geometry and kernel allow it.
+    On,
+    /// Always gather/scatter through packed line-minor scratch.
+    Off,
+}
+
+impl InplaceMode {
+    /// Parse a knob word (trimmed, case-insensitive): `auto` / `on` /
+    /// `off`. `None` for anything else — callers choose between warning
+    /// (env) and erroring (CLI flag).
+    pub fn parse(s: &str) -> Option<InplaceMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(InplaceMode::Auto),
+            "on" => Some(InplaceMode::On),
+            "off" => Some(InplaceMode::Off),
+            _ => None,
+        }
+    }
+
+    /// Mode from `MP_SWEEP_INPLACE`, defaulting to [`InplaceMode::Auto`].
+    /// A set-but-invalid value warns once per process (the
+    /// [`crate::SweepOptions::from_env`] contract: env knobs never abort)
+    /// and falls back to `Auto`.
+    pub fn from_env() -> InplaceMode {
+        match std::env::var("MP_SWEEP_INPLACE") {
+            Err(_) => InplaceMode::Auto,
+            Ok(s) => InplaceMode::parse(&s).unwrap_or_else(|| {
+                crate::executor::warn_invalid_env("MP_SWEEP_INPLACE", &s, "auto");
+                InplaceMode::Auto
+            }),
+        }
+    }
+
+    /// The knob word this mode parses from.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InplaceMode::Auto => "auto",
+            InplaceMode::On => "on",
+            InplaceMode::Off => "off",
+        }
+    }
+}
+
+impl fmt::Display for InplaceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The `K1` map key for `kernel` timed at `level` through the *strided*
+/// entry point: `"<kernel>@<simd>+strided"` (companion to
+/// [`crate::tune::k1_key`]). `mpart calibrate` writes these so
+/// [`InplaceMode::Auto`] can compare real packed-vs-strided rates.
+pub fn k1_strided_key(kernel: &str, level: SimdLevel) -> String {
+    format!("{}+strided", crate::tune::k1_key(kernel, level))
+}
+
+/// The machine profile [`InplaceMode::Auto`] consults, resolved once per
+/// process with the standard precedence (`MP_CALIBRATION` file, else the
+/// preset) and cached — plan builds must not re-read files per phase.
+fn cached_profile() -> &'static MachineProfile {
+    static PROFILE: OnceLock<MachineProfile> = OnceLock::new();
+    PROFILE.get_or_init(|| match mp_runtime::load_profile(None) {
+        Ok((p, _)) => p,
+        Err(_) => MachineProfile::origin2000_like(),
+    })
+}
+
+/// Resolve the per-phase in-place choice. `eligible` is the geometric and
+/// kernel precondition computed by the plan build (swept dim not the
+/// unit-stride axis, `d ≥ 2`, unit lane stride, kernel supports the
+/// strided entry point); ineligible phases are always packed. For
+/// [`InplaceMode::Auto`] the decision uses the cached profile via
+/// [`decide_inplace_with`].
+pub(crate) fn decide_inplace(
+    mode: InplaceMode,
+    eligible: bool,
+    kernel_name: &str,
+    level: SimdLevel,
+) -> bool {
+    decide_inplace_with(mode, eligible, kernel_name, level, || cached_profile())
+}
+
+/// [`decide_inplace`] against an explicit profile source (tests inject
+/// synthetic profiles; production passes the cached one). The `Auto` rule:
+/// a packed sweep costs `k1_packed + k4` per element (kernel plus one
+/// gather/scatter round trip), an in-place sweep costs `k1_strided` —
+/// in-place wins iff `k1_strided < k1_packed + k4`. Both per-kernel rates
+/// must be actual measurements (no [`MachineProfile::k1_for`] mean
+/// fallback — a poisoned comparison is worse than the heuristic) and `k4`
+/// must be known (`> 0`); otherwise eligible phases default to in-place.
+pub(crate) fn decide_inplace_with<'p>(
+    mode: InplaceMode,
+    eligible: bool,
+    kernel_name: &str,
+    level: SimdLevel,
+    profile: impl FnOnce() -> &'p MachineProfile,
+) -> bool {
+    if !eligible || mode == InplaceMode::Off {
+        return false;
+    }
+    if mode == InplaceMode::On {
+        return true;
+    }
+    let p = profile();
+    let packed = p.k1.get(&crate::tune::k1_key(kernel_name, level));
+    let strided = p.k1.get(&k1_strided_key(kernel_name, level));
+    match (packed, strided) {
+        (Some(&k1p), Some(&k1s)) if p.k4 > 0.0 => k1s < k1p + p.k4,
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_knob_words_case_insensitively() {
+        assert_eq!(InplaceMode::parse(" Auto "), Some(InplaceMode::Auto));
+        assert_eq!(InplaceMode::parse("ON"), Some(InplaceMode::On));
+        assert_eq!(InplaceMode::parse("off"), Some(InplaceMode::Off));
+        assert_eq!(InplaceMode::parse("maybe"), None);
+        assert_eq!(InplaceMode::parse(""), None);
+        for m in [InplaceMode::Auto, InplaceMode::On, InplaceMode::Off] {
+            assert_eq!(InplaceMode::parse(m.name()), Some(m), "{m} round-trips");
+        }
+    }
+
+    #[test]
+    fn forced_modes_ignore_the_profile() {
+        // On/Off never look at constants; ineligible always loses.
+        let boom = || -> &'static MachineProfile { panic!("profile must not be consulted") };
+        assert!(decide_inplace_with(
+            InplaceMode::On,
+            true,
+            "thomas_forward",
+            SimdLevel::Scalar,
+            boom
+        ));
+        assert!(!decide_inplace_with(
+            InplaceMode::Off,
+            true,
+            "thomas_forward",
+            SimdLevel::Scalar,
+            boom
+        ));
+        for m in [InplaceMode::Auto, InplaceMode::On, InplaceMode::Off] {
+            assert!(!decide_inplace_with(
+                m,
+                false,
+                "thomas_forward",
+                SimdLevel::Scalar,
+                boom
+            ));
+        }
+    }
+
+    #[test]
+    fn auto_compares_strided_against_packed_plus_k4() {
+        let level = SimdLevel::Scalar;
+        let mk = |k1p: f64, k1s: Option<f64>, k4: f64| {
+            let mut p = MachineProfile::uniform(
+                k1p,
+                1.0e-6,
+                1.0e-9,
+                mp_core::cost::BandwidthScaling::Fixed,
+            )
+            .with_k4(k4);
+            p.k1.insert(crate::tune::k1_key("thomas_forward", level), k1p);
+            if let Some(s) = k1s {
+                p.k1.insert(k1_strided_key("thomas_forward", level), s);
+            }
+            p
+        };
+        let decide = |p: &MachineProfile| {
+            decide_inplace_with(InplaceMode::Auto, true, "thomas_forward", level, || p)
+        };
+
+        // Strided measurably cheaper than packed + K4 → in place.
+        assert!(decide(&mk(2.0e-9, Some(2.5e-9), 2.0e-9)));
+        // Strided slower than the whole packed round trip → packed.
+        assert!(!decide(&mk(2.0e-9, Some(5.0e-9), 2.0e-9)));
+        // Missing strided measurement → heuristic: in place when eligible.
+        assert!(decide(&mk(2.0e-9, None, 2.0e-9)));
+        // Unknown K4 (0.0) → same heuristic, even with both rates present.
+        assert!(decide(&mk(2.0e-9, Some(5.0e-9), 0.0)));
+    }
+
+    #[test]
+    fn from_env_parses_and_survives_garbage() {
+        let _guard = crate::executor::env_test_lock();
+        std::env::remove_var("MP_SWEEP_INPLACE");
+        assert_eq!(InplaceMode::from_env(), InplaceMode::Auto);
+        std::env::set_var("MP_SWEEP_INPLACE", "off");
+        assert_eq!(InplaceMode::from_env(), InplaceMode::Off);
+        std::env::set_var("MP_SWEEP_INPLACE", " On ");
+        assert_eq!(InplaceMode::from_env(), InplaceMode::On);
+        // Invalid value: warn-once path, fall back to auto, never abort.
+        std::env::set_var("MP_SWEEP_INPLACE", "sideways");
+        assert_eq!(InplaceMode::from_env(), InplaceMode::Auto);
+        std::env::remove_var("MP_SWEEP_INPLACE");
+    }
+}

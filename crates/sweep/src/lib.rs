@@ -20,6 +20,9 @@
 //!   phases without per-phase thread spawns;
 //! * [`simd`] — lane-vectorized (AVX2) fast paths for the hot kernels with
 //!   plan-time runtime dispatch, bitwise identical to the scalar paths;
+//! * [`inplace`] — the zero-copy execution policy: strided in-place
+//!   kernels over tile storage with direct-to-wire carries, chosen per
+//!   phase by the calibrated cost model ([`inplace::InplaceMode`]);
 //! * [`baselines`] — the two classical alternatives the paper positions
 //!   against: static block unipartitioning with wavefront pipelining, and
 //!   dynamic block partitioning with transposes;
@@ -37,6 +40,7 @@ pub mod batch;
 pub mod block;
 pub mod compiled;
 pub mod executor;
+pub mod inplace;
 pub mod penta;
 pub mod pipeline;
 pub mod pool;
@@ -59,6 +63,7 @@ pub use executor::{
     allocate_rank_store, exchange_halos, exchange_halos_planned, multipart_sweep,
     multipart_sweep_opts, multipart_sweep_try, SweepOptions,
 };
+pub use inplace::{k1_strided_key, InplaceMode};
 pub use penta::{penta_solve, PentaBackwardKernel, PentaForwardKernel};
 pub use pool::WorkerPool;
 pub use recurrence::{

@@ -252,21 +252,102 @@ impl LineSweepKernel for PentaForwardKernel {
             let (ead, cfb) = block.split_at_mut(3);
             let (cc, fb) = cfb.split_at_mut(1);
             let (ff, bb) = fb.split_at_mut(1);
-            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma; the
+            // line-minor block is a unit-lane view with row stride nlines.
             unsafe {
                 crate::simd::avx2::penta_forward(
                     nlines,
                     seg_len,
                     carries,
-                    [&ead[0], &ead[1], &ead[2]],
-                    &mut cc[0],
-                    &mut ff[0],
-                    &mut bb[0],
+                    [ead[0].as_ptr(), ead[1].as_ptr(), ead[2].as_ptr()],
+                    cc[0].as_mut_ptr(),
+                    ff[0].as_mut_ptr(),
+                    bb[0].as_mut_ptr(),
+                    nlines as isize,
                 );
             }
             return;
         }
         self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "penta_forward"
+    }
+
+    fn supports_strided(&self) -> bool {
+        true
+    }
+
+    unsafe fn sweep_block_strided(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        ptrs: &[*mut f64],
+        elem_strides: &[isize],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Forward, "elimination runs forward");
+        debug_assert_eq!(carries.len(), 6 * nlines);
+        let es = elem_strides[0];
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx2 && elem_strides.iter().all(|&s| s == es) {
+            // SAFETY: caller guarantees the strided range; same kernel body
+            // as the packed path, so bitwise identity holds by construction.
+            crate::simd::avx2::penta_forward(
+                nlines,
+                seg_len,
+                carries,
+                [
+                    ptrs[0] as *const f64,
+                    ptrs[1] as *const f64,
+                    ptrs[2] as *const f64,
+                ],
+                ptrs[3],
+                ptrs[4],
+                ptrs[5],
+                es,
+            );
+            return;
+        }
+        let _ = level;
+        let (ee, aa, dd) = (
+            ptrs[0] as *const f64,
+            ptrs[1] as *const f64,
+            ptrs[2] as *const f64,
+        );
+        let (cc, ff, bb) = (ptrs[3], ptrs[4], ptrs[5]);
+        for k in 0..seg_len {
+            let k = k as isize;
+            for l in 0..nlines {
+                let li = l as isize;
+                let cl = &mut carries[6 * l..6 * l + 6];
+                let row = eliminate_row(
+                    (
+                        *ee.offset(k * elem_strides[0] + li),
+                        *aa.offset(k * elem_strides[1] + li),
+                        *dd.offset(k * elem_strides[2] + li),
+                        *cc.offset(k * elem_strides[3] + li),
+                        *ff.offset(k * elem_strides[4] + li),
+                        *bb.offset(k * elem_strides[5] + li),
+                    ),
+                    (cl[0], cl[1], cl[2]),
+                    (cl[3], cl[4], cl[5]),
+                );
+                *cc.offset(k * elem_strides[3] + li) = row.0;
+                *ff.offset(k * elem_strides[4] + li) = row.1;
+                *bb.offset(k * elem_strides[5] + li) = row.2;
+                cl[3] = cl[0];
+                cl[4] = cl[1];
+                cl[5] = cl[2];
+                cl[0] = row.0;
+                cl[1] = row.1;
+                cl[2] = row.2;
+            }
+        }
     }
 }
 
@@ -378,15 +459,84 @@ impl LineSweepKernel for PentaBackwardKernel {
             debug_assert_eq!(carries.len(), 3 * nlines);
             debug_assert_block_aligned(block);
             let (cf, bb) = block.split_at_mut(2);
-            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma; the
+            // line-minor block is a unit-lane view with row stride nlines.
             unsafe {
                 crate::simd::avx2::penta_backward(
-                    nlines, seg_len, carries, &cf[0], &cf[1], &mut bb[0],
+                    nlines,
+                    seg_len,
+                    carries,
+                    cf[0].as_ptr(),
+                    cf[1].as_ptr(),
+                    bb[0].as_mut_ptr(),
+                    nlines as isize,
                 );
             }
             return;
         }
         self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "penta_backward"
+    }
+
+    fn supports_strided(&self) -> bool {
+        true
+    }
+
+    unsafe fn sweep_block_strided(
+        &self,
+        level: SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        ptrs: &[*mut f64],
+        elem_strides: &[isize],
+        _ctxs: &[SegmentCtx],
+    ) {
+        assert_eq!(dir, Direction::Backward, "substitution runs backward");
+        debug_assert_eq!(carries.len(), 3 * nlines);
+        let es = elem_strides[0];
+        #[cfg(target_arch = "x86_64")]
+        if level == SimdLevel::Avx2 && elem_strides.iter().all(|&s| s == es) {
+            // SAFETY: caller guarantees the strided range; same kernel body
+            // as the packed path, so bitwise identity holds by construction.
+            crate::simd::avx2::penta_backward(
+                nlines,
+                seg_len,
+                carries,
+                ptrs[0] as *const f64,
+                ptrs[1] as *const f64,
+                ptrs[2],
+                es,
+            );
+            return;
+        }
+        let _ = level;
+        let (cc, ff) = (ptrs[0] as *const f64, ptrs[1] as *const f64);
+        let bb = ptrs[2];
+        let (sc, sf, sb) = (elem_strides[0], elem_strides[1], elem_strides[2]);
+        for k in 0..seg_len {
+            let k = k as isize;
+            for l in 0..nlines {
+                let li = l as isize;
+                let cl = &mut carries[3 * l..3 * l + 3];
+                let b = *bb.offset(k * sb + li);
+                let x = match cl[2] as u32 {
+                    0 => b,
+                    1 => b - *cc.offset(k * sc + li) * cl[0],
+                    _ => b - *cc.offset(k * sc + li) * cl[0] - *ff.offset(k * sf + li) * cl[1],
+                };
+                *bb.offset(k * sb + li) = x;
+                cl[1] = cl[0];
+                cl[0] = x;
+                if cl[2] < 2.0 {
+                    cl[2] += 1.0;
+                }
+            }
+        }
     }
 }
 

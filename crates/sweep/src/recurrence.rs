@@ -161,6 +161,85 @@ pub trait LineSweepKernel: Sync {
         let _ = level;
         self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
     }
+
+    /// Stable name for calibration lookups (the `"<kernel>@<simd>"` K1 keys
+    /// of a [`mp_core::machine::MachineProfile`]) and reports. Kernels
+    /// without a registered calibration entry keep the default.
+    fn kernel_name(&self) -> &'static str {
+        "custom"
+    }
+
+    /// Whether [`LineSweepKernel::sweep_block_strided`] is overridden with a
+    /// fast path. The executor only elects in-place execution for kernels
+    /// that opt in; everything else keeps the packed gather/scatter path
+    /// (the default `sweep_block_strided` below stays correct regardless,
+    /// it is just never faster than packing).
+    fn supports_strided(&self) -> bool {
+        false
+    }
+
+    /// Process a block of `nlines` parallel segments **in place** over
+    /// strided tile storage — the zero-copy alternative to
+    /// [`LineSweepKernel::sweep_block_simd`].
+    ///
+    /// Addressing: element `k` of lane `l` of field `fields()[f]` lives at
+    /// `ptrs[f].offset(k·elem_strides[f] + l)` — lanes are **unit-stride**
+    /// in storage (the caller only builds such views; see
+    /// [`mp_grid::LaneView`]), elements walk the swept dimension, and a
+    /// negative stride walks a backward sweep from its far end. `carries`
+    /// and `ctxs` are laid out exactly as in `sweep_block`.
+    ///
+    /// Implementations must perform, per lane, the *same arithmetic in the
+    /// same order* as the packed path — in-place results are required to be
+    /// bitwise identical to gather/sweep/scatter at any lane count.
+    ///
+    /// # Safety
+    /// Every `ptrs[f]` must be valid for reads and writes over the full
+    /// `(seg_len, nlines, elem_strides[f])` affine range, and no other
+    /// thread may access any of those elements during the call.
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn sweep_block_strided(
+        &self,
+        level: crate::simd::SimdLevel,
+        dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        ptrs: &[*mut f64],
+        elem_strides: &[isize],
+        ctxs: &[SegmentCtx],
+    ) {
+        // Default: peel each lane into temporary segments and delegate to
+        // `sweep_segment` — correct for every kernel, never fast. Kernels
+        // that return `supports_strided() == true` override this with a
+        // direct strided loop (plus the AVX2 path where available).
+        let _ = level;
+        let clen = self.carry_len();
+        debug_assert_eq!(carries.len(), nlines * clen);
+        debug_assert_eq!(ctxs.len(), nlines);
+        debug_assert_eq!(ptrs.len(), elem_strides.len());
+        let mut seg: Vec<Vec<f64>> = vec![vec![0.0; seg_len]; ptrs.len()];
+        for l in 0..nlines {
+            for (f, s) in seg.iter_mut().enumerate() {
+                let base = ptrs[f].add(l);
+                for (k, v) in s.iter_mut().enumerate() {
+                    *v = *base.offset(k as isize * elem_strides[f]);
+                }
+            }
+            self.sweep_segment(
+                dir,
+                &mut carries[l * clen..(l + 1) * clen],
+                &mut seg,
+                &ctxs[l],
+            );
+            for (f, s) in seg.iter().enumerate() {
+                let base = ptrs[f].add(l);
+                for (k, v) in s.iter().enumerate() {
+                    *base.offset(k as isize * elem_strides[f]) = *v;
+                }
+            }
+        }
+    }
 }
 
 /// Reference implementation of [`LineSweepKernel::sweep_block`]: peel each
@@ -278,11 +357,59 @@ impl LineSweepKernel for PrefixSumKernel {
         if level == crate::simd::SimdLevel::Avx2 {
             debug_assert_eq!(carries.len(), nlines);
             debug_assert_block_aligned(block);
-            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
-            unsafe { crate::simd::avx2::prefix_sum(nlines, seg_len, carries, &mut block[0]) };
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma; the
+            // line-minor block is a unit-lane view with row stride nlines.
+            unsafe {
+                crate::simd::avx2::prefix_sum(
+                    nlines,
+                    seg_len,
+                    carries,
+                    block[0].as_mut_ptr(),
+                    nlines as isize,
+                )
+            };
             return;
         }
         self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "prefix_sum"
+    }
+
+    fn supports_strided(&self) -> bool {
+        true
+    }
+
+    unsafe fn sweep_block_strided(
+        &self,
+        level: crate::simd::SimdLevel,
+        _dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        ptrs: &[*mut f64],
+        elem_strides: &[isize],
+        _ctxs: &[SegmentCtx],
+    ) {
+        debug_assert_eq!(carries.len(), nlines);
+        let (buf, es) = (ptrs[0], elem_strides[0]);
+        #[cfg(target_arch = "x86_64")]
+        if level == crate::simd::SimdLevel::Avx2 {
+            // SAFETY: caller guarantees the strided range; same kernel body
+            // as the packed path, so bitwise identity holds by construction.
+            crate::simd::avx2::prefix_sum(nlines, seg_len, carries, buf, es);
+            return;
+        }
+        let _ = level;
+        for k in 0..seg_len {
+            let row = buf.offset(k as isize * es);
+            for (l, acc) in carries.iter_mut().enumerate() {
+                let v = row.add(l);
+                *acc += *v;
+                *v = *acc;
+            }
+        }
     }
 }
 
@@ -365,13 +492,60 @@ impl LineSweepKernel for FirstOrderKernel {
         if level == crate::simd::SimdLevel::Avx2 {
             debug_assert_eq!(carries.len(), nlines);
             debug_assert_block_aligned(block);
-            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma.
+            // SAFETY: `SimdLevel::Avx2` implies detected avx2+fma; the
+            // line-minor block is a unit-lane view with row stride nlines.
             unsafe {
-                crate::simd::avx2::first_order(self.a, nlines, seg_len, carries, &mut block[0]);
+                crate::simd::avx2::first_order(
+                    self.a,
+                    nlines,
+                    seg_len,
+                    carries,
+                    block[0].as_mut_ptr(),
+                    nlines as isize,
+                );
             }
             return;
         }
         self.sweep_block(dir, nlines, seg_len, carries, block, ctxs);
+    }
+
+    fn kernel_name(&self) -> &'static str {
+        "first_order"
+    }
+
+    fn supports_strided(&self) -> bool {
+        true
+    }
+
+    unsafe fn sweep_block_strided(
+        &self,
+        level: crate::simd::SimdLevel,
+        _dir: Direction,
+        nlines: usize,
+        seg_len: usize,
+        carries: &mut [f64],
+        ptrs: &[*mut f64],
+        elem_strides: &[isize],
+        _ctxs: &[SegmentCtx],
+    ) {
+        debug_assert_eq!(carries.len(), nlines);
+        let (buf, es) = (ptrs[0], elem_strides[0]);
+        #[cfg(target_arch = "x86_64")]
+        if level == crate::simd::SimdLevel::Avx2 {
+            // SAFETY: caller guarantees the strided range; same kernel body
+            // as the packed path, so bitwise identity holds by construction.
+            crate::simd::avx2::first_order(self.a, nlines, seg_len, carries, buf, es);
+            return;
+        }
+        let _ = level;
+        for k in 0..seg_len {
+            let row = buf.offset(k as isize * es);
+            for (l, prev) in carries.iter_mut().enumerate() {
+                let v = row.add(l);
+                *v += self.a * *prev;
+                *prev = *v;
+            }
+        }
     }
 }
 

@@ -146,8 +146,19 @@ pub fn avx2_available() -> bool {
 
 /// The AVX2 kernel bodies. Every function is `unsafe` with the same
 /// contract: the caller must have verified AVX2+FMA support (guaranteed by
-/// only reaching these through [`SimdLevel::Avx2`]).
+/// only reaching these through [`SimdLevel::Avx2`]), and every field
+/// pointer must be valid for the full `(seg_len, nlines, row_stride)`
+/// addressing range with no other thread touching those elements.
+///
+/// Each kernel addresses element `k` of lane `l` at
+/// `ptr.offset(k·row_stride + l)` — lanes are always unit-stride. The
+/// packed executor passes the block buffer with `row_stride = nlines`
+/// (the line-minor layout); the in-place executor passes tile storage
+/// directly with `row_stride = ±strides[dim]`. Both callers run the same
+/// instruction sequence, so the two modes are bitwise identical by
+/// construction.
 #[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
 pub(crate) mod avx2 {
     use std::arch::x86_64::*;
 
@@ -205,10 +216,11 @@ pub(crate) mod avx2 {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        aa: &[f64],
-        bb: &[f64],
-        cc: &mut [f64],
-        dd: &mut [f64],
+        aa: *const f64,
+        bb: *const f64,
+        cc: *mut f64,
+        dd: *mut f64,
+        row_stride: isize,
     ) {
         // Two lane groups (8 lines) advance together through the segment:
         // each group's recurrence is a serial multiply–subtract–divide
@@ -222,28 +234,28 @@ pub(crate) mod avx2 {
             let [mut cp0, mut dp0] = load_carries::<2>(carries, l0);
             let [mut cp1, mut dp1] = load_carries::<2>(carries, l1);
             for k in 0..seg_len {
-                let r0 = k * nlines + l0;
-                let r1 = k * nlines + l1;
-                let a0 = _mm256_loadu_pd(aa.as_ptr().add(r0));
-                let a1 = _mm256_loadu_pd(aa.as_ptr().add(r1));
-                let b0 = _mm256_loadu_pd(bb.as_ptr().add(r0));
-                let b1 = _mm256_loadu_pd(bb.as_ptr().add(r1));
+                let r0 = k as isize * row_stride + l0 as isize;
+                let r1 = k as isize * row_stride + l1 as isize;
+                let a0 = _mm256_loadu_pd(aa.offset(r0));
+                let a1 = _mm256_loadu_pd(aa.offset(r1));
+                let b0 = _mm256_loadu_pd(bb.offset(r0));
+                let b1 = _mm256_loadu_pd(bb.offset(r1));
                 let denom0 = _mm256_sub_pd(b0, _mm256_mul_pd(a0, cp0));
                 let denom1 = _mm256_sub_pd(b1, _mm256_mul_pd(a1, cp1));
                 check_pivot(denom0, "zero pivot");
                 check_pivot(denom1, "zero pivot");
-                let c0 = _mm256_loadu_pd(cc.as_ptr().add(r0));
-                let c1 = _mm256_loadu_pd(cc.as_ptr().add(r1));
-                let d0 = _mm256_loadu_pd(dd.as_ptr().add(r0));
-                let d1 = _mm256_loadu_pd(dd.as_ptr().add(r1));
+                let c0 = _mm256_loadu_pd(cc.offset(r0));
+                let c1 = _mm256_loadu_pd(cc.offset(r1));
+                let d0 = _mm256_loadu_pd(dd.offset(r0));
+                let d1 = _mm256_loadu_pd(dd.offset(r1));
                 cp0 = _mm256_div_pd(c0, denom0);
                 cp1 = _mm256_div_pd(c1, denom1);
                 dp0 = _mm256_div_pd(_mm256_sub_pd(d0, _mm256_mul_pd(a0, dp0)), denom0);
                 dp1 = _mm256_div_pd(_mm256_sub_pd(d1, _mm256_mul_pd(a1, dp1)), denom1);
-                _mm256_storeu_pd(cc.as_mut_ptr().add(r0), cp0);
-                _mm256_storeu_pd(cc.as_mut_ptr().add(r1), cp1);
-                _mm256_storeu_pd(dd.as_mut_ptr().add(r0), dp0);
-                _mm256_storeu_pd(dd.as_mut_ptr().add(r1), dp1);
+                _mm256_storeu_pd(cc.offset(r0), cp0);
+                _mm256_storeu_pd(cc.offset(r1), cp1);
+                _mm256_storeu_pd(dd.offset(r0), dp0);
+                _mm256_storeu_pd(dd.offset(r1), dp1);
             }
             store_carries::<2>(carries, l0, &[cp0, dp0]);
             store_carries::<2>(carries, l1, &[cp1, dp1]);
@@ -251,17 +263,17 @@ pub(crate) mod avx2 {
         for l0 in (paired..full).step_by(LANES) {
             let [mut cp, mut dp] = load_carries::<2>(carries, l0);
             for k in 0..seg_len {
-                let r = k * nlines + l0;
-                let a = _mm256_loadu_pd(aa.as_ptr().add(r));
-                let b = _mm256_loadu_pd(bb.as_ptr().add(r));
+                let r = k as isize * row_stride + l0 as isize;
+                let a = _mm256_loadu_pd(aa.offset(r));
+                let b = _mm256_loadu_pd(bb.offset(r));
                 let denom = _mm256_sub_pd(b, _mm256_mul_pd(a, cp));
                 check_pivot(denom, "zero pivot");
-                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
-                let d = _mm256_loadu_pd(dd.as_ptr().add(r));
+                let c = _mm256_loadu_pd(cc.offset(r));
+                let d = _mm256_loadu_pd(dd.offset(r));
                 cp = _mm256_div_pd(c, denom);
                 dp = _mm256_div_pd(_mm256_sub_pd(d, _mm256_mul_pd(a, dp)), denom);
-                _mm256_storeu_pd(cc.as_mut_ptr().add(r), cp);
-                _mm256_storeu_pd(dd.as_mut_ptr().add(r), dp);
+                _mm256_storeu_pd(cc.offset(r), cp);
+                _mm256_storeu_pd(dd.offset(r), dp);
             }
             store_carries::<2>(carries, l0, &[cp, dp]);
         }
@@ -272,14 +284,14 @@ pub(crate) mod avx2 {
             let mut cp = carries[2 * l];
             let mut dp = carries[2 * l + 1];
             for k in 0..seg_len {
-                let r = k * nlines + l;
-                let ak = aa[r];
-                let denom = bb[r] - ak * cp;
+                let r = k as isize * row_stride + l as isize;
+                let ak = *aa.offset(r);
+                let denom = *bb.offset(r) - ak * cp;
                 assert!(denom != 0.0, "zero pivot");
-                cp = cc[r] / denom;
-                dp = (dd[r] - ak * dp) / denom;
-                cc[r] = cp;
-                dd[r] = dp;
+                cp = *cc.offset(r) / denom;
+                dp = (*dd.offset(r) - ak * dp) / denom;
+                *cc.offset(r) = cp;
+                *dd.offset(r) = dp;
             }
             carries[2 * l] = cp;
             carries[2 * l + 1] = dp;
@@ -295,8 +307,9 @@ pub(crate) mod avx2 {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        cc: &[f64],
-        dd: &mut [f64],
+        cc: *const f64,
+        dd: *mut f64,
+        row_stride: isize,
     ) {
         let zero = _mm256_setzero_pd();
         let one = _mm256_set1_pd(1.0);
@@ -304,14 +317,14 @@ pub(crate) mod avx2 {
         for l0 in (0..full).step_by(LANES) {
             let [mut xv, mut validv] = load_carries::<2>(carries, l0);
             for k in 0..seg_len {
-                let r = k * nlines + l0;
-                let d = _mm256_loadu_pd(dd.as_ptr().add(r));
-                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
+                let r = k as isize * row_stride + l0 as isize;
+                let d = _mm256_loadu_pd(dd.offset(r));
+                let c = _mm256_loadu_pd(cc.offset(r));
                 let cand = _mm256_sub_pd(d, _mm256_mul_pd(c, xv));
                 // `valid != 0.0` — unordered-NEQ matches scalar `!=` on NaN.
                 let m = _mm256_cmp_pd::<_CMP_NEQ_UQ>(validv, zero);
                 xv = _mm256_blendv_pd(d, cand, m);
-                _mm256_storeu_pd(dd.as_mut_ptr().add(r), xv);
+                _mm256_storeu_pd(dd.offset(r), xv);
                 validv = one;
             }
             store_carries::<2>(carries, l0, &[xv, validv]);
@@ -320,14 +333,14 @@ pub(crate) mod avx2 {
             let mut x_next = carries[2 * l];
             let mut valid = carries[2 * l + 1];
             for k in 0..seg_len {
-                let r = k * nlines + l;
-                let dk = dd[r];
+                let r = k as isize * row_stride + l as isize;
+                let dk = *dd.offset(r);
                 let xk = if valid != 0.0 {
-                    dk - cc[r] * x_next
+                    dk - *cc.offset(r) * x_next
                 } else {
                     dk
                 };
-                dd[r] = xk;
+                *dd.offset(r) = xk;
                 x_next = xk;
                 valid = 1.0;
             }
@@ -345,10 +358,11 @@ pub(crate) mod avx2 {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        ead: [&[f64]; 3],
-        cc: &mut [f64],
-        ff: &mut [f64],
-        bb: &mut [f64],
+        ead: [*const f64; 3],
+        cc: *mut f64,
+        ff: *mut f64,
+        bb: *mut f64,
+        row_stride: isize,
     ) {
         let [ee, aa, dd] = ead;
         let full = nlines / LANES * LANES;
@@ -358,13 +372,13 @@ pub(crate) mod avx2 {
             let [mut p1c, mut p1f, mut p1b, mut p2c, mut p2f, mut p2b] =
                 load_carries::<6>(carries, l0);
             for k in 0..seg_len {
-                let r = k * nlines + l0;
-                let e = _mm256_loadu_pd(ee.as_ptr().add(r));
-                let a = _mm256_loadu_pd(aa.as_ptr().add(r));
-                let d = _mm256_loadu_pd(dd.as_ptr().add(r));
-                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
-                let f = _mm256_loadu_pd(ff.as_ptr().add(r));
-                let b = _mm256_loadu_pd(bb.as_ptr().add(r));
+                let r = k as isize * row_stride + l0 as isize;
+                let e = _mm256_loadu_pd(ee.offset(r));
+                let a = _mm256_loadu_pd(aa.offset(r));
+                let d = _mm256_loadu_pd(dd.offset(r));
+                let c = _mm256_loadu_pd(cc.offset(r));
+                let f = _mm256_loadu_pd(ff.offset(r));
+                let b = _mm256_loadu_pd(bb.offset(r));
                 // Substitute x_{i−2} via row i−2.
                 let a1 = _mm256_sub_pd(a, _mm256_mul_pd(e, p2c));
                 let d1 = _mm256_sub_pd(d, _mm256_mul_pd(e, p2f));
@@ -377,9 +391,9 @@ pub(crate) mod avx2 {
                 let nc = _mm256_div_pd(c1, den);
                 let nf = _mm256_div_pd(f, den);
                 let nb = _mm256_div_pd(b2, den);
-                _mm256_storeu_pd(cc.as_mut_ptr().add(r), nc);
-                _mm256_storeu_pd(ff.as_mut_ptr().add(r), nf);
-                _mm256_storeu_pd(bb.as_mut_ptr().add(r), nb);
+                _mm256_storeu_pd(cc.offset(r), nc);
+                _mm256_storeu_pd(ff.offset(r), nf);
+                _mm256_storeu_pd(bb.offset(r), nb);
                 p2c = p1c;
                 p2f = p1f;
                 p2b = p1b;
@@ -394,12 +408,22 @@ pub(crate) mod avx2 {
             let mut p1 = (cl[0], cl[1], cl[2]);
             let mut p2 = (cl[3], cl[4], cl[5]);
             for k in 0..seg_len {
-                let r = k * nlines + l;
-                let row =
-                    crate::penta::eliminate_row((ee[r], aa[r], dd[r], cc[r], ff[r], bb[r]), p1, p2);
-                cc[r] = row.0;
-                ff[r] = row.1;
-                bb[r] = row.2;
+                let r = k as isize * row_stride + l as isize;
+                let row = crate::penta::eliminate_row(
+                    (
+                        *ee.offset(r),
+                        *aa.offset(r),
+                        *dd.offset(r),
+                        *cc.offset(r),
+                        *ff.offset(r),
+                        *bb.offset(r),
+                    ),
+                    p1,
+                    p2,
+                );
+                *cc.offset(r) = row.0;
+                *ff.offset(r) = row.1;
+                *bb.offset(r) = row.2;
                 p2 = p1;
                 p1 = row;
             }
@@ -421,9 +445,10 @@ pub(crate) mod avx2 {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        cc: &[f64],
-        ff: &[f64],
-        bb: &mut [f64],
+        cc: *const f64,
+        ff: *const f64,
+        bb: *mut f64,
+        row_stride: isize,
     ) {
         let one = _mm256_set1_pd(1.0);
         let two = _mm256_set1_pd(2.0);
@@ -431,10 +456,10 @@ pub(crate) mod avx2 {
         for l0 in (0..full).step_by(LANES) {
             let [mut x1, mut x2, mut count] = load_carries::<3>(carries, l0);
             for k in 0..seg_len {
-                let r = k * nlines + l0;
-                let b = _mm256_loadu_pd(bb.as_ptr().add(r));
-                let c = _mm256_loadu_pd(cc.as_ptr().add(r));
-                let f = _mm256_loadu_pd(ff.as_ptr().add(r));
+                let r = k as isize * row_stride + l0 as isize;
+                let b = _mm256_loadu_pd(bb.offset(r));
+                let c = _mm256_loadu_pd(cc.offset(r));
+                let f = _mm256_loadu_pd(ff.offset(r));
                 // count ∈ {0, 1, 2} exactly (integer-valued f64 arithmetic).
                 let ge1 = _mm256_cmp_pd::<_CMP_GE_OQ>(count, one);
                 let ge2 = _mm256_cmp_pd::<_CMP_GE_OQ>(count, two);
@@ -442,7 +467,7 @@ pub(crate) mod avx2 {
                 let xa = _mm256_blendv_pd(b, t1, ge1);
                 let t2 = _mm256_sub_pd(xa, _mm256_mul_pd(f, x2));
                 let x = _mm256_blendv_pd(xa, t2, ge2);
-                _mm256_storeu_pd(bb.as_mut_ptr().add(r), x);
+                _mm256_storeu_pd(bb.offset(r), x);
                 x2 = x1;
                 x1 = x;
                 // if count < 2 { count += 1 }
@@ -454,14 +479,14 @@ pub(crate) mod avx2 {
             let cl = &mut carries[3 * l..3 * l + 3];
             let (mut x1, mut x2, mut count) = (cl[0], cl[1], cl[2]);
             for k in 0..seg_len {
-                let r = k * nlines + l;
-                let b = bb[r];
+                let r = k as isize * row_stride + l as isize;
+                let b = *bb.offset(r);
                 let x = match count as u32 {
                     0 => b,
-                    1 => b - cc[r] * x1,
-                    _ => b - cc[r] * x1 - ff[r] * x2,
+                    1 => b - *cc.offset(r) * x1,
+                    _ => b - *cc.offset(r) * x1 - *ff.offset(r) * x2,
                 };
-                bb[r] = x;
+                *bb.offset(r) = x;
                 x2 = x1;
                 x1 = x;
                 if count < 2.0 {
@@ -481,25 +506,26 @@ pub(crate) mod avx2 {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        buf: &mut [f64],
+        buf: *mut f64,
+        row_stride: isize,
     ) {
         let full = nlines / LANES * LANES;
         for l0 in (0..full).step_by(LANES) {
             let mut acc = _mm256_loadu_pd(carries.as_ptr().add(l0));
             for k in 0..seg_len {
-                let r = k * nlines + l0;
-                let v = _mm256_loadu_pd(buf.as_ptr().add(r));
+                let r = k as isize * row_stride + l0 as isize;
+                let v = _mm256_loadu_pd(buf.offset(r));
                 acc = _mm256_add_pd(acc, v);
-                _mm256_storeu_pd(buf.as_mut_ptr().add(r), acc);
+                _mm256_storeu_pd(buf.offset(r), acc);
             }
             _mm256_storeu_pd(carries.as_mut_ptr().add(l0), acc);
         }
         for l in full..nlines {
             let mut acc = carries[l];
             for k in 0..seg_len {
-                let r = k * nlines + l;
-                acc += buf[r];
-                buf[r] = acc;
+                let r = k as isize * row_stride + l as isize;
+                acc += *buf.offset(r);
+                *buf.offset(r) = acc;
             }
             carries[l] = acc;
         }
@@ -513,26 +539,27 @@ pub(crate) mod avx2 {
         nlines: usize,
         seg_len: usize,
         carries: &mut [f64],
-        buf: &mut [f64],
+        buf: *mut f64,
+        row_stride: isize,
     ) {
         let av = _mm256_set1_pd(a);
         let full = nlines / LANES * LANES;
         for l0 in (0..full).step_by(LANES) {
             let mut prev = _mm256_loadu_pd(carries.as_ptr().add(l0));
             for k in 0..seg_len {
-                let r = k * nlines + l0;
-                let v = _mm256_loadu_pd(buf.as_ptr().add(r));
+                let r = k as isize * row_stride + l0 as isize;
+                let v = _mm256_loadu_pd(buf.offset(r));
                 prev = _mm256_add_pd(v, _mm256_mul_pd(av, prev));
-                _mm256_storeu_pd(buf.as_mut_ptr().add(r), prev);
+                _mm256_storeu_pd(buf.offset(r), prev);
             }
             _mm256_storeu_pd(carries.as_mut_ptr().add(l0), prev);
         }
         for l in full..nlines {
             let mut prev = carries[l];
             for k in 0..seg_len {
-                let r = k * nlines + l;
-                prev = buf[r] + a * prev;
-                buf[r] = prev;
+                let r = k as isize * row_stride + l as isize;
+                prev = *buf.offset(r) + a * prev;
+                *buf.offset(r) = prev;
             }
             carries[l] = prev;
         }

@@ -1027,6 +1027,52 @@ fn assert_simd_matches_scalar<K: LineSweepKernel>(
         v_b, sc_b,
         "{level} block diverges from scalar at nlines={nlines} n={seg_len}"
     );
+
+    // The strided entry point over a padded tile-like layout (element k of
+    // lane l at `k·(nlines+pad) + l`) must reproduce the packed result
+    // bitwise at every level — the in-place executor depends on it.
+    if kernel.supports_strided() {
+        for lvl in [SimdLevel::Scalar, level] {
+            for pad in [0usize, 3] {
+                let row = nlines + pad;
+                let mut tiles: Vec<Vec<f64>> = block
+                    .iter()
+                    .map(|b| {
+                        let mut t = vec![0.0f64; seg_len * row];
+                        for k in 0..seg_len {
+                            t[k * row..k * row + nlines]
+                                .copy_from_slice(&b[k * nlines..(k + 1) * nlines]);
+                        }
+                        t
+                    })
+                    .collect();
+                let ptrs: Vec<*mut f64> = tiles.iter_mut().map(|t| t.as_mut_ptr()).collect();
+                let estrides = vec![row as isize; ptrs.len()];
+                let mut st_c = carries.to_vec();
+                // SAFETY: each tile spans the full (seg_len, nlines, row)
+                // affine range and is touched by this thread alone.
+                unsafe {
+                    kernel.sweep_block_strided(
+                        lvl, dir, nlines, seg_len, &mut st_c, &ptrs, &estrides, ctxs,
+                    );
+                }
+                assert_eq!(
+                    st_c, sc_c,
+                    "{lvl} strided carries diverge at nlines={nlines} n={seg_len} pad={pad}"
+                );
+                for (f, (tile, want)) in tiles.iter().zip(sc_b.iter()).enumerate() {
+                    for k in 0..seg_len {
+                        assert_eq!(
+                            &tile[k * row..k * row + nlines],
+                            &want[k * nlines..(k + 1) * nlines],
+                            "{lvl} strided field {f} diverges at row {k} \
+                             (nlines={nlines} n={seg_len} pad={pad})"
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[test]
@@ -1345,6 +1391,216 @@ fn random_simd_executor_configs_match_scalar_bitwise() {
 }
 
 #[test]
+fn random_inplace_configs_match_packed_bitwise() {
+    // The zero-copy invariant: in-place execution changes *where* the
+    // kernel reads and writes, never the results or the wire. Across
+    // random shapes, block widths, thread counts, pipeline depths, SIMD
+    // levels, and kernels, a sweep with MP_SWEEP_INPLACE ∈ {auto, on} is
+    // bitwise equal to the packed (off) sweep — same field contents, same
+    // per-rank message and element counts. Schedules deliberately include
+    // the last dimension, whose sweep runs along the unit-stride axis and
+    // must silently fall back to packed even when forced on.
+    use crate::compiled::SweepEngine;
+    use crate::executor::{allocate_rank_store, SweepOptions};
+    use crate::inplace::InplaceMode;
+    use crate::recurrence::{FirstOrderKernel, PrefixSumKernel};
+    use crate::simd::SimdMode;
+    use mp_core::multipart::Multipartitioning;
+    use mp_grid::{ArrayD, FieldDef, TileGrid};
+    use mp_runtime::comm::Communicator;
+    use mp_runtime::threaded::run_threaded;
+
+    fn small(g: &[usize]) -> f64 {
+        (((g[0] * 3 + g[1] * 5 + g[2] * 7) % 9) as f64 - 4.0) * 0.1
+    }
+    fn diagv(g: &[usize]) -> f64 {
+        2.0 + ((g[0] + g[1] + g[2]) % 5) as f64 * 0.1
+    }
+    fn rhsv(g: &[usize]) -> f64 {
+        ((g[0] * 11 + g[1] * 4 + g[2] * 2) % 17) as f64 - 8.0
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check<K: LineSweepKernel + Sync>(
+        p: u64,
+        mp: &Multipartitioning,
+        grid: &TileGrid,
+        eta: &[usize],
+        fields: &[FieldDef],
+        inits: &[fn(&[usize]) -> f64],
+        k: &K,
+        base: &SweepOptions,
+        schedule: &[(usize, Direction, u64)],
+    ) {
+        let run = |opts: SweepOptions| {
+            run_threaded(p, move |comm| {
+                let mut store = allocate_rank_store(comm.rank(), mp, grid, fields);
+                for (f, init) in inits.iter().enumerate() {
+                    store.init_field(f, init);
+                }
+                let mut eng = SweepEngine::new(opts.clone());
+                for &(dim, dir, tag) in schedule {
+                    eng.sweep(comm, &mut store, mp, dim, dir, k, tag);
+                }
+                (store, comm.sent_messages, comm.sent_elements)
+            })
+        };
+        let packed = run(base.clone().with_inplace(InplaceMode::Off));
+        let mut want = ArrayD::zeros(eta);
+        let mut got = ArrayD::zeros(eta);
+        for mode in [InplaceMode::On, InplaceMode::Auto] {
+            let inplace = run(base.clone().with_inplace(mode));
+            for (rank, ((_, m_i, e_i), (_, m_p, e_p))) in
+                inplace.iter().zip(packed.iter()).enumerate()
+            {
+                assert_eq!(
+                    (m_i, e_i),
+                    (m_p, e_p),
+                    "p={p} eta={eta:?} rank {rank} {base:?}: \
+                     inplace={mode} changed the per-rank schedule"
+                );
+            }
+            for f in 0..fields.len() {
+                for ((is, _, _), (ps, _, _)) in inplace.iter().zip(packed.iter()) {
+                    is.gather_into(f, &mut got);
+                    ps.gather_into(f, &mut want);
+                }
+                assert_eq!(
+                    got.max_abs_diff(&want),
+                    0.0,
+                    "p={p} eta={eta:?} field {f} {base:?}: \
+                     inplace={mode} not bitwise equal to packed"
+                );
+            }
+        }
+    }
+
+    cases(0x750E, 10, |rng| {
+        use mp_core::partition::Partitioning;
+        let (p, gammas): (u64, Vec<u64>) = match rng.usize_in(0, 4) {
+            0 => (2, vec![2, 2, 1]),
+            1 => (4, vec![2, 2, 2]),
+            2 => (4, vec![4, 2, 2]),
+            3 => (3, vec![3, 3, 1]),
+            _ => (6, vec![6, 3, 2]),
+        };
+        let mp = Multipartitioning::from_partitioning(p, Partitioning::new(gammas));
+        // Remainders on purpose: lane runs that wrap mid-block and block
+        // tails both have to stay bitwise.
+        let eta: Vec<usize> = mp
+            .gammas()
+            .iter()
+            .map(|&g| {
+                let g = g as usize;
+                g * rng.usize_in(2, 4) + rng.usize_in(0, g.max(2) - 1)
+            })
+            .collect();
+        let grid = TileGrid::new(
+            &eta,
+            &mp.gammas().iter().map(|&g| g as usize).collect::<Vec<_>>(),
+        );
+        let simd = if rng.bool() {
+            SimdMode::Auto
+        } else {
+            SimdMode::Scalar
+        };
+        let base = SweepOptions::new(rng.usize_in(1, 40), rng.usize_in(1, 4))
+            .with_pipeline_chunks(rng.usize_in(1, 4))
+            .with_simd(simd);
+        // Every dim, including the last (ineligible → packed fallback).
+        let fwd_sched: Vec<(usize, Direction, u64)> = (0..6)
+            .map(|s| (s % 3, Direction::Forward, (s % 3) as u64 * 1_000))
+            .collect();
+        let both_sched: Vec<(usize, Direction, u64)> = (0..8)
+            .map(|s| {
+                let dim = s % 3;
+                let (dir, d) = if (s / 3) % 2 == 0 {
+                    (Direction::Forward, 0)
+                } else {
+                    (Direction::Backward, 1)
+                };
+                (dim, dir, (dim as u64 * 2 + d) * 1_000)
+            })
+            .collect();
+
+        match rng.usize_in(0, 3) {
+            0 => {
+                let k = FirstOrderKernel::new(0, rng.f64_in(-0.9, 0.9));
+                let fields = [FieldDef::new("u", 0)];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[rhsv],
+                    &k,
+                    &base,
+                    &both_sched,
+                );
+            }
+            1 => {
+                let k = PrefixSumKernel::new(0);
+                let fields = [FieldDef::new("u", 0)];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[rhsv],
+                    &k,
+                    &base,
+                    &both_sched,
+                );
+            }
+            2 => {
+                let k = ThomasForwardKernel::new(0, 1, 2, 3);
+                let fields = [
+                    FieldDef::new("a", 0),
+                    FieldDef::new("b", 0),
+                    FieldDef::new("c", 0),
+                    FieldDef::new("d", 0),
+                ];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[small, diagv, small, rhsv],
+                    &k,
+                    &base,
+                    &fwd_sched,
+                );
+            }
+            _ => {
+                let k = PentaForwardKernel::new(0, 1, 2, 3, 4, 5);
+                let fields = [
+                    FieldDef::new("e", 0),
+                    FieldDef::new("a", 0),
+                    FieldDef::new("d", 0),
+                    FieldDef::new("c", 0),
+                    FieldDef::new("f", 0),
+                    FieldDef::new("b", 0),
+                ];
+                check(
+                    p,
+                    &mp,
+                    &grid,
+                    &eta,
+                    &fields,
+                    &[small, small, diagv, small, small, rhsv],
+                    &k,
+                    &base,
+                    &fwd_sched,
+                );
+            }
+        }
+    });
+}
+
+#[test]
 fn tuned_options_never_change_results_or_schedule() {
     // The calibrated-planning invariant: auto-tuning is a pure performance
     // decision. Across random (p, γ, η) and random machine profiles, the
@@ -1502,6 +1758,7 @@ fn machine_profile_json_round_trips_exactly() {
             k1,
             k2: rng.f64_in(0.0, 1e-2),
             k3: rng.f64_in(0.0, 1e-5),
+            k4: rng.f64_in(0.0, 1e-6),
             scaling: if rng.bool() {
                 BandwidthScaling::Scalable
             } else {

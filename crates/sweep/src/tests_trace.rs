@@ -87,7 +87,24 @@ fn aggregated_recorder_counters_match_comm() {
                 "rank {rank} dim {dim}"
             );
             assert!(stats.compute_ns > 0, "rank {rank} dim {dim}");
-            assert!(stats.pack_ns > 0, "rank {rank} dim {dim}");
+            if dim == 2 {
+                // The last dim sweeps along the unit-stride axis, so it
+                // always gathers/scatters and must record pack time.
+                assert!(stats.pack_ns > 0, "rank {rank} dim {dim}");
+            }
+        }
+        // Forcing packed execution restores pack spans on every dim: the
+        // zero-copy mode is the only thing that can remove them.
+        let (_, packed) = run_traced(
+            &mp,
+            &eta,
+            dim,
+            Direction::Forward,
+            &k,
+            &SweepOptions::new(4, 1).with_inplace(crate::inplace::InplaceMode::Off),
+        );
+        for (rank, (stats, _, _)) in packed.iter().enumerate() {
+            assert!(stats.pack_ns > 0, "packed rank {rank} dim {dim}");
         }
     }
 }

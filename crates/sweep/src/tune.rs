@@ -8,7 +8,12 @@
 //! [`MachineProfile`]. Per-kernel `K1` entries are keyed
 //! `"<kernel>@<simd>"` (see [`k1_key`]), with the [`K1_DEFAULT`] entry set
 //! to the mean of the hot solver kernels at the level the host actually
-//! dispatches.
+//! dispatches. Kernels with a strided entry point are additionally timed
+//! through [`LineSweepKernel::sweep_block_strided`] over a tile-like
+//! strided layout (keyed [`crate::inplace::k1_strided_key`]), and one
+//! gather + scatter round trip through the real line packers is timed as
+//! the profile's `K4` — together these feed the
+//! [`crate::inplace::InplaceMode::Auto`] packed-vs-in-place decision.
 //!
 //! [`TunedOptions::derive`] turns a profile plus a [`PlanShape`] into
 //! concrete [`SweepOptions`]: block width, worker threads, and pipeline
@@ -135,6 +140,90 @@ fn bench_kernel(
     })
 }
 
+/// Row stride (in elements) of the strided calibration layout, as a
+/// multiple of the lane count: the benchmark tile's swept-dimension
+/// stride is `4 × nlines`, so consecutive sweep steps of a lane run are
+/// *not* contiguous — the layout in-place execution actually sees.
+const STRIDED_ROW_FACTOR: usize = 4;
+
+/// Time one kernel at `level` through the **strided** entry point and
+/// record it under `key`. The block is a tile-like layout: `nlines`
+/// unit-stride lanes whose elements walk storage with a row stride of
+/// [`STRIDED_ROW_FACTOR`]` × nlines` — what
+/// [`crate::compiled::CompiledSweep`] hands the kernel when a phase runs
+/// in place. Backward kernels are pointed at the far end with a negative
+/// stride, exactly as the executor does.
+fn bench_kernel_strided(
+    cal: &mut Calibrator,
+    key: &str,
+    level: SimdLevel,
+    spec: &KernelSpec,
+    nlines: usize,
+    seg_len: usize,
+) -> f64 {
+    let clen = spec.kernel.carry_len();
+    let row = nlines * STRIDED_ROW_FACTOR;
+    let mut tiles: Vec<AlignedVec> = spec
+        .fills
+        .iter()
+        .map(|&v| AlignedVec::from_slice(&vec![v; seg_len * row]))
+        .collect();
+    let (origin, es) = match spec.dir {
+        Direction::Forward => (0usize, row as isize),
+        Direction::Backward => ((seg_len - 1) * row, -(row as isize)),
+    };
+    let ptrs: Vec<*mut f64> = tiles
+        .iter_mut()
+        .map(|t| unsafe { t.as_mut_ptr().add(origin) })
+        .collect();
+    let estrides = vec![es; ptrs.len()];
+    let mut carries = vec![0.0f64; nlines * clen];
+    let init = spec.kernel.initial_carry(spec.dir);
+    let ctxs = vec![SegmentCtx::origin(3, 0, spec.dir); nlines];
+    let kernel = spec.kernel.as_ref();
+    let dir = spec.dir;
+    cal.measure_kernel(key, (nlines * seg_len) as u64, || {
+        for l in 0..nlines {
+            carries[l * clen..(l + 1) * clen].copy_from_slice(&init);
+        }
+        // SAFETY: every pointer spans its tile's full affine range
+        // (seg_len rows of `row` elements, lanes 0..nlines unit-stride)
+        // and nothing else touches the tiles during the call.
+        unsafe {
+            kernel.sweep_block_strided(
+                level,
+                dir,
+                nlines,
+                seg_len,
+                &mut carries,
+                &ptrs,
+                &estrides,
+                &ctxs,
+            );
+        }
+    })
+}
+
+/// Time one gather + scatter round trip of an `nlines × seg_len` block
+/// through the real line packers ([`mp_grid::gather_line`] /
+/// [`mp_grid::scatter_line`]) over the same tile-like strided layout the
+/// kernel benchmarks use, and record `seconds/element` as the profile's
+/// `K4` — the per-element price a packed phase pays that an in-place
+/// phase skips.
+fn bench_pack(cal: &mut Calibrator, nlines: usize, seg_len: usize) -> f64 {
+    let row = nlines * STRIDED_ROW_FACTOR;
+    let mut tile = vec![1.0f64; seg_len * row];
+    let mut block = AlignedVec::from_slice(&vec![0.0f64; nlines * seg_len]);
+    cal.measure_pack((nlines * seg_len) as u64, || {
+        for l in 0..nlines {
+            mp_grid::gather_line(&tile, l, row, false, &mut block, l, nlines);
+        }
+        for l in 0..nlines {
+            mp_grid::scatter_line(&mut tile, l, row, false, &block, l, nlines);
+        }
+    })
+}
+
 /// Measure this host: every hot kernel at the dispatch level the plans
 /// will resolve (plus the scalar baseline when they differ) and the
 /// ring-transport Hockney pair. `fast` selects
@@ -166,11 +255,16 @@ pub fn calibrate_host(fast: bool) -> (MachineProfile, TransportFit) {
         for &level in levels {
             let key = k1_key(spec.name, level);
             bench_kernel(&mut cal, &key, level, &spec, nlines, seg_len);
+            if spec.kernel.supports_strided() {
+                let skey = crate::inplace::k1_strided_key(spec.name, level);
+                bench_kernel_strided(&mut cal, &skey, level, &spec, nlines, seg_len);
+            }
             if spec.hot && level == resolved {
                 hot_keys.push(key);
             }
         }
     }
+    bench_pack(&mut cal, nlines, seg_len);
     let refs: Vec<&str> = hot_keys.iter().map(String::as_str).collect();
     cal.set_default_from(&refs);
     cal.finish_with_transport()
@@ -408,8 +502,16 @@ mod tests {
         ] {
             let k1 = profile.k1_for(&k1_key(name, resolved));
             assert!(k1 > 0.0 && k1 < 1e-3, "{name}: k1 = {k1}");
+            // Every calibrated kernel supports the strided entry point,
+            // so each packed rate has a strided companion — the pair
+            // `InplaceMode::Auto` compares.
+            let skey = crate::inplace::k1_strided_key(name, resolved);
+            let k1s = profile.k1.get(&skey).copied().unwrap_or(0.0);
+            assert!(k1s > 0.0 && k1s < 1e-3, "{skey}: k1 = {k1s}");
         }
         assert!(profile.k1_default() > 0.0);
         assert!(profile.k1.contains_key(K1_DEFAULT));
+        // The gather/scatter round trip was measured as K4.
+        assert!(profile.k4 > 0.0 && profile.k4 < 1e-3, "k4 = {}", profile.k4);
     }
 }
